@@ -1,0 +1,431 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::error::{ParseRingError, ParseRingErrorKind};
+use crate::Dyadic;
+
+/// An exact Gaussian-dyadic complex number `(re + im·i) / 2^exp`.
+///
+/// This is the ring ℤ[i, ½] in which all entries of V, V⁺, CNOT and NOT
+/// (and hence of every circuit unitary built from them) live. The
+/// representation is normalized: the value is zero with `exp == 0`, or at
+/// least one of `re`, `im` is odd.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_arith::{CDyadic, Dyadic};
+///
+/// let v_diag = CDyadic::new(1, 1, 1);   // (1+i)/2
+/// let v_off = CDyadic::new(1, -1, 1);   // (1-i)/2
+/// // |(1+i)/2|² + |(1-i)/2|² = 1 — V's first row is a unit vector.
+/// assert_eq!(v_diag.norm_sqr() + v_off.norm_sqr(), Dyadic::ONE);
+/// ```
+///
+/// # Panics
+///
+/// Arithmetic panics on `i64` component overflow, which cannot occur for
+/// cascades of the depth handled by this workspace (≪ 50 gates).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CDyadic {
+    re: i64,
+    im: i64,
+    exp: u32,
+}
+
+impl CDyadic {
+    /// The additive identity, `0`.
+    pub const ZERO: CDyadic = CDyadic { re: 0, im: 0, exp: 0 };
+    /// The multiplicative identity, `1`.
+    pub const ONE: CDyadic = CDyadic { re: 1, im: 0, exp: 0 };
+    /// The imaginary unit `i`.
+    pub const I: CDyadic = CDyadic { re: 0, im: 1, exp: 0 };
+    /// `(1 + i)/2`, the diagonal entry of V.
+    pub const HALF_ONE_PLUS_I: CDyadic = CDyadic { re: 1, im: 1, exp: 1 };
+    /// `(1 - i)/2`, the off-diagonal entry of V.
+    pub const HALF_ONE_MINUS_I: CDyadic = CDyadic { re: 1, im: -1, exp: 1 };
+
+    /// Creates `(re + im·i) / 2^exp`, normalizing the representation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_arith::CDyadic;
+    /// assert_eq!(CDyadic::new(2, 2, 1), CDyadic::new(1, 1, 0));
+    /// ```
+    pub fn new(re: i64, im: i64, exp: u32) -> Self {
+        Self { re, im, exp }.normalize()
+    }
+
+    /// Creates a real integer value.
+    pub fn from_int(n: i64) -> Self {
+        Self { re: n, im: 0, exp: 0 }
+    }
+
+    /// Creates a value from exact real and imaginary dyadic parts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_arith::{CDyadic, Dyadic};
+    /// let z = CDyadic::from_parts(Dyadic::HALF, Dyadic::NEG_ONE);
+    /// assert_eq!(z, CDyadic::new(1, -2, 1));
+    /// ```
+    pub fn from_parts(re: Dyadic, im: Dyadic) -> Self {
+        let exp = re.denominator_log2().max(im.denominator_log2());
+        let r = re.numerator() << (exp - re.denominator_log2());
+        let i = im.numerator() << (exp - im.denominator_log2());
+        Self::new(r, i, exp)
+    }
+
+    /// The exact real part.
+    pub fn re(self) -> Dyadic {
+        Dyadic::new(self.re, self.exp)
+    }
+
+    /// The exact imaginary part.
+    pub fn im(self) -> Dyadic {
+        Dyadic::new(self.im, self.exp)
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.re == 0 && self.im == 0
+    }
+
+    /// `true` iff the value is exactly one.
+    pub fn is_one(self) -> bool {
+        self == Self::ONE
+    }
+
+    /// The complex conjugate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_arith::CDyadic;
+    /// assert_eq!(CDyadic::I.conj(), -CDyadic::I);
+    /// ```
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+            exp: self.exp,
+        }
+    }
+
+    /// The exact squared magnitude `|z|²` as a dyadic rational.
+    ///
+    /// This is the measurement probability weight of an amplitude, so it is
+    /// the quantity compared against empirical frequencies in the
+    /// probabilistic-machine experiments.
+    pub fn norm_sqr(self) -> Dyadic {
+        let re2 = self.re.checked_mul(self.re).expect("cdyadic overflow");
+        let im2 = self.im.checked_mul(self.im).expect("cdyadic overflow");
+        Dyadic::new(
+            re2.checked_add(im2).expect("cdyadic overflow"),
+            2 * self.exp,
+        )
+    }
+
+    /// Converts to an `(re, im)` pair of `f64`s.
+    pub fn to_f64_pair(self) -> (f64, f64) {
+        (self.re().to_f64(), self.im().to_f64())
+    }
+
+    fn normalize(mut self) -> Self {
+        if self.re == 0 && self.im == 0 {
+            return Self::ZERO;
+        }
+        while self.exp > 0 && self.re % 2 == 0 && self.im % 2 == 0 {
+            self.re /= 2;
+            self.im /= 2;
+            self.exp -= 1;
+        }
+        self
+    }
+
+    fn align(self, other: Self) -> (i64, i64, i64, i64, u32) {
+        let exp = self.exp.max(other.exp);
+        let s = |n: i64, by: u32| -> i64 {
+            n.checked_shl(by)
+                .filter(|&v| (v >> by) == n)
+                .expect("cdyadic overflow")
+        };
+        (
+            s(self.re, exp - self.exp),
+            s(self.im, exp - self.exp),
+            s(other.re, exp - other.exp),
+            s(other.im, exp - other.exp),
+            exp,
+        )
+    }
+}
+
+impl Add for CDyadic {
+    type Output = CDyadic;
+    fn add(self, rhs: CDyadic) -> CDyadic {
+        let (ar, ai, br, bi, exp) = self.align(rhs);
+        CDyadic::new(
+            ar.checked_add(br).expect("cdyadic overflow"),
+            ai.checked_add(bi).expect("cdyadic overflow"),
+            exp,
+        )
+    }
+}
+
+impl Sub for CDyadic {
+    type Output = CDyadic;
+    fn sub(self, rhs: CDyadic) -> CDyadic {
+        self + (-rhs)
+    }
+}
+
+impl Mul for CDyadic {
+    type Output = CDyadic;
+    // Denominator exponents add when values multiply.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn mul(self, rhs: CDyadic) -> CDyadic {
+        let m = |a: i64, b: i64| a.checked_mul(b).expect("cdyadic overflow");
+        let re = m(self.re, rhs.re)
+            .checked_sub(m(self.im, rhs.im))
+            .expect("cdyadic overflow");
+        let im = m(self.re, rhs.im)
+            .checked_add(m(self.im, rhs.re))
+            .expect("cdyadic overflow");
+        CDyadic::new(re, im, self.exp + rhs.exp)
+    }
+}
+
+impl Neg for CDyadic {
+    type Output = CDyadic;
+    fn neg(self) -> CDyadic {
+        CDyadic {
+            re: -self.re,
+            im: -self.im,
+            exp: self.exp,
+        }
+    }
+}
+
+impl AddAssign for CDyadic {
+    fn add_assign(&mut self, rhs: CDyadic) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for CDyadic {
+    fn sub_assign(&mut self, rhs: CDyadic) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for CDyadic {
+    fn mul_assign(&mut self, rhs: CDyadic) {
+        *self = *self * rhs;
+    }
+}
+
+impl From<i64> for CDyadic {
+    fn from(n: i64) -> Self {
+        CDyadic::from_int(n)
+    }
+}
+
+impl From<Dyadic> for CDyadic {
+    fn from(d: Dyadic) -> Self {
+        CDyadic::new(d.numerator(), 0, d.denominator_log2())
+    }
+}
+
+impl fmt::Display for CDyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.exp == 0 {
+            match (self.re, self.im) {
+                (r, 0) => write!(f, "{r}"),
+                (0, i) => write!(f, "{i}i"),
+                (r, i) if i < 0 => write!(f, "{r}{i}i"),
+                (r, i) => write!(f, "{r}+{i}i"),
+            }
+        } else {
+            let den = 1i128 << self.exp;
+            match (self.re, self.im) {
+                (r, 0) => write!(f, "{r}/{den}"),
+                (0, i) => write!(f, "{i}i/{den}"),
+                (r, i) if i < 0 => write!(f, "({r}{i}i)/{den}"),
+                (r, i) => write!(f, "({r}+{i}i)/{den}"),
+            }
+        }
+    }
+}
+
+impl FromStr for CDyadic {
+    type Err = ParseRingError;
+
+    /// Parses the formats produced by [`Display`](fmt::Display):
+    /// `"n"`, `"ni"`, `"a+bi"`, `"a-bi"`, each optionally wrapped in
+    /// parentheses and followed by `"/d"` with `d` a power of two.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseRingError::new(ParseRingErrorKind::Empty));
+        }
+        let (body, exp) = match s.rsplit_once('/') {
+            Some((b, d)) if !b.is_empty() => {
+                let den = d.trim().parse::<u64>().map_err(|_| {
+                    ParseRingError::new(ParseRingErrorKind::InvalidInteger(d.into()))
+                })?;
+                if !den.is_power_of_two() {
+                    return Err(ParseRingError::new(
+                        ParseRingErrorKind::NonPowerOfTwoDenominator(d.into()),
+                    ));
+                }
+                (b.trim(), den.trailing_zeros())
+            }
+            _ => (s, 0),
+        };
+        let body = body
+            .strip_prefix('(')
+            .and_then(|b| b.strip_suffix(')'))
+            .unwrap_or(body);
+        let (re, im) = parse_complex_body(body)
+            .ok_or_else(|| ParseRingError::new(ParseRingErrorKind::MalformedComplex(s.into())))?;
+        Ok(CDyadic::new(re, im, exp))
+    }
+}
+
+/// Parses `a`, `bi`, `a+bi`, `a-bi` into integer real/imaginary parts.
+fn parse_complex_body(body: &str) -> Option<(i64, i64)> {
+    let body = body.trim();
+    if let Some(im_str) = body.strip_suffix('i') {
+        // Find the split point between the real part and the imaginary part:
+        // the last '+'/'-' that is not a leading sign.
+        let bytes = im_str.as_bytes();
+        let mut split = None;
+        for (idx, &b) in bytes.iter().enumerate().skip(1).rev() {
+            if (b == b'+' || b == b'-') && bytes[idx - 1].is_ascii_digit() {
+                split = Some(idx);
+                break;
+            }
+        }
+        match split {
+            Some(idx) => {
+                let re = im_str[..idx].trim().parse::<i64>().ok()?;
+                let im_part = im_str[idx..].trim();
+                let im = match im_part {
+                    "+" => 1,
+                    "-" => -1,
+                    _ => im_part.parse::<i64>().ok()?,
+                };
+                Some((re, im))
+            }
+            None => {
+                let im = match im_str.trim() {
+                    "" | "+" => 1,
+                    "-" => -1,
+                    t => t.parse::<i64>().ok()?,
+                };
+                Some((0, im))
+            }
+        }
+    } else {
+        Some((body.parse::<i64>().ok()?, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_entries_square_to_not() {
+        // V = [[(1+i)/2, (1-i)/2], [(1-i)/2, (1+i)/2]]; V² = NOT.
+        let d = CDyadic::HALF_ONE_PLUS_I;
+        let o = CDyadic::HALF_ONE_MINUS_I;
+        assert_eq!(d * d + o * o, CDyadic::ZERO);
+        assert_eq!(d * o + o * d, CDyadic::ONE);
+    }
+
+    #[test]
+    fn v_times_v_dagger_is_identity() {
+        let d = CDyadic::HALF_ONE_PLUS_I;
+        let o = CDyadic::HALF_ONE_MINUS_I;
+        // Row 0 of V times column 0 of V⁺.
+        assert_eq!(d * d.conj() + o * o.conj(), CDyadic::ONE);
+        // Row 0 of V times column 1 of V⁺.
+        assert_eq!(d * o.conj() + o * d.conj(), CDyadic::ZERO);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(CDyadic::new(2, 4, 1), CDyadic::new(1, 2, 0));
+        assert_eq!(CDyadic::new(0, 0, 7), CDyadic::ZERO);
+        // One component odd blocks reduction.
+        let z = CDyadic::new(1, 2, 1);
+        assert_eq!(z.re(), Dyadic::HALF);
+        assert_eq!(z.im(), Dyadic::ONE);
+    }
+
+    #[test]
+    fn conjugation_is_involutive() {
+        let z = CDyadic::new(3, -5, 2);
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn norm_sqr_examples() {
+        assert_eq!(CDyadic::HALF_ONE_PLUS_I.norm_sqr(), Dyadic::HALF);
+        assert_eq!(CDyadic::I.norm_sqr(), Dyadic::ONE);
+        assert_eq!(CDyadic::ZERO.norm_sqr(), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn from_parts_aligns() {
+        let z = CDyadic::from_parts(Dyadic::new(1, 2), Dyadic::HALF);
+        assert_eq!(z, CDyadic::new(1, 2, 2));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(CDyadic::I * CDyadic::I, -CDyadic::ONE);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let values = [
+            CDyadic::ZERO,
+            CDyadic::ONE,
+            CDyadic::I,
+            -CDyadic::I,
+            CDyadic::HALF_ONE_PLUS_I,
+            CDyadic::HALF_ONE_MINUS_I,
+            CDyadic::new(-3, 5, 3),
+            CDyadic::new(7, 0, 2),
+            CDyadic::new(0, -9, 4),
+        ];
+        for v in values {
+            let s = v.to_string();
+            let back: CDyadic = s.parse().unwrap_or_else(|e| panic!("parse `{s}`: {e}"));
+            assert_eq!(back, v, "roundtrip of `{s}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<CDyadic>().is_err());
+        assert!("1+2j".parse::<CDyadic>().is_err());
+        assert!("(1+i)/3".parse::<CDyadic>().is_err());
+    }
+
+    #[test]
+    fn mixed_exponent_addition() {
+        let a = CDyadic::new(1, 1, 1); // (1+i)/2
+        let b = CDyadic::new(1, -1, 2); // (1-i)/4
+        assert_eq!(a + b, CDyadic::new(3, 1, 2));
+    }
+}

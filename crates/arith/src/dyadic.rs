@@ -1,0 +1,379 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::error::{ParseRingError, ParseRingErrorKind};
+
+/// An exact dyadic rational `num / 2^exp`.
+///
+/// Values are kept normalized: either `num` is odd, or the value is exactly
+/// zero (`num == 0`, `exp == 0`). This makes equality structural and keeps
+/// numerators as small as possible through long gate cascades.
+///
+/// The type is a ring, not a field: division is only available through
+/// [`Dyadic::halve`], which is always exact.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_arith::Dyadic;
+///
+/// let half = Dyadic::new(1, 1);      // 1/2
+/// let q = half * half;               // 1/4
+/// assert_eq!(q, Dyadic::new(1, 2));
+/// assert_eq!(q + q + half, Dyadic::ONE);
+/// assert_eq!(half.to_f64(), 0.5);
+/// ```
+///
+/// # Panics
+///
+/// Arithmetic panics on `i64` numerator overflow. Entries of products of a
+/// few dozen elementary quantum gates stay far below that bound.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dyadic {
+    num: i64,
+    exp: u32,
+}
+
+impl Dyadic {
+    /// The additive identity, `0`.
+    pub const ZERO: Dyadic = Dyadic { num: 0, exp: 0 };
+    /// The multiplicative identity, `1`.
+    pub const ONE: Dyadic = Dyadic { num: 1, exp: 0 };
+    /// Minus one.
+    pub const NEG_ONE: Dyadic = Dyadic { num: -1, exp: 0 };
+    /// One half, the weight of a balanced measurement outcome.
+    pub const HALF: Dyadic = Dyadic { num: 1, exp: 1 };
+
+    /// Creates `num / 2^exp`, normalizing the representation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_arith::Dyadic;
+    /// assert_eq!(Dyadic::new(4, 2), Dyadic::ONE);
+    /// assert_eq!(Dyadic::new(0, 57), Dyadic::ZERO);
+    /// ```
+    pub fn new(num: i64, exp: u32) -> Self {
+        Self { num, exp }.normalize()
+    }
+
+    /// Creates an integer-valued dyadic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_arith::Dyadic;
+    /// assert_eq!(Dyadic::from_int(-3).to_f64(), -3.0);
+    /// ```
+    pub fn from_int(n: i64) -> Self {
+        Self { num: n, exp: 0 }
+    }
+
+    /// The normalized numerator.
+    pub fn numerator(self) -> i64 {
+        self.num
+    }
+
+    /// The normalized base-2 logarithm of the denominator.
+    pub fn denominator_log2(self) -> u32 {
+        self.exp
+    }
+
+    /// Returns `self / 2`, always exact.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_arith::Dyadic;
+    /// assert_eq!(Dyadic::ONE.halve(), Dyadic::HALF);
+    /// ```
+    pub fn halve(self) -> Self {
+        if self.num == 0 {
+            Self::ZERO
+        } else {
+            Self {
+                num: self.num,
+                exp: self.exp + 1,
+            }
+        }
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is exactly one.
+    pub fn is_one(self) -> bool {
+        self == Self::ONE
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Self {
+        Self {
+            num: self.num.abs(),
+            exp: self.exp,
+        }
+    }
+
+    /// The sign of the value: `-1`, `0` or `1`.
+    pub fn signum(self) -> i64 {
+        self.num.signum()
+    }
+
+    /// Converts to the nearest `f64`.
+    ///
+    /// Exact for all values arising from short gate cascades (numerators
+    /// below 2⁵³).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / (1u64 << self.exp.min(63)) as f64 / {
+            // Handle exponents beyond 63 without overflowing the shift.
+            if self.exp > 63 {
+                (1u64 << (self.exp - 63)) as f64
+            } else {
+                1.0
+            }
+        }
+    }
+
+    fn normalize(mut self) -> Self {
+        if self.num == 0 {
+            return Self::ZERO;
+        }
+        while self.exp > 0 && self.num % 2 == 0 {
+            self.num /= 2;
+            self.exp -= 1;
+        }
+        self
+    }
+
+    /// Brings two values to a common denominator, returning the numerators
+    /// and the shared exponent.
+    fn align(self, other: Self) -> (i64, i64, u32) {
+        let exp = self.exp.max(other.exp);
+        let a = checked_shift(self.num, exp - self.exp);
+        let b = checked_shift(other.num, exp - other.exp);
+        (a, b, exp)
+    }
+}
+
+fn checked_shift(n: i64, by: u32) -> i64 {
+    n.checked_shl(by)
+        .filter(|&v| (v >> by) == n)
+        .expect("dyadic numerator overflow")
+}
+
+impl Add for Dyadic {
+    type Output = Dyadic;
+    fn add(self, rhs: Dyadic) -> Dyadic {
+        let (a, b, exp) = self.align(rhs);
+        Dyadic::new(a.checked_add(b).expect("dyadic numerator overflow"), exp)
+    }
+}
+
+impl Sub for Dyadic {
+    type Output = Dyadic;
+    fn sub(self, rhs: Dyadic) -> Dyadic {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Dyadic {
+    type Output = Dyadic;
+    // Denominator exponents add when dyadic values multiply.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn mul(self, rhs: Dyadic) -> Dyadic {
+        Dyadic::new(
+            self.num.checked_mul(rhs.num).expect("dyadic numerator overflow"),
+            self.exp + rhs.exp,
+        )
+    }
+}
+
+impl Neg for Dyadic {
+    type Output = Dyadic;
+    fn neg(self) -> Dyadic {
+        Dyadic {
+            num: -self.num,
+            exp: self.exp,
+        }
+    }
+}
+
+impl AddAssign for Dyadic {
+    fn add_assign(&mut self, rhs: Dyadic) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Dyadic {
+    fn sub_assign(&mut self, rhs: Dyadic) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Dyadic {
+    fn mul_assign(&mut self, rhs: Dyadic) {
+        *self = *self * rhs;
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (a, b, _) = self.align(*other);
+        a.cmp(&b)
+    }
+}
+
+impl From<i64> for Dyadic {
+    fn from(n: i64) -> Self {
+        Dyadic::from_int(n)
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exp == 0 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, 1i128 << self.exp)
+        }
+    }
+}
+
+impl FromStr for Dyadic {
+    type Err = ParseRingError;
+
+    /// Parses `"n"` or `"n/d"` where `d` is a power of two.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseRingError::new(ParseRingErrorKind::Empty));
+        }
+        match s.split_once('/') {
+            None => {
+                let n = s.parse::<i64>().map_err(|_| {
+                    ParseRingError::new(ParseRingErrorKind::InvalidInteger(s.into()))
+                })?;
+                Ok(Dyadic::from_int(n))
+            }
+            Some((num, den)) => {
+                let n = num.trim().parse::<i64>().map_err(|_| {
+                    ParseRingError::new(ParseRingErrorKind::InvalidInteger(num.into()))
+                })?;
+                let d = den.trim().parse::<u64>().map_err(|_| {
+                    ParseRingError::new(ParseRingErrorKind::InvalidInteger(den.into()))
+                })?;
+                if !d.is_power_of_two() {
+                    return Err(ParseRingError::new(
+                        ParseRingErrorKind::NonPowerOfTwoDenominator(den.into()),
+                    ));
+                }
+                Ok(Dyadic::new(n, d.trailing_zeros()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_normalized() {
+        assert_eq!(Dyadic::ZERO, Dyadic::new(0, 9));
+        assert_eq!(Dyadic::ONE, Dyadic::new(8, 3));
+        assert_eq!(Dyadic::HALF, Dyadic::new(4, 3));
+        assert_eq!(Dyadic::NEG_ONE, Dyadic::new(-2, 1));
+    }
+
+    #[test]
+    fn addition_aligns_denominators() {
+        let a = Dyadic::new(1, 2); // 1/4
+        let b = Dyadic::new(1, 1); // 1/2
+        assert_eq!(a + b, Dyadic::new(3, 2));
+    }
+
+    #[test]
+    fn subtraction_cancels_to_zero() {
+        let a = Dyadic::new(3, 4);
+        assert_eq!(a - a, Dyadic::ZERO);
+        assert!((a - a).is_zero());
+    }
+
+    #[test]
+    fn multiplication_adds_exponents() {
+        assert_eq!(Dyadic::HALF * Dyadic::HALF, Dyadic::new(1, 2));
+        assert_eq!(Dyadic::new(3, 1) * Dyadic::new(5, 2), Dyadic::new(15, 3));
+    }
+
+    #[test]
+    fn multiplication_renormalizes() {
+        // (2/2) stays 1 after normalization through a product.
+        assert_eq!(Dyadic::new(2, 1) * Dyadic::new(2, 1), Dyadic::ONE);
+    }
+
+    #[test]
+    fn ordering_matches_values() {
+        assert!(Dyadic::new(1, 2) < Dyadic::HALF);
+        assert!(Dyadic::new(-1, 0) < Dyadic::ZERO);
+        assert!(Dyadic::new(3, 1) > Dyadic::ONE);
+    }
+
+    #[test]
+    fn halve_is_exact_and_zero_safe() {
+        assert_eq!(Dyadic::ZERO.halve(), Dyadic::ZERO);
+        assert_eq!(Dyadic::new(3, 0).halve(), Dyadic::new(3, 1));
+    }
+
+    #[test]
+    fn to_f64_roundtrips_small_values() {
+        assert_eq!(Dyadic::new(-5, 3).to_f64(), -0.625);
+        assert_eq!(Dyadic::ZERO.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dyadic::new(3, 2).to_string(), "3/4");
+        assert_eq!(Dyadic::from_int(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0", "1", "-3", "5/8", "-9/16"] {
+            let d: Dyadic = s.parse().unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("".parse::<Dyadic>().is_err());
+        assert!("x".parse::<Dyadic>().is_err());
+        assert!("3/5".parse::<Dyadic>().is_err());
+        assert!("3/".parse::<Dyadic>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let big = Dyadic::from_int(i64::MAX / 2 + 1);
+        let _ = big + big;
+    }
+
+    #[test]
+    fn signum_and_abs() {
+        assert_eq!(Dyadic::new(-3, 1).signum(), -1);
+        assert_eq!(Dyadic::new(-3, 1).abs(), Dyadic::new(3, 1));
+        assert_eq!(Dyadic::ZERO.signum(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`Dyadic`](crate::Dyadic) or
+/// [`CDyadic`](crate::CDyadic) from a string fails.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_arith::Dyadic;
+///
+/// let err = "3/5".parse::<Dyadic>().unwrap_err();
+/// assert!(err.to_string().contains("power of two"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRingError {
+    kind: ParseRingErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseRingErrorKind {
+    Empty,
+    InvalidInteger(String),
+    NonPowerOfTwoDenominator(String),
+    MalformedComplex(String),
+}
+
+impl ParseRingError {
+    pub(crate) fn new(kind: ParseRingErrorKind) -> Self {
+        Self { kind }
+    }
+}
+
+impl fmt::Display for ParseRingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseRingErrorKind::Empty => write!(f, "empty input"),
+            ParseRingErrorKind::InvalidInteger(s) => {
+                write!(f, "invalid integer literal `{s}`")
+            }
+            ParseRingErrorKind::NonPowerOfTwoDenominator(s) => {
+                write!(f, "denominator `{s}` is not a power of two")
+            }
+            ParseRingErrorKind::MalformedComplex(s) => {
+                write!(f, "malformed complex literal `{s}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseRingError {}

@@ -1,0 +1,40 @@
+//! Exact Gaussian-dyadic complex arithmetic for quantum gate algebra.
+//!
+//! Every matrix entry of the gates used in the reproduced paper —
+//! controlled-V, controlled-V⁺ (the square roots of NOT), Feynman/CNOT and
+//! NOT — lies in the ring ℤ[i, ½]: complex numbers of the form
+//! `(a + b·i) / 2^k` with integer `a`, `b`. Products and sums of such
+//! numbers stay in the ring, so the entire verification path of this
+//! reproduction (building circuit unitaries, checking `V·V = NOT`, checking
+//! that a synthesized cascade equals the Toffoli permutation matrix) is
+//! carried out **exactly**, with no floating-point tolerance anywhere.
+//!
+//! The two core types are:
+//!
+//! * [`Dyadic`] — exact rational `n / 2^k`,
+//! * [`CDyadic`] — exact complex `(a + b·i) / 2^k`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvq_arith::CDyadic;
+//!
+//! // The diagonal entry of V is (1 + i)/2 and the off-diagonal is (1 - i)/2.
+//! let d = CDyadic::new(1, 1, 1);
+//! let o = CDyadic::new(1, -1, 1);
+//! // V·V = NOT: the (0,0) entry of the square must vanish …
+//! assert_eq!(d * d + o * o, CDyadic::ZERO);
+//! // … and the (0,1) entry must be one.
+//! assert_eq!(d * o + o * d, CDyadic::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdyadic;
+mod dyadic;
+mod error;
+
+pub use cdyadic::CDyadic;
+pub use dyadic::Dyadic;
+pub use error::ParseRingError;

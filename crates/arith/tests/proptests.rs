@@ -1,0 +1,109 @@
+//! Property-based tests: ℤ[i, ½] really is a commutative ring with
+//! conjugation, and the representation stays normalized through arbitrary
+//! expression trees.
+
+use mvq_arith::{CDyadic, Dyadic};
+use proptest::prelude::*;
+
+fn dyadic() -> impl Strategy<Value = Dyadic> {
+    (-1000i64..=1000, 0u32..=8).prop_map(|(n, e)| Dyadic::new(n, e))
+}
+
+fn cdyadic() -> impl Strategy<Value = CDyadic> {
+    (-1000i64..=1000, -1000i64..=1000, 0u32..=8)
+        .prop_map(|(re, im, e)| CDyadic::new(re, im, e))
+}
+
+proptest! {
+    #[test]
+    fn dyadic_addition_commutes(a in dyadic(), b in dyadic()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn dyadic_addition_associates(a in dyadic(), b in dyadic(), c in dyadic()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn dyadic_multiplication_distributes(a in dyadic(), b in dyadic(), c in dyadic()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn dyadic_negation_is_additive_inverse(a in dyadic()) {
+        prop_assert_eq!(a + (-a), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn dyadic_halve_doubles_back(a in dyadic()) {
+        prop_assert_eq!(a.halve() + a.halve(), a);
+    }
+
+    #[test]
+    fn dyadic_ordering_is_translation_invariant(
+        a in dyadic(), b in dyadic(), c in dyadic()
+    ) {
+        prop_assert_eq!(a < b, a + c < b + c);
+    }
+
+    #[test]
+    fn dyadic_display_parse_roundtrip(a in dyadic()) {
+        let s = a.to_string();
+        let back: Dyadic = s.parse().expect("parses");
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn dyadic_to_f64_is_order_preserving(a in dyadic(), b in dyadic()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn cdyadic_ring_axioms(a in cdyadic(), b in cdyadic(), c in cdyadic()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn cdyadic_conjugation_is_a_ring_homomorphism(a in cdyadic(), b in cdyadic()) {
+        prop_assert_eq!((a + b).conj(), a.conj() + b.conj());
+        prop_assert_eq!((a * b).conj(), a.conj() * b.conj());
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn cdyadic_norm_is_multiplicative(a in cdyadic(), b in cdyadic()) {
+        prop_assert_eq!((a * b).norm_sqr(), a.norm_sqr() * b.norm_sqr());
+    }
+
+    #[test]
+    fn cdyadic_norm_is_conj_product(a in cdyadic()) {
+        let z = a * a.conj();
+        prop_assert_eq!(z.im(), Dyadic::ZERO);
+        prop_assert_eq!(z.re(), a.norm_sqr());
+    }
+
+    #[test]
+    fn cdyadic_display_parse_roundtrip(a in cdyadic()) {
+        let s = a.to_string();
+        let back: CDyadic = s.parse().unwrap_or_else(|e| panic!("parse `{s}`: {e}"));
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn cdyadic_parts_roundtrip(a in cdyadic()) {
+        prop_assert_eq!(CDyadic::from_parts(a.re(), a.im()), a);
+    }
+
+    #[test]
+    fn cdyadic_i_rotation_has_order_4(a in cdyadic()) {
+        let rotated = a * CDyadic::I * CDyadic::I * CDyadic::I * CDyadic::I;
+        prop_assert_eq!(rotated, a);
+        prop_assert_eq!((a * CDyadic::I).norm_sqr(), a.norm_sqr());
+    }
+}

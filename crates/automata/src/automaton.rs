@@ -1,0 +1,201 @@
+use mvq_arith::Dyadic;
+use rand::Rng;
+
+use crate::ProbabilisticCircuit;
+
+/// Figure 3: a quantum-realized probabilistic state machine.
+///
+/// The register is split into *state* wires (fed back through classical
+/// memory after each measurement) and *input* wires (driven externally
+/// each step). One automaton step loads `state ∥ input` into the quantum
+/// circuit, measures all wires, keeps the measured state wires as the next
+/// state, and reports the measured word as the step output.
+///
+/// Externally the machine behaves as "a machine with probabilistic …
+/// behaviors: the outputs and next states are probabilistically generated
+/// binary vectors" with exactly known dyadic probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_automata::QuantumAutomaton;
+/// use mvq_core::Circuit;
+/// use mvq_logic::Gate;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // One state wire (A), one input wire (B): flip the state when the
+/// // input is 1 (a deterministic T flip-flop).
+/// let circuit = Circuit::new(2, vec![Gate::feynman(0, 1)]);
+/// let mut fsm = QuantumAutomaton::new(circuit, 1).expect("1 state wire of 2");
+/// let mut rng = StdRng::seed_from_u64(1);
+/// fsm.step(&mut rng, 0b1);
+/// assert_eq!(fsm.state(), 0b1);
+/// fsm.step(&mut rng, 0b1);
+/// assert_eq!(fsm.state(), 0b0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumAutomaton {
+    block: ProbabilisticCircuit,
+    state_wires: usize,
+    state: usize,
+}
+
+impl QuantumAutomaton {
+    /// Builds an automaton from a combinational quantum circuit and the
+    /// number of leading wires to treat as state (the rest are inputs).
+    /// The initial state is all zeros.
+    ///
+    /// Returns `None` if `state_wires` is 0 or exceeds the circuit width.
+    pub fn new(circuit: mvq_core::Circuit, state_wires: usize) -> Option<Self> {
+        if state_wires == 0 || state_wires > circuit.wires() {
+            return None;
+        }
+        Some(Self {
+            block: ProbabilisticCircuit::new(circuit),
+            state_wires,
+            state: 0,
+        })
+    }
+
+    /// The number of state wires.
+    pub fn state_wires(&self) -> usize {
+        self.state_wires
+    }
+
+    /// The number of input wires.
+    pub fn input_wires(&self) -> usize {
+        self.block.wires() - self.state_wires
+    }
+
+    /// The current state bits.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Resets to a specific state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= 2^state_wires`.
+    pub fn reset(&mut self, state: usize) {
+        assert!(state < 1 << self.state_wires, "state out of range");
+        self.state = state;
+    }
+
+    /// The exact probability of transitioning from `state` to
+    /// `next_state` on `input` (marginalizing over the non-state output
+    /// wires).
+    pub fn transition_prob(&self, state: usize, input: usize, next_state: usize) -> Dyadic {
+        let dist = self
+            .block
+            .output_distribution(self.compose(state, input));
+        let shift = self.input_wires();
+        dist.probs()
+            .iter()
+            .enumerate()
+            .filter(|(word, _)| word >> shift == next_state)
+            .map(|(_, &p)| p)
+            .fold(Dyadic::ZERO, |acc, p| acc + p)
+    }
+
+    /// Performs one step: drives `input`, measures, feeds the state back.
+    /// Returns the full measured output word (state wires high).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= 2^input_wires`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, input: usize) -> usize {
+        let word = self
+            .block
+            .measure(rng, self.compose(self.state, input));
+        self.state = word >> self.input_wires();
+        word
+    }
+
+    /// Runs a whole input sequence, returning the measured words.
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R, inputs: &[usize]) -> Vec<usize> {
+        inputs.iter().map(|&i| self.step(rng, i)).collect()
+    }
+
+    fn compose(&self, state: usize, input: usize) -> usize {
+        assert!(input < 1 << self.input_wires(), "input out of range");
+        assert!(state < 1 << self.state_wires, "state out of range");
+        (state << self.input_wires()) | input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_core::Circuit;
+    use mvq_logic::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// State wire A; input wire B; quantum coin on state when input = 1:
+    /// half the time the state flips.
+    fn coin_fsm() -> QuantumAutomaton {
+        let circuit = Circuit::new(2, vec![Gate::v(0, 1)]);
+        QuantumAutomaton::new(circuit, 1).expect("valid split")
+    }
+
+    #[test]
+    fn construction_validates_split() {
+        let c = Circuit::new(2, vec![Gate::feynman(0, 1)]);
+        assert!(QuantumAutomaton::new(c.clone(), 0).is_none());
+        assert!(QuantumAutomaton::new(c.clone(), 3).is_none());
+        assert!(QuantumAutomaton::new(c, 2).is_some());
+    }
+
+    #[test]
+    fn transition_probabilities_are_exact() {
+        let fsm = coin_fsm();
+        // Input 1: state flips with probability ½.
+        assert_eq!(fsm.transition_prob(0, 1, 0), Dyadic::HALF);
+        assert_eq!(fsm.transition_prob(0, 1, 1), Dyadic::HALF);
+        // Input 0: state is preserved deterministically.
+        assert_eq!(fsm.transition_prob(0, 0, 0), Dyadic::ONE);
+        assert_eq!(fsm.transition_prob(1, 0, 1), Dyadic::ONE);
+    }
+
+    #[test]
+    fn deterministic_input_keeps_state() {
+        let mut fsm = coin_fsm();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            fsm.step(&mut rng, 0);
+            assert_eq!(fsm.state(), 0);
+        }
+    }
+
+    #[test]
+    fn random_walk_visits_both_states() {
+        let mut fsm = coin_fsm();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut visited = [false; 2];
+        for _ in 0..100 {
+            fsm.step(&mut rng, 1);
+            visited[fsm.state()] = true;
+        }
+        assert!(visited[0] && visited[1]);
+    }
+
+    #[test]
+    fn run_reports_words_and_reset_works() {
+        let mut fsm = coin_fsm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let words = fsm.run(&mut rng, &[1, 1, 1]);
+        assert_eq!(words.len(), 3);
+        fsm.reset(1);
+        assert_eq!(fsm.state(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "input out of range")]
+    fn oversized_input_rejected() {
+        let mut fsm = coin_fsm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = fsm.step(&mut rng, 2);
+    }
+}

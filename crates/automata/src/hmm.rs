@@ -1,0 +1,151 @@
+use mvq_arith::Dyadic;
+use mvq_core::Circuit;
+use mvq_logic::Gate;
+use rand::Rng;
+
+use crate::QuantumAutomaton;
+
+/// A two-state hidden Markov model realized by a quantum automaton —
+/// the paper's closing Section 4 application ("this approach will enable
+/// us to synthesize minimal quantum automata, Hidden Markov Models and
+/// similar concepts").
+///
+/// The register has two wires: the hidden state `S` (wire A) and an
+/// observation wire `O` (wire B). Each step:
+///
+/// 1. the hidden state is re-randomized by a controlled-V coin
+///    (`V(S; O)` with the observation wire driven high), flipping with
+///    exact probability ½;
+/// 2. a Feynman gate imprints the new hidden state onto the observation
+///    wire (`O = 1 ⊕ S'`), so each emitted bit is the complement of the
+///    freshly sampled hidden state — a fully correlated readout whose
+///    statistics expose the hidden chain.
+///
+/// Transition and emission probabilities are dyadic by construction and
+/// exposed exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_automata::QuantumHmm;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut hmm = QuantumHmm::new();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let observations = hmm.emit(&mut rng, 100);
+/// assert_eq!(observations.len(), 100);
+/// assert_eq!(hmm.transition_prob(0, 1).to_f64(), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumHmm {
+    automaton: QuantumAutomaton,
+}
+
+impl QuantumHmm {
+    /// Builds the standard 2-state quantum HMM.
+    pub fn new() -> Self {
+        // Wires: S (state, fed back), O (observation/input wire, driven
+        // with 1 every step so it acts as the coin enable).
+        // Cascade: V(S; O) — coin-flip the hidden state; then F(O; S) —
+        // imprint the (new) state onto the observation wire.
+        let circuit = Circuit::new(
+            2,
+            vec![Gate::v(0, 1), Gate::feynman(1, 0)],
+        );
+        let automaton = QuantumAutomaton::new(circuit, 1).expect("valid split");
+        Self { automaton }
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &QuantumAutomaton {
+        &self.automaton
+    }
+
+    /// The current hidden state.
+    pub fn hidden_state(&self) -> usize {
+        self.automaton.state()
+    }
+
+    /// The exact hidden-state transition probability `P(next | current)`
+    /// when the machine is driven (enable = 1).
+    pub fn transition_prob(&self, current: usize, next: usize) -> Dyadic {
+        self.automaton.transition_prob(current, 1, next)
+    }
+
+    /// Runs `n` steps and returns the observation bits.
+    pub fn emit<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|_| self.automaton.step(rng, 1) & 1 == 1)
+            .collect()
+    }
+
+    /// Resets the hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state > 1`.
+    pub fn reset(&mut self, state: usize) {
+        self.automaton.reset(state);
+    }
+}
+
+impl Default for QuantumHmm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transition_matrix_is_half_half() {
+        let hmm = QuantumHmm::new();
+        for s in 0..2 {
+            assert_eq!(hmm.transition_prob(s, 0), Dyadic::HALF);
+            assert_eq!(hmm.transition_prob(s, 1), Dyadic::HALF);
+        }
+    }
+
+    #[test]
+    fn emissions_are_balanced_over_long_runs() {
+        let mut hmm = QuantumHmm::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let obs = hmm.emit(&mut rng, 20_000);
+        let ones = obs.iter().filter(|&&b| b).count() as f64 / 20_000.0;
+        assert!((ones - 0.5).abs() < 0.02, "emission frequency {ones}");
+    }
+
+    #[test]
+    fn hidden_state_mixes() {
+        let mut hmm = QuantumHmm::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut visits = [0usize; 2];
+        for _ in 0..2_000 {
+            hmm.emit(&mut rng, 1);
+            visits[hmm.hidden_state()] += 1;
+        }
+        // Stationary distribution is uniform.
+        let f = visits[0] as f64 / 2_000.0;
+        assert!((f - 0.5).abs() < 0.05, "stationary frequency {f}");
+    }
+
+    #[test]
+    fn reset_controls_initial_state() {
+        let mut hmm = QuantumHmm::new();
+        hmm.reset(1);
+        assert_eq!(hmm.hidden_state(), 1);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(
+            QuantumHmm::default().hidden_state(),
+            QuantumHmm::new().hidden_state()
+        );
+    }
+}

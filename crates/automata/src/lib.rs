@@ -1,0 +1,51 @@
+//! Quantum-realized probabilistic state machines — Section 4 of the
+//! reproduced paper.
+//!
+//! The paper observes that its synthesis method needs **no modification**
+//! to produce probabilistic circuits: drop the constraint that outputs are
+//! pure states, synthesize a binary-input / quaternary-output
+//! specification ([`mvq_core::QuaternarySpec`]), and place a measurement
+//! unit after the circuit. The result is a combinational block with
+//! deterministic inputs and probabilistic binary outputs whose
+//! probabilities are *exactly* known (dyadic rationals). Adding state
+//! feedback around it (Figure 3) yields probabilistic finite state
+//! machines and hidden-Markov-model-style generators; the motivating
+//! application is the commercial quantum random number generator \[19\].
+//!
+//! * [`ProbabilisticCircuit`] — circuit + measurement: exact output
+//!   distributions and sampling.
+//! * [`QuantumAutomaton`] — Figure 3: the measured circuit with state
+//!   feedback.
+//! * [`ControlledRng`] — the controlled quantum random-bit generator,
+//!   synthesized from a spec.
+//! * [`QuantumHmm`] — a two-state hidden Markov model driven by quantum
+//!   coin flips.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvq_automata::ControlledRng;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let generator = ControlledRng::synthesize().expect("cost-1 circuit");
+//! // Enabled: uniformly random bits.
+//! let bits = generator.generate(&mut rng, 16, true);
+//! assert_eq!(bits.len(), 16);
+//! // Disabled: constant zeros.
+//! assert!(generator.generate(&mut rng, 16, false).iter().all(|&b| !b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod hmm;
+mod probabilistic;
+mod rng;
+
+pub use automaton::QuantumAutomaton;
+pub use hmm::QuantumHmm;
+pub use probabilistic::ProbabilisticCircuit;
+pub use rng::ControlledRng;

@@ -1,0 +1,140 @@
+use mvq_arith::Dyadic;
+use mvq_core::Circuit;
+use mvq_sim::{Distribution, StateVector};
+use rand::Rng;
+
+/// A quantum circuit followed by a measurement unit: a combinational block
+/// with deterministic binary inputs and probabilistic binary outputs
+/// (Section 4, Figure 3 without the feedback loop).
+///
+/// # Examples
+///
+/// ```
+/// use mvq_automata::ProbabilisticCircuit;
+/// use mvq_core::Circuit;
+/// use mvq_logic::Gate;
+///
+/// // Raise A, then V on B controlled by A: B measures uniformly.
+/// let pc = ProbabilisticCircuit::new(Circuit::new(2, vec![
+///     Gate::not(0),
+///     Gate::v(1, 0),
+/// ]));
+/// let d = pc.output_distribution(0b00);
+/// assert_eq!(d.prob_of(0b10).to_f64(), 0.5);
+/// assert_eq!(d.prob_of(0b11).to_f64(), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbabilisticCircuit {
+    circuit: Circuit,
+}
+
+impl ProbabilisticCircuit {
+    /// Wraps a circuit with a measurement unit.
+    pub fn new(circuit: Circuit) -> Self {
+        Self { circuit }
+    }
+
+    /// The underlying quantum circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The number of wires (inputs and measured outputs).
+    pub fn wires(&self) -> usize {
+        self.circuit.wires()
+    }
+
+    /// The exact output distribution for a binary input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits >= 2^wires`.
+    pub fn output_distribution(&self, input_bits: usize) -> Distribution {
+        let mut sv = StateVector::basis(self.circuit.wires(), input_bits);
+        sv.apply_cascade(self.circuit.gates());
+        sv.distribution()
+    }
+
+    /// The exact probability that measuring after input `input_bits`
+    /// yields `output_bits`.
+    pub fn prob(&self, input_bits: usize, output_bits: usize) -> Dyadic {
+        self.output_distribution(input_bits).prob_of(output_bits)
+    }
+
+    /// `true` iff the block is deterministic for every input
+    /// (a permutative circuit).
+    pub fn is_deterministic(&self) -> bool {
+        (0..1usize << self.circuit.wires())
+            .all(|bits| self.output_distribution(bits).is_deterministic())
+    }
+
+    /// Measures once: samples an output word for the given input.
+    pub fn measure<R: Rng + ?Sized>(&self, rng: &mut R, input_bits: usize) -> usize {
+        self.output_distribution(input_bits).sample(rng)
+    }
+
+    /// Samples `n` measurements and returns counts per output word.
+    pub fn measure_counts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        input_bits: usize,
+        n: usize,
+    ) -> Vec<usize> {
+        self.output_distribution(input_bits).sample_counts(rng, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_logic::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coin_circuit() -> ProbabilisticCircuit {
+        // NOT(A); V(B;A): always outputs A=1, B uniform.
+        ProbabilisticCircuit::new(Circuit::new(
+            2,
+            vec![Gate::not(0), Gate::v(1, 0)],
+        ))
+    }
+
+    #[test]
+    fn exact_probabilities() {
+        let pc = coin_circuit();
+        assert_eq!(pc.prob(0b00, 0b10), Dyadic::HALF);
+        assert_eq!(pc.prob(0b00, 0b11), Dyadic::HALF);
+        assert_eq!(pc.prob(0b00, 0b00), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn determinism_detection() {
+        assert!(!coin_circuit().is_deterministic());
+        let det = ProbabilisticCircuit::new(Circuit::new(
+            2,
+            vec![Gate::feynman(1, 0)],
+        ));
+        assert!(det.is_deterministic());
+    }
+
+    #[test]
+    fn sampling_matches_exact_distribution() {
+        let pc = coin_circuit();
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = pc.measure_counts(&mut rng, 0b00, 10_000);
+        assert_eq!(counts[0b00], 0);
+        assert_eq!(counts[0b01], 0);
+        let f = counts[0b10] as f64 / 10_000.0;
+        assert!((f - 0.5).abs() < 0.03, "frequency {f}");
+    }
+
+    #[test]
+    fn single_measure_is_in_support() {
+        let pc = coin_circuit();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let out = pc.measure(&mut rng, 0b00);
+            assert!(out == 0b10 || out == 0b11);
+        }
+    }
+}

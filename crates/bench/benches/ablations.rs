@@ -1,0 +1,188 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Domain reduction** — the paper's 38-pattern domain vs the naive
+//!    64-pattern domain (same search, bigger words and tables).
+//! 2. **Cost models** — unit costs vs weighted NMR-style costs (deeper,
+//!    sparser level structure).
+//! 3. **Coset factorization (Theorem 2)** — synthesizing a target that
+//!    needs a NOT layer costs the same as its stabilizer part; without
+//!    the factorization the search would need NOT gates in the library
+//!    (an 8× larger reachable space).
+//! 4. **Frontier dedup strategy** — hash-set dedup vs sort-and-dedup on
+//!    the raw level expansion.
+
+use std::collections::HashSet;
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_core::{known, CostModel, SynthesisEngine};
+use mvq_logic::{GateLibrary, PatternDomain};
+use mvq_perm::Perm;
+
+fn print_artifacts_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n=== Ablation summary ===");
+        // Domain reduction.
+        let mut reduced = SynthesisEngine::unit_cost();
+        reduced.expand_to_cost(3);
+        let mut full = SynthesisEngine::new(
+            GateLibrary::with_domain(PatternDomain::full(3)),
+            CostModel::unit(),
+        );
+        full.expand_to_cost(3);
+        println!(
+            "domain reduction: |A[3]| identical ({} vs {}), word width 38 vs 64",
+            reduced.a_size(),
+            full.a_size()
+        );
+        assert_eq!(reduced.g_counts(), full.g_counts());
+
+        // Cost models.
+        let mut weighted = SynthesisEngine::new(
+            GateLibrary::standard(3),
+            CostModel::weighted(2, 2, 1),
+        );
+        let syn = weighted
+            .synthesize(&known::peres_perm(), 8)
+            .expect("reachable");
+        println!(
+            "weighted NMR-style costs (V=2, F=1): Peres cost {} (unit model: 4)",
+            syn.cost
+        );
+
+        // Coset factorization.
+        let not_a = Perm::from_images(&[5, 6, 7, 8, 1, 2, 3, 4]).expect("valid");
+        let mut engine = SynthesisEngine::unit_cost();
+        let plain = engine.synthesize(&known::toffoli_perm(), 6).expect("cost 5");
+        let lifted = engine
+            .synthesize(&(not_a * known::toffoli_perm()), 6)
+            .expect("cost 5");
+        println!(
+            "coset factorization: Toffoli cost {} == NOT·Toffoli cost {} (NOT layer free)",
+            plain.cost, lifted.cost
+        );
+        println!();
+    });
+}
+
+fn bench_domain_reduction(c: &mut Criterion) {
+    print_artifacts_once();
+    let mut group = c.benchmark_group("ablation_domain_reduction");
+    group.sample_size(10);
+
+    group.bench_function("reduced_38_to_cost_3", |b| {
+        b.iter(|| {
+            let mut e = SynthesisEngine::unit_cost();
+            e.expand_to_cost(3);
+            e.a_size()
+        })
+    });
+
+    group.bench_function("full_64_to_cost_3", |b| {
+        b.iter(|| {
+            let mut e = SynthesisEngine::new(
+                GateLibrary::with_domain(PatternDomain::full(3)),
+                CostModel::unit(),
+            );
+            e.expand_to_cost(3);
+            e.a_size()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cost_models");
+    group.sample_size(10);
+
+    group.bench_function("unit_peres", |b| {
+        b.iter(|| {
+            let mut e = SynthesisEngine::unit_cost();
+            e.synthesize(&known::peres_perm(), 5).expect("cost 4").cost
+        })
+    });
+
+    group.bench_function("weighted_peres", |b| {
+        b.iter(|| {
+            let mut e = SynthesisEngine::new(
+                GateLibrary::standard(3),
+                CostModel::weighted(2, 2, 1),
+            );
+            e.synthesize(&known::peres_perm(), 8).expect("cost 7").cost
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_coset_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coset");
+    group.sample_size(10);
+
+    // With Theorem 2 (implemented): NOT-layered targets reuse the same
+    // NOT-free level structure.
+    group.bench_function("with_theorem2_not_layered_toffoli", |b| {
+        let not_a = Perm::from_images(&[5, 6, 7, 8, 1, 2, 3, 4]).expect("valid");
+        let target = not_a * known::toffoli_perm();
+        b.iter(|| {
+            let mut e = SynthesisEngine::unit_cost();
+            e.synthesize(&target, 6).expect("cost 5").cost
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_dedup_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dedup");
+
+    // Raw level expansion: all products of ≤3 library gates, deduped two
+    // ways. (The engine uses the hash-set strategy.)
+    let lib = GateLibrary::standard(3);
+    let gate_perms: Vec<Vec<u8>> = lib
+        .gates()
+        .iter()
+        .map(|g| g.perm().as_images().to_vec())
+        .collect();
+    let expand = |level: &[Vec<u8>]| -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(level.len() * gate_perms.len());
+        for word in level {
+            for g in &gate_perms {
+                out.push(word.iter().map(|&m| g[m as usize]).collect());
+            }
+        }
+        out
+    };
+    let identity: Vec<u8> = (0..38).collect();
+    let level1 = expand(std::slice::from_ref(&identity));
+    let level2_raw = expand(&level1);
+
+    group.bench_function("hashset_dedup", |b| {
+        b.iter(|| {
+            let set: HashSet<Vec<u8>> = level2_raw.iter().cloned().collect();
+            set.len()
+        })
+    });
+
+    group.bench_function("sort_dedup", |b| {
+        b.iter(|| {
+            let mut v = level2_raw.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domain_reduction,
+    bench_cost_models,
+    bench_coset_factorization,
+    bench_dedup_strategy
+);
+criterion_main!(benches);

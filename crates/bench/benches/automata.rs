@@ -1,0 +1,78 @@
+//! E9: regenerates the Section 4 probabilistic-machine experiment — the
+//! controlled quantum RNG's exact-vs-empirical statistics — and benchmarks
+//! spec synthesis, exact distribution computation, and sampling
+//! throughput.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_automata::{ControlledRng, QuantumHmm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_artifacts_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n=== Section 4 (reproduced): controlled quantum RNG ===");
+        let generator = ControlledRng::synthesize().expect("realizable");
+        println!(
+            "synthesized: {} (cost {})",
+            generator.block().circuit(),
+            generator.quantum_cost()
+        );
+        let d = generator.block().output_distribution(0b10);
+        println!(
+            "exact:     P(0) = {}, P(1) = {}",
+            d.prob_of(0b10),
+            d.prob_of(0b11)
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let ones = generator
+            .generate(&mut rng, n, true)
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        println!("empirical: P(1) ≈ {:.4} over {n} samples", ones as f64 / n as f64);
+
+        let mut hmm = QuantumHmm::new();
+        println!(
+            "HMM transition row: P(0→0) = {}, P(0→1) = {}",
+            hmm.transition_prob(0, 0),
+            hmm.transition_prob(0, 1)
+        );
+        let obs = hmm.emit(&mut rng, n);
+        let ones = obs.iter().filter(|&&b| b).count();
+        println!("HMM emissions: P(1) ≈ {:.4}", ones as f64 / n as f64);
+        println!();
+    });
+}
+
+fn bench_automata(c: &mut Criterion) {
+    print_artifacts_once();
+    let mut group = c.benchmark_group("automata");
+
+    group.bench_function("rng_spec_synthesis", |b| {
+        b.iter(|| ControlledRng::synthesize().expect("realizable").quantum_cost())
+    });
+
+    let generator = ControlledRng::synthesize().expect("realizable");
+    group.bench_function("exact_distribution", |b| {
+        b.iter(|| generator.block().output_distribution(0b10))
+    });
+
+    let mut rng = StdRng::seed_from_u64(42);
+    group.bench_function("sample_1000_bits", |b| {
+        b.iter(|| generator.generate(&mut rng, 1000, true).len())
+    });
+
+    let mut hmm = QuantumHmm::new();
+    group.bench_function("hmm_1000_steps", |b| {
+        b.iter(|| hmm.emit(&mut rng, 1000).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_automata);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E8: regenerates the group-order facts of Section 3/5 — |S₈| = 40320,
+//! |G| = 5040, the Theorem 2 coset count, and the universality closure of
+//! the 24 cost-4 gates — and benchmarks the group machinery that replaces
+//! GAP.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_core::{known, universal};
+use mvq_perm::{Group, Perm, StabilizerChain};
+
+fn print_artifacts_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n=== Group orders (reproduced) ===");
+        let s8 = Group::symmetric(8);
+        println!("|S8|                       = {}", s8.order());
+        let g = universal::feynman_peres_group();
+        println!("|G| = <Feynman, Peres>     = {}", g.order());
+        println!(
+            "index [S8 : G]             = {}",
+            s8.order() / g.order()
+        );
+        assert_eq!(s8.order(), 40320);
+        assert_eq!(g.order(), 5040);
+        println!(
+            "Peres universal w/ NOT+F   = {}",
+            universal::is_universal_with_not_and_feynman(&known::peres_perm())
+        );
+        println!();
+    });
+}
+
+fn bench_groups(c: &mut Criterion) {
+    print_artifacts_once();
+    let mut group = c.benchmark_group("group_orders");
+    group.sample_size(10);
+
+    group.bench_function("s8_closure_40320", |b| {
+        b.iter(|| Group::symmetric(8).order())
+    });
+
+    group.bench_function("s8_schreier_sims", |b| {
+        let gens = vec![
+            "(1,2)".parse::<Perm>().expect("valid").extended(8),
+            "(1,2,3,4,5,6,7,8)".parse::<Perm>().expect("valid"),
+        ];
+        b.iter(|| StabilizerChain::new(8, &gens).order())
+    });
+
+    group.bench_function("feynman_peres_closure_5040", |b| {
+        b.iter(|| universal::feynman_peres_group().order())
+    });
+
+    group.bench_function("universality_check_per_gate", |b| {
+        b.iter(|| universal::is_universal_with_not_and_feynman(&known::peres_perm()))
+    });
+
+    group.bench_function("not_group_closure", |b| {
+        b.iter(|| Group::not_group(3).order())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_groups);
+criterion_main!(benches);

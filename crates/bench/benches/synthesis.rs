@@ -1,0 +1,96 @@
+//! E5 / E6 / E7: regenerates Figures 4–9 (the Peres and Toffoli
+//! syntheses) and benchmarks the end-to-end MCE runtimes — the paper's
+//! "9 CPU seconds for Peres, 98 seconds for Toffoli" experiment. The
+//! *shape* to reproduce is Toffoli ≫ Peres (cost 5 vs cost 4 levels).
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_core::{known, SynthesisEngine};
+
+fn print_artifacts_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut engine = SynthesisEngine::unit_cost();
+
+        println!("\n=== Figures 4 & 8: Peres implementations (reproduced) ===");
+        let peres = engine.synthesize_all(&known::peres_perm(), 5);
+        println!("cost {}, {} implementations:", peres[0].cost, peres.len());
+        for syn in &peres {
+            println!("  {}", syn.circuit);
+            assert!(syn.circuit.verify_against_binary_perm(&known::peres_perm()));
+        }
+
+        println!("\n=== Figure 9: Toffoli implementations (reproduced) ===");
+        let toffoli = engine.synthesize_all(&known::toffoli_perm(), 6);
+        println!("cost {}, {} implementations:", toffoli[0].cost, toffoli.len());
+        for syn in &toffoli {
+            println!("  {}", syn.circuit);
+            assert!(syn
+                .circuit
+                .verify_against_binary_perm(&known::toffoli_perm()));
+        }
+
+        println!("\n=== Figures 5–7: g2, g3, g4 (reproduced) ===");
+        for (name, p) in [
+            ("g2", known::g2_perm()),
+            ("g3", known::g3_perm()),
+            ("g4", known::g4_perm()),
+        ] {
+            let syn = engine.synthesize(&p, 5).expect("cost 4");
+            println!("  {name} = {p}: cost {} via {}", syn.cost, syn.circuit);
+        }
+        println!();
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    print_artifacts_once();
+    let mut group = c.benchmark_group("synthesis_e2e");
+    group.sample_size(10);
+
+    // Cold synthesis: a fresh engine each iteration — the honest analogue
+    // of the paper's timing (which included building the levels).
+    group.bench_function("peres_cold", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost();
+            let syn = engine.synthesize(&known::peres_perm(), 5).expect("cost 4");
+            assert_eq!(syn.cost, 4);
+            syn.cost
+        })
+    });
+
+    group.bench_function("toffoli_cold", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost();
+            let syn = engine
+                .synthesize(&known::toffoli_perm(), 6)
+                .expect("cost 5");
+            assert_eq!(syn.cost, 5);
+            syn.cost
+        })
+    });
+
+    // Warm synthesis: levels cached, only the lookup + reconstruction.
+    let mut warm = SynthesisEngine::unit_cost();
+    warm.expand_to_cost(5);
+    group.bench_function("toffoli_warm", |b| {
+        b.iter(|| {
+            let syn = warm.synthesize(&known::toffoli_perm(), 6).expect("cost 5");
+            assert_eq!(syn.cost, 5);
+            syn.cost
+        })
+    });
+
+    group.bench_function("g4_level_enumeration", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost();
+            engine.reversible_circuits_at_cost(4).len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E1 / E2: regenerates **Table 1** (the 16-row Ctrl-V truth table and its
+//! permutation `(3,7,4,8)`) and the Section 3 permutation formulae, then
+//! benchmarks their construction.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_logic::{Gate, GateLibrary, PatternDomain, TruthTable};
+
+fn print_artifacts_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n=== Table 1 (reproduced) ===");
+        let table = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+        println!("{table}");
+        assert_eq!(table.perm().to_string(), "(3,7,4,8)");
+
+        println!("\n=== Section 3 permutation formulae (reproduced) ===");
+        let domain = PatternDomain::permutable(3);
+        println!("VBA  = {}", Gate::v(1, 0).perm(&domain));
+        println!("V+AB = {}", Gate::v_dagger(0, 1).perm(&domain));
+        println!("FeCA = {}", Gate::feynman(2, 0).perm(&domain));
+        println!();
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_artifacts_once();
+    let mut group = c.benchmark_group("table1");
+
+    group.bench_function("truth_table_ctrl_v_2q", |b| {
+        b.iter(|| TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2)))
+    });
+
+    group.bench_function("domain_permutable_3q", |b| {
+        b.iter(|| PatternDomain::permutable(3))
+    });
+
+    let domain = PatternDomain::permutable(3);
+    group.bench_function("gate_perm_vba_38", |b| {
+        b.iter(|| Gate::v(1, 0).perm(&domain))
+    });
+
+    group.bench_function("library_standard_3q", |b| {
+        b.iter(|| GateLibrary::standard(3))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use mvq_automata::ControlledRng;
+use mvq_core::{
+    universal, Census, Circuit, SynthesisEngine, EXPECTED_TABLE_2, PAPER_TABLE_2,
+};
+use mvq_logic::{Gate, PatternDomain, TruthTable};
+use mvq_perm::Perm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{Args, ParseArgsError};
+use crate::output;
+
+type CommandResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+mvq — exact synthesis of 3-qubit quantum circuits (Yang et al., DATE 2005)
+
+USAGE:
+    mvq <command> [options]
+
+COMMANDS:
+    census [--cb N]                 reproduce Table 2 up to cost N (default 6)
+    synth <perm> [--cb N] [--all]   minimal-cost synthesis of a reversible
+                                    function given in cycle notation on the
+                                    8 binary patterns, e.g. \"(7,8)\"
+    verify <circuit> <perm>         check a cascade (e.g. VCB*FBA*VCA*V+CB)
+                                    against a target permutation, exactly
+    gate <name>                     show a gate's domain permutation and
+                                    its exact 8x8 unitary (VBA, V+AB, FCA…)
+    table [--wires N]               Table 1-style truth table of Ctrl-V
+    universal                       G[4] structure & universality (Section 5)
+    rng [--samples N] [--seed S]    controlled quantum RNG demo (Section 4)
+    spectrum [--cb N]               cost spectrum, incl. levels beyond the
+                                    paper's bound of 7 (memory permitting)
+    help                            this message
+";
+
+/// Dispatches a raw argument vector to the matching subcommand.
+pub fn dispatch(argv: &[String]) -> CommandResult {
+    let args = Args::parse(argv, &["all"])?;
+    match args.positional(0) {
+        None | Some("help") | Some("--help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("census") => census(&args),
+        Some("synth") => synth(&args),
+        Some("verify") => verify(&args),
+        Some("gate") => gate(&args),
+        Some("table") => table(&args),
+        Some("universal") => universal_cmd(&args),
+        Some("rng") => rng(&args),
+        Some("spectrum") => spectrum(&args),
+        Some(other) => Err(Box::new(ParseArgsError::new(format!(
+            "unknown command `{other}`"
+        )))),
+    }
+}
+
+fn census(args: &Args) -> CommandResult {
+    let cb: u32 = args.option("cb", 6)?;
+    let census = Census::compute(cb);
+    println!("{census}");
+    println!();
+    println!("paper (printed): {PAPER_TABLE_2:?}");
+    println!("verified:        {EXPECTED_TABLE_2:?}");
+    for (k, mine, paper) in census.diff_vs_paper() {
+        println!("note: k = {k}: measured {mine} vs paper {paper} (paper slip; see EXPERIMENTS.md)");
+    }
+    Ok(())
+}
+
+fn parse_target(text: &str) -> Result<Perm, Box<dyn Error>> {
+    let perm: Perm = text.parse()?;
+    if perm.degree() > 8 {
+        return Err(Box::new(ParseArgsError::new(
+            "target must permute patterns 1..=8",
+        )));
+    }
+    Ok(perm.extended(8))
+}
+
+fn synth(args: &Args) -> CommandResult {
+    let text = args
+        .positional(1)
+        .ok_or_else(|| ParseArgsError::new("synth needs a permutation, e.g. \"(7,8)\""))?;
+    let cb: u32 = args.option("cb", 7)?;
+    let target = parse_target(text)?;
+    let mut engine = SynthesisEngine::unit_cost();
+    if args.flag("all") {
+        let all = engine.synthesize_all(&target, cb);
+        if all.is_empty() {
+            println!("no implementation within cost {cb}");
+            return Ok(());
+        }
+        println!(
+            "target {target}: cost {}, {} minimal implementations",
+            all[0].cost,
+            all.len()
+        );
+        for (i, syn) in all.iter().enumerate() {
+            println!("\n[{}]", i + 1);
+            print!("{}", output::render_circuit(&syn.circuit));
+            debug_assert!(syn.circuit.verify_against_binary_perm(&target));
+        }
+    } else {
+        match engine.synthesize(&target, cb) {
+            None => println!("no implementation within cost {cb}"),
+            Some(syn) => {
+                println!("target {target}:");
+                print!("{}", output::render_synthesis(&syn));
+                assert!(
+                    syn.circuit.verify_against_binary_perm(&target),
+                    "internal error: synthesis failed unitary verification"
+                );
+                println!("verified against the exact unitary ✓");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify(args: &Args) -> CommandResult {
+    let circuit_text = args
+        .positional(1)
+        .ok_or_else(|| ParseArgsError::new("verify needs a circuit and a permutation"))?;
+    let perm_text = args
+        .positional(2)
+        .ok_or_else(|| ParseArgsError::new("verify needs a target permutation"))?;
+    let circuit: Circuit = circuit_text.parse()?;
+    let circuit = if circuit.wires() < 3 {
+        Circuit::new(3, circuit.gates().to_vec())
+    } else {
+        circuit
+    };
+    let target = parse_target(perm_text)?;
+    print!("{}", output::render_circuit(&circuit));
+    println!("quantum cost: {}", circuit.quantum_cost());
+    match circuit.binary_perm() {
+        Some(p) => println!("binary permutation: {p}"),
+        None => println!("binary permutation: none (probabilistic outputs)"),
+    }
+    if circuit.verify_against_binary_perm(&target) {
+        println!("realizes {target} exactly ✓");
+    } else {
+        println!("does NOT realize {target} ✗");
+    }
+    Ok(())
+}
+
+fn gate(args: &Args) -> CommandResult {
+    let name = args
+        .positional(1)
+        .ok_or_else(|| ParseArgsError::new("gate needs a name, e.g. VBA or V+AB"))?;
+    let gate: Gate = name.parse()?;
+    println!("gate {gate}");
+    let wires = gate.wires().iter().max().map_or(2, |w| (w + 1).max(2)).max(3);
+    let domain = PatternDomain::permutable(wires.min(3));
+    if gate.wires().iter().all(|&w| w < 3) && !matches!(gate, Gate::Not { .. }) {
+        println!("permutation on the {}-pattern domain:", domain.len());
+        println!("  {}", gate.perm(&domain));
+    }
+    println!("exact unitary on 3 wires:");
+    print!("{}", output::indent(&gate.unitary(3).to_string(), 2));
+    println!();
+    Ok(())
+}
+
+fn table(args: &Args) -> CommandResult {
+    let wires: usize = args.option("wires", 2)?;
+    if !(2..=3).contains(&wires) {
+        return Err(Box::new(ParseArgsError::new("--wires must be 2 or 3")));
+    }
+    let domain = if wires == 2 {
+        PatternDomain::table_ordered(2)
+    } else {
+        PatternDomain::permutable(3)
+    };
+    let table = TruthTable::new(Gate::v(1, 0), domain);
+    println!("{table}");
+    Ok(())
+}
+
+fn universal_cmd(_args: &Args) -> CommandResult {
+    let mut engine = SynthesisEngine::unit_cost();
+    let analysis = universal::analyze_g4(&mut engine);
+    println!("|G[4]| = {}", analysis.members.len());
+    println!("  Feynman-only: {}", analysis.feynman_only().len());
+    println!(
+        "  with control gates: {} (all universal: {})",
+        analysis.with_control_gates().len(),
+        analysis.with_control_gates().iter().all(|m| m.universal)
+    );
+    let orbits = analysis.wire_permutation_orbits();
+    println!("  wire-relabeling orbits: {}", orbits.len());
+    for (i, orbit) in orbits.iter().enumerate() {
+        println!(
+            "    orbit {}: {} members, representative {}",
+            i + 1,
+            orbit.len(),
+            orbit[0]
+        );
+    }
+    Ok(())
+}
+
+fn rng(args: &Args) -> CommandResult {
+    let samples: usize = args.option("samples", 10_000)?;
+    let seed: u64 = args.option("seed", 42)?;
+    let generator = ControlledRng::synthesize()
+        .ok_or_else(|| ParseArgsError::new("RNG spec failed to synthesize"))?;
+    println!(
+        "synthesized: {} (cost {})",
+        generator.block().circuit(),
+        generator.quantum_cost()
+    );
+    let d = generator.block().output_distribution(0b10);
+    println!(
+        "exact: P(0) = {}, P(1) = {}",
+        d.prob_of(0b10),
+        d.prob_of(0b11)
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bits = generator.generate(&mut rng, samples, true);
+    let ones = bits.iter().filter(|&&b| b).count();
+    println!(
+        "empirical over {samples} samples (seed {seed}): P(1) ≈ {:.4}",
+        ones as f64 / samples as f64
+    );
+    Ok(())
+}
+
+fn spectrum(args: &Args) -> CommandResult {
+    let cb: u32 = args.option("cb", 8)?;
+    println!("cost spectrum of NOT-free reversible 3-qubit circuits:");
+    let spectrum = mvq_core::CostSpectrum::compute(cb);
+    println!("{spectrum}");
+    if spectrum.is_complete() {
+        println!("every reversible class has a known minimal cost");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(items: &[&str]) -> CommandResult {
+        let argv: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&["help"]).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn census_small() {
+        assert!(run(&["census", "--cb", "2"]).is_ok());
+    }
+
+    #[test]
+    fn synth_feynman() {
+        assert!(run(&["synth", "(5,7)(6,8)", "--cb", "2"]).is_ok());
+    }
+
+    #[test]
+    fn synth_all_peres() {
+        assert!(run(&["synth", "(5,7,6,8)", "--cb", "4", "--all"]).is_ok());
+    }
+
+    #[test]
+    fn synth_rejects_garbage() {
+        assert!(run(&["synth", "(1,x)"]).is_err());
+        assert!(run(&["synth"]).is_err());
+        assert!(run(&["synth", "(1,9)"]).is_err());
+    }
+
+    #[test]
+    fn verify_peres_circuit() {
+        assert!(run(&["verify", "VCB*FBA*VCA*V+CB", "(5,7,6,8)"]).is_ok());
+    }
+
+    #[test]
+    fn gate_display() {
+        assert!(run(&["gate", "VBA"]).is_ok());
+        assert!(run(&["gate", "NOT(B)"]).is_ok());
+        assert!(run(&["gate", "ZZZ"]).is_err());
+    }
+
+    #[test]
+    fn table_both_sizes() {
+        assert!(run(&["table"]).is_ok());
+        assert!(run(&["table", "--wires", "3"]).is_ok());
+        assert!(run(&["table", "--wires", "4"]).is_err());
+    }
+
+    #[test]
+    fn rng_small_sample() {
+        assert!(run(&["rng", "--samples", "100", "--seed", "7"]).is_ok());
+    }
+
+    #[test]
+    fn spectrum_small() {
+        assert!(run(&["spectrum", "--cb", "3"]).is_ok());
+    }
+}

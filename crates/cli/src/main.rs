@@ -1,0 +1,30 @@
+//! `mvq` — command-line front-end for the exact quantum-circuit synthesis
+//! workspace.
+//!
+//! ```text
+//! mvq census [--cb N]                     reproduce Table 2
+//! mvq synth <perm> [--cb N] [--all]       minimal-cost synthesis (MCE)
+//! mvq gate <name>                         show a gate's permutation/unitary
+//! mvq table [--wires N]                   Table 1-style truth table
+//! mvq universal                           G[4] universality analysis
+//! mvq rng [--samples N] [--seed S]        Section 4 controlled QRNG demo
+//! mvq spectrum [--cb N]                   cost spectrum beyond the paper
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod output;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("run `mvq help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Rendering helpers shared by the CLI subcommands.
+
+use mvq_core::{Circuit, Synthesis};
+
+/// Renders a synthesis result: cost line, cascade, ASCII diagram.
+pub fn render_synthesis(synthesis: &Synthesis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cost {} ({} minimal implementation{})\n",
+        synthesis.cost,
+        synthesis.implementation_count,
+        if synthesis.implementation_count == 1 { "" } else { "s" },
+    ));
+    out.push_str(&render_circuit(&synthesis.circuit));
+    out
+}
+
+/// Renders a circuit: cascade notation plus diagram.
+pub fn render_circuit(circuit: &Circuit) -> String {
+    format!("{circuit}\n{}\n", circuit.diagram())
+}
+
+/// Left-pads every line of `body` by `indent` spaces.
+pub fn indent(body: &str, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    body.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_logic::Gate;
+
+    #[test]
+    fn render_circuit_includes_notation_and_diagram() {
+        let c = Circuit::new(3, vec![Gate::v(2, 1), Gate::feynman(1, 0)]);
+        let s = render_circuit(&c);
+        assert!(s.contains("VCB*FBA"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn indent_pads_every_line() {
+        let s = indent("a\nb", 2);
+        assert_eq!(s, "  a\n  b");
+    }
+}

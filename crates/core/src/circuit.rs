@@ -1,0 +1,429 @@
+use std::fmt;
+
+use mvq_logic::{wire_name, Gate, Pattern, PatternDomain};
+use mvq_matrix::CMatrix;
+use mvq_perm::Perm;
+use mvq_sim::{adjoint_cascade, circuit_unitary, vswap_cascade};
+
+use crate::CostModel;
+
+/// A cascade of elementary quantum gates on an `n`-wire register, in
+/// execution order (`gates()[0]` acts first — the paper's `d[0]`).
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::Circuit;
+/// use mvq_logic::Gate;
+///
+/// // Figure 4: the Peres circuit g1 = VCB * FBA * VCA * V⁺CB.
+/// let peres = Circuit::new(3, vec![
+///     Gate::v(2, 1),
+///     Gate::feynman(1, 0),
+///     Gate::v(2, 0),
+///     Gate::v_dagger(2, 1),
+/// ]);
+/// assert_eq!(peres.quantum_cost(), 4);
+/// assert_eq!(peres.binary_perm().unwrap().to_string(), "(5,7,6,8)");
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Circuit {
+    wires: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates a circuit from a gate cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate references a wire ≥ `wires`.
+    pub fn new(wires: usize, gates: Vec<Gate>) -> Self {
+        for g in &gates {
+            for w in g.wires() {
+                assert!(w < wires, "gate {g} references wire {w} of {wires}");
+            }
+        }
+        Self { wires, gates }
+    }
+
+    /// The empty (identity) circuit.
+    pub fn identity(wires: usize) -> Self {
+        Self {
+            wires,
+            gates: Vec::new(),
+        }
+    }
+
+    /// The number of wires.
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// The gate cascade in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The quantum cost under the paper's unit model (number of 2-qubit
+    /// gates; NOT gates are free).
+    pub fn quantum_cost(&self) -> u32 {
+        CostModel::unit().cascade_cost(&self.gates)
+    }
+
+    /// The cost under an arbitrary model.
+    pub fn cost_under(&self, model: &CostModel) -> u32 {
+        model.cascade_cost(&self.gates)
+    }
+
+    /// Applies the whole cascade to a pattern under the multiple-valued
+    /// semantics.
+    pub fn apply(&self, pattern: &Pattern) -> Pattern {
+        self.gates
+            .iter()
+            .fold(pattern.clone(), |p, g| g.apply(&p))
+    }
+
+    /// The circuit's permutation of a pattern domain (NOT-free circuits
+    /// only on the permutable domain; NOT gates can map a pattern outside
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some gate maps a domain pattern outside the domain.
+    pub fn perm(&self, domain: &PatternDomain) -> Perm {
+        self.gates
+            .iter()
+            .fold(Perm::identity(domain.len()), |acc, g| acc * g.perm(domain))
+    }
+
+    /// The circuit's action on pure binary patterns, as a permutation of
+    /// `{1, …, 2^n}` — the paper's reversible-circuit view.
+    ///
+    /// Returns `None` if some binary input produces a non-binary output
+    /// (the circuit is probabilistic, not permutative).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_core::Circuit;
+    /// use mvq_logic::Gate;
+    ///
+    /// // A bare controlled-V is not permutative.
+    /// let c = Circuit::new(2, vec![Gate::v(1, 0)]);
+    /// assert!(c.binary_perm().is_none());
+    /// ```
+    pub fn binary_perm(&self) -> Option<Perm> {
+        let n = self.wires;
+        let images: Option<Vec<usize>> = (0..1usize << n)
+            .map(|bits| {
+                let out = self.apply(&Pattern::from_bits(bits, n));
+                out.to_bits().map(|b| b + 1)
+            })
+            .collect();
+        Perm::from_images(&images?)
+    }
+
+    /// The exact `2^n × 2^n` unitary of the cascade.
+    pub fn unitary(&self) -> CMatrix {
+        circuit_unitary(&self.gates, self.wires)
+    }
+
+    /// Verifies at the **unitary level** that the circuit realizes the
+    /// reversible function `target` (a permutation of `{1, …, 2^n}`).
+    ///
+    /// This is the reproduction's end-to-end soundness check: the
+    /// group-theoretic synthesis result is recomputed in Hilbert space
+    /// with exact arithmetic and compared by equality.
+    pub fn verify_against_binary_perm(&self, target: &Perm) -> bool {
+        if target.degree() != 1 << self.wires {
+            return false;
+        }
+        let images: Vec<usize> = (1..=target.degree()).map(|p| target.image(p)).collect();
+        self.unitary() == CMatrix::permutation(&images)
+    }
+
+    /// The Hermitian adjoint circuit: reversed gates, V ↔ V⁺.
+    pub fn adjoint(&self) -> Circuit {
+        Circuit {
+            wires: self.wires,
+            gates: adjoint_cascade(&self.gates),
+        }
+    }
+
+    /// The paper's Figure 8 transform: same gate order, V ↔ V⁺ swapped.
+    /// For a permutative circuit this realizes the same function.
+    pub fn vswapped(&self) -> Circuit {
+        Circuit {
+            wires: self.wires,
+            gates: vswap_cascade(&self.gates),
+        }
+    }
+
+    /// Renders an ASCII circuit diagram in the style of the paper's
+    /// figures.
+    ///
+    /// ```text
+    /// A ───●──●──●─────
+    /// B ───┼──⊕──┼──●──
+    /// C ───V─────V──V+─
+    /// ```
+    pub fn diagram(&self) -> String {
+        let mut rows: Vec<String> = (0..self.wires)
+            .map(|w| format!("{} ──", wire_name(w)))
+            .collect();
+        for g in &self.gates {
+            let (symbols, width) = match *g {
+                Gate::V { data, control } => {
+                    (vec![(data, "V".to_string()), (control, "●".to_string())], 2)
+                }
+                Gate::VDagger { data, control } => {
+                    (vec![(data, "V+".to_string()), (control, "●".to_string())], 3)
+                }
+                Gate::Feynman { data, control } => {
+                    (vec![(data, "⊕".to_string()), (control, "●".to_string())], 2)
+                }
+                Gate::Not { wire } => (vec![(wire, "X".to_string())], 2),
+            };
+            for (w, row) in rows.iter_mut().enumerate() {
+                let sym = symbols
+                    .iter()
+                    .find(|(sw, _)| *sw == w)
+                    .map(|(_, s)| s.clone());
+                match sym {
+                    Some(s) => {
+                        let pad = width + 2 - s.chars().count();
+                        row.push_str(&s);
+                        row.push_str(&"─".repeat(pad));
+                    }
+                    None => {
+                        // Vertical connector if the gate spans across this
+                        // wire, else plain wire.
+                        let touched: Vec<usize> =
+                            symbols.iter().map(|(sw, _)| *sw).collect();
+                        let min = *touched.iter().min().expect("non-empty");
+                        let max = *touched.iter().max().expect("non-empty");
+                        let c = if w > min && w < max { "┼" } else { "─" };
+                        row.push_str(c);
+                        row.push_str(&"─".repeat(width + 1));
+                    }
+                }
+            }
+        }
+        rows.join("\n")
+    }
+}
+
+/// Error returned when parsing a [`Circuit`] from paper notation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    message: String,
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid circuit: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseCircuitError {}
+
+impl std::str::FromStr for Circuit {
+    type Err = ParseCircuitError;
+
+    /// Parses the paper's cascade notation, e.g. `"VCB*FBA*VCA*V+CB"`.
+    /// `"( )"` denotes the identity. The wire count is the highest wire
+    /// mentioned plus one (minimum 2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_core::Circuit;
+    ///
+    /// let peres: Circuit = "VCB*FBA*VCA*V+CB".parse()?;
+    /// assert_eq!(peres.quantum_cost(), 4);
+    /// assert_eq!(peres.binary_perm().unwrap().to_string(), "(5,7,6,8)");
+    /// # Ok::<(), mvq_core::ParseCircuitError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "( )" || s == "()" || s.is_empty() {
+            return Ok(Circuit::identity(2));
+        }
+        let gates: Vec<Gate> = s
+            .split('*')
+            .map(|tok| {
+                tok.trim().parse::<Gate>().map_err(|e| ParseCircuitError {
+                    message: e.to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let wires = gates
+            .iter()
+            .flat_map(|g| g.wires())
+            .max()
+            .map_or(2, |w| (w + 1).max(2));
+        Ok(Circuit::new(wires, gates))
+    }
+}
+
+impl fmt::Display for Circuit {
+    /// Paper notation: `VCB*FBA*VCA*V+CB`, or `( )` for the identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.gates.is_empty() {
+            return write!(f, "( )");
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peres() -> Circuit {
+        Circuit::new(
+            3,
+            vec![
+                Gate::v(2, 1),
+                Gate::feynman(1, 0),
+                Gate::v(2, 0),
+                Gate::v_dagger(2, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn peres_binary_perm_matches_paper() {
+        // g1 = (5,7,6,8) — Figure 4.
+        assert_eq!(peres().binary_perm().unwrap().to_string(), "(5,7,6,8)");
+    }
+
+    #[test]
+    fn peres_cost_is_4() {
+        assert_eq!(peres().quantum_cost(), 4);
+    }
+
+    #[test]
+    fn toffoli_figure_9a() {
+        // To = FBA * V⁺CB * FBA * VCA * VCB.
+        let to = Circuit::new(
+            3,
+            vec![
+                Gate::feynman(1, 0),
+                Gate::v_dagger(2, 1),
+                Gate::feynman(1, 0),
+                Gate::v(2, 0),
+                Gate::v(2, 1),
+            ],
+        );
+        assert_eq!(to.quantum_cost(), 5);
+        assert_eq!(to.binary_perm().unwrap().to_string(), "(7,8)");
+    }
+
+    #[test]
+    fn probabilistic_circuit_has_no_binary_perm() {
+        let c = Circuit::new(3, vec![Gate::not(0), Gate::v(1, 0)]);
+        assert!(c.binary_perm().is_none());
+    }
+
+    #[test]
+    fn perm_on_domain_composes() {
+        let d = PatternDomain::permutable(3);
+        let c = Circuit::new(3, vec![Gate::v(1, 0), Gate::v(1, 0)]);
+        // V twice = NOT on B when A = 1: binary part (5,7)(6,8).
+        let p = c.perm(&d);
+        let s: Vec<usize> = (1..=8).collect();
+        assert_eq!(p.restricted(&s).unwrap().to_string(), "(5,7)(6,8)");
+    }
+
+    #[test]
+    fn unitary_verification_accepts_correct_target() {
+        let target = peres().binary_perm().unwrap();
+        assert!(peres().verify_against_binary_perm(&target));
+        // And rejects a wrong one.
+        let wrong: Perm = "(7,8)".parse().unwrap();
+        assert!(!peres().verify_against_binary_perm(&wrong.extended(8)));
+    }
+
+    #[test]
+    fn adjoint_inverts_unitary() {
+        let c = peres();
+        assert_eq!(c.adjoint().unitary(), c.unitary().adjoint());
+    }
+
+    #[test]
+    fn vswapped_realizes_same_permutation() {
+        // Figure 8.
+        let c = peres();
+        let swapped = c.vswapped();
+        assert_ne!(swapped, c);
+        assert_eq!(swapped.unitary(), c.unitary());
+    }
+
+    #[test]
+    fn not_layer_conjugates_binary_perm() {
+        // NOT(A) * Toffoli-ish circuit still has a binary perm.
+        let c = Circuit::new(
+            3,
+            vec![
+                Gate::not(0),
+                Gate::feynman(2, 0),
+                Gate::not(0),
+            ],
+        );
+        // C ^= !A: patterns with A=0 flip C.
+        assert_eq!(c.binary_perm().unwrap().to_string(), "(1,2)(3,4)");
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(peres().to_string(), "VCB*FBA*VCA*V+CB");
+        assert_eq!(Circuit::identity(3).to_string(), "( )");
+    }
+
+    #[test]
+    fn diagram_renders_all_wires() {
+        let d = peres().diagram();
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains('V'));
+        assert!(lines[1].contains('⊕'));
+    }
+
+    #[test]
+    #[should_panic(expected = "references wire")]
+    fn out_of_range_wire_rejected() {
+        let _ = Circuit::new(2, vec![Gate::v(2, 0)]);
+    }
+
+    #[test]
+    fn parse_roundtrips_paper_notation() {
+        for s in ["VCB*FBA*VCA*V+CB", "FBA*V+CB*FBA*VCA*VCB", "NOT(A)*FCA"] {
+            let c: Circuit = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_identity_and_errors() {
+        assert!("( )".parse::<Circuit>().unwrap().gates().is_empty());
+        assert!("VCB**FBA".parse::<Circuit>().is_err());
+        assert!("VCB*QXY".parse::<Circuit>().is_err());
+    }
+
+    #[test]
+    fn parsed_peres_verifies() {
+        let c: Circuit = "VCB*FBA*VCA*V+CB".parse().unwrap();
+        assert_eq!(c.wires(), 3);
+        let target: Perm = "(5,7,6,8)".parse::<Perm>().unwrap().extended(8);
+        assert!(c.verify_against_binary_perm(&target));
+    }
+}

@@ -1,0 +1,628 @@
+use std::collections::{BTreeMap, HashMap};
+
+use mvq_logic::{Gate, GateLibrary};
+use mvq_perm::Perm;
+
+use crate::{Circuit, CostModel};
+
+/// A compact circuit-permutation: 0-based image table over the domain.
+type Word = Box<[u8]>;
+
+/// Per-element search metadata: discovery cost and the library-gate index
+/// that produced it (`u8::MAX` for the identity seed).
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    cost: u32,
+    last_gate: u8,
+}
+
+/// A reversible-circuit equivalence class discovered by FMCF: the
+/// restriction to binary patterns, its minimal cost, and every witness
+/// (full domain permutation) found *at that minimal cost*.
+#[derive(Debug, Clone)]
+struct GClass {
+    cost: u32,
+    witnesses: Vec<Word>,
+}
+
+/// The result of a successful MCE synthesis.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The synthesized circuit: optional NOT layer followed by the
+    /// minimal 2-qubit-gate cascade, in execution order.
+    pub circuit: Circuit,
+    /// The minimal quantum cost `t` (2-qubit gates only).
+    pub cost: u32,
+    /// The NOT gates of the Theorem 2 coset layer (`d[0]`; empty when the
+    /// target fixes the all-zeros pattern).
+    pub not_layer: Vec<Gate>,
+    /// The number of distinct minimal-cost implementations the search
+    /// level contains for this target (distinct domain permutations
+    /// restricting to it — the paper reports 2 for Peres, 4 for Toffoli).
+    pub implementation_count: usize,
+}
+
+/// The paper's FMCF + MCE engines over one gate library and cost model.
+///
+/// [`SynthesisEngine::expand_to_cost`] materializes the sets `A[k]`,
+/// `B[k]`, `G[k]` level by level (Section 3's
+/// Finding_Minimum_Cost_Circuits); the level data is cached, so repeated
+/// syntheses reuse it. [`SynthesisEngine::synthesize`] runs
+/// Minimum_Cost_Expressing on top.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::SynthesisEngine;
+///
+/// let mut engine = SynthesisEngine::unit_cost();
+/// engine.expand_to_cost(3);
+/// // Table 2, first four columns (verified counts; the paper's printed
+/// // row has arithmetic slips at k = 2, 3 — see `EXPECTED_TABLE_2`).
+/// assert_eq!(engine.g_counts(), &[1, 6, 24, 51]);
+/// ```
+#[derive(Debug)]
+pub struct SynthesisEngine {
+    library: GateLibrary,
+    model: CostModel,
+    /// Per-library-gate 0-based image tables.
+    gate_images: Vec<Vec<u8>>,
+    /// Per-library-gate inverse image tables (for path reconstruction).
+    gate_inverse_images: Vec<Vec<u8>>,
+    /// Per-library-gate banned masks.
+    gate_banned: Vec<u64>,
+    /// Per-library-gate costs.
+    gate_costs: Vec<u32>,
+    /// Every discovered element of `A[∞]` with its metadata.
+    seen: HashMap<Word, Meta>,
+    /// Pending frontier elements keyed by their (exact) cost.
+    pending: BTreeMap<u32, Vec<Word>>,
+    /// Highest cost whose level has been fully expanded.
+    completed: Option<u32>,
+    /// Reversible classes: binary restriction → minimal cost + witnesses.
+    classes: HashMap<Word, GClass>,
+    /// `|G[k]|` for each completed cost level `k`.
+    g_counts: Vec<usize>,
+    /// `|B[k]|` for each completed cost level `k`.
+    b_counts: Vec<usize>,
+}
+
+impl SynthesisEngine {
+    /// Engine for the paper's setting: 3 wires, 18-gate library, unit
+    /// costs.
+    pub fn unit_cost() -> Self {
+        Self::new(GateLibrary::standard(3), CostModel::unit())
+    }
+
+    /// Engine over an explicit library and cost model.
+    pub fn new(library: GateLibrary, model: CostModel) -> Self {
+        let gate_images: Vec<Vec<u8>> = library
+            .gates()
+            .iter()
+            .map(|g| g.perm().as_images().to_vec())
+            .collect();
+        let gate_inverse_images: Vec<Vec<u8>> = library
+            .gates()
+            .iter()
+            .map(|g| g.perm().inverse().as_images().to_vec())
+            .collect();
+        let gate_banned: Vec<u64> =
+            library.gates().iter().map(|g| g.banned_mask()).collect();
+        let gate_costs: Vec<u32> = library
+            .gates()
+            .iter()
+            .map(|g| model.cost(g.gate()))
+            .collect();
+        let identity: Word = (0..library.domain().len() as u8).collect();
+        let mut seen = HashMap::new();
+        seen.insert(
+            identity.clone(),
+            Meta {
+                cost: 0,
+                last_gate: u8::MAX,
+            },
+        );
+        let mut pending = BTreeMap::new();
+        pending.insert(0u32, vec![identity]);
+        Self {
+            library,
+            model,
+            gate_images,
+            gate_inverse_images,
+            gate_banned,
+            gate_costs,
+            seen,
+            pending,
+            completed: None,
+            classes: HashMap::new(),
+            g_counts: Vec::new(),
+            b_counts: Vec::new(),
+        }
+    }
+
+    /// The gate library in use.
+    pub fn library(&self) -> &GateLibrary {
+        &self.library
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// `|G[k]|` for every fully expanded level `k = 0, 1, …`.
+    pub fn g_counts(&self) -> &[usize] {
+        &self.g_counts
+    }
+
+    /// `|B[k]|` (new quantum circuits at exact cost `k`) for every fully
+    /// expanded level.
+    pub fn b_counts(&self) -> &[usize] {
+        &self.b_counts
+    }
+
+    /// Total number of distinct quantum circuits discovered so far
+    /// (`|A[completed]|`).
+    pub fn a_size(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The number of distinct reversible classes discovered so far —
+    /// the cumulative `Σ |G[k]|`. When this reaches `(2^n − 1)!` (5040
+    /// for three wires) every NOT-free reversible function has a known
+    /// minimal cost.
+    pub fn classes_found(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Expands FMCF levels until cost `cb` is fully processed.
+    ///
+    /// Levels already expanded are reused; the search is cumulative.
+    pub fn expand_to_cost(&mut self, cb: u32) {
+        while self.completed.is_none_or(|c| c < cb) {
+            if !self.expand_next_level() {
+                break; // search space exhausted
+            }
+        }
+    }
+
+    /// Expands exactly one cost level. Returns `false` when the reachable
+    /// space is exhausted.
+    fn expand_next_level(&mut self) -> bool {
+        let Some((&cost, _)) = self.pending.first_key_value() else {
+            return false;
+        };
+        let bucket = self.pending.remove(&cost).expect("bucket exists");
+        // Defensive: levels complete in ascending order, and every element
+        // of the bucket was discovered at minimal cost (positive gate
+        // costs make this Dijkstra-like expansion exact).
+        debug_assert!(self.completed.map_or(cost == 0, |c| cost > c));
+
+        // 1. Register reversible classes (pre_G[cost] − earlier G's: the
+        //    subtraction is implicit in first-seen-wins).
+        let binary = self.library.binary_set();
+        let mut g_new = 0usize;
+        for word in &bucket {
+            if let Some(restriction) = restrict(word, binary) {
+                match self.classes.get_mut(&restriction) {
+                    None => {
+                        self.classes.insert(
+                            restriction,
+                            GClass {
+                                cost,
+                                witnesses: vec![word.clone()],
+                            },
+                        );
+                        g_new += 1;
+                    }
+                    Some(class) if class.cost == cost => {
+                        class.witnesses.push(word.clone());
+                    }
+                    Some(_) => {} // already realizable at lower cost
+                }
+            }
+        }
+
+        // 2. Expand reasonable products into later buckets.
+        for word in &bucket {
+            let image_mask = binary_image_mask(word, binary);
+            for gate_idx in 0..self.gate_images.len() {
+                if image_mask & self.gate_banned[gate_idx] != 0 {
+                    continue; // not a reasonable product
+                }
+                let next: Word = word
+                    .iter()
+                    .map(|&mid| self.gate_images[gate_idx][mid as usize])
+                    .collect();
+                let next_cost = cost + self.gate_costs[gate_idx];
+                if !self.seen.contains_key(&next) {
+                    self.seen.insert(
+                        next.clone(),
+                        Meta {
+                            cost: next_cost,
+                            last_gate: gate_idx as u8,
+                        },
+                    );
+                    self.pending.entry(next_cost).or_default().push(next);
+                }
+            }
+        }
+
+        // 3. Record level statistics. With non-unit costs some levels are
+        //    empty; fill the gap so indices equal costs.
+        let prev = self.completed.map_or(-1i64, |c| c as i64);
+        for _ in prev + 1..cost as i64 {
+            self.b_counts.push(0);
+            self.g_counts.push(0);
+        }
+        self.b_counts.push(bucket.len());
+        self.g_counts.push(g_new);
+        self.completed = Some(cost);
+        true
+    }
+
+    /// The paper's MCE (Minimum_Cost_Expressing) algorithm: synthesizes a
+    /// minimal-cost implementation of the reversible function `target`
+    /// (a permutation of `{1, …, 2^n}`), searching up to cost `cb`.
+    ///
+    /// Returns `None` if the target's minimal cost exceeds `cb`
+    /// (the paper's `flag = 0` case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.degree() != 2^n` for the library's wire count.
+    pub fn synthesize(&mut self, target: &Perm, cb: u32) -> Option<Synthesis> {
+        let n = self.library.domain().wires();
+        let patterns = 1usize << n;
+        assert_eq!(
+            target.degree(),
+            patterns,
+            "target must permute the {patterns} binary patterns"
+        );
+
+        // Theorem 2: strip a NOT layer d[0] so that the remainder fixes
+        // pattern 1 (all zeros). d[0] maps pattern 1 to target⁻¹(1)… i.e.
+        // its bits are those of the pattern that target sends to 1.
+        let bits = target.preimage(1) - 1;
+        let not_layer: Vec<Gate> = (0..n)
+            .filter(|w| bits & (1 << (n - 1 - w)) != 0)
+            .map(Gate::not)
+            .collect();
+        let d0 = not_layer_perm(bits, n);
+        let reduced = d0.inverse() * target.clone();
+        debug_assert_eq!(reduced.image(1), 1);
+
+        // Search G[k] levels for the reduced permutation.
+        let key: Word = reduced
+            .as_images()
+            .iter()
+            .copied()
+            .collect();
+        loop {
+            if let Some(class) = self.classes.get(&key) {
+                if self
+                    .completed
+                    .is_some_and(|c| c >= class.cost)
+                {
+                    let witness = class.witnesses[0].clone();
+                    let count = class.witnesses.len();
+                    let cost = class.cost;
+                    let mut gates = not_layer.clone();
+                    gates.extend(self.reconstruct(&witness));
+                    return Some(Synthesis {
+                        circuit: Circuit::new(n, gates),
+                        cost,
+                        not_layer: not_layer.clone(),
+                        implementation_count: count,
+                    });
+                }
+            }
+            let done = self.completed.map_or(0, |c| c + 1);
+            if done > cb {
+                return None;
+            }
+            if !self.expand_next_level() {
+                return None;
+            }
+        }
+    }
+
+    /// Returns every distinct minimal-cost implementation of `target`
+    /// found by the level search (one circuit per distinct domain
+    /// permutation), up to cost `cb`.
+    ///
+    /// The paper reports 2 such implementations for Peres and 4 for
+    /// Toffoli.
+    pub fn synthesize_all(&mut self, target: &Perm, cb: u32) -> Vec<Synthesis> {
+        let Some(first) = self.synthesize(target, cb) else {
+            return Vec::new();
+        };
+        let n = self.library.domain().wires();
+        let bits = target.preimage(1) - 1;
+        let d0 = not_layer_perm(bits, n);
+        let reduced = d0.inverse() * target.clone();
+        let key: Word = reduced.as_images().iter().copied().collect();
+        let class = self.classes.get(&key).expect("synthesize found the class");
+        let witnesses = class.witnesses.clone();
+        witnesses
+            .iter()
+            .map(|w| {
+                let mut gates = first.not_layer.clone();
+                gates.extend(self.reconstruct(w));
+                Synthesis {
+                    circuit: Circuit::new(n, gates),
+                    cost: first.cost,
+                    not_layer: first.not_layer.clone(),
+                    implementation_count: witnesses.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Reconstructs the gate cascade that produced `word`, walking the
+    /// `last_gate` chain back to the identity.
+    fn reconstruct(&self, word: &Word) -> Vec<Gate> {
+        let mut gates = Vec::new();
+        let mut current = word.clone();
+        loop {
+            let meta = self.seen.get(&current).expect("witness is in A");
+            if meta.last_gate == u8::MAX {
+                break;
+            }
+            let gate_idx = meta.last_gate as usize;
+            gates.push(self.library.gates()[gate_idx].gate());
+            // parent = current * gate⁻¹.
+            current = current
+                .iter()
+                .map(|&mid| self.gate_inverse_images[gate_idx][mid as usize])
+                .collect();
+        }
+        gates.reverse();
+        gates
+    }
+
+    /// The minimal quantum cost of `target`, if within `cb`.
+    pub fn minimal_cost(&mut self, target: &Perm, cb: u32) -> Option<u32> {
+        self.synthesize(target, cb).map(|s| s.cost)
+    }
+
+    /// All reversible circuits of minimal cost exactly `k` — the paper's
+    /// set `G[k]` — as `(binary permutation, witness circuit)` pairs.
+    ///
+    /// Expands levels up to `k` if necessary. Pairs are sorted by the
+    /// binary permutation for determinism.
+    pub fn reversible_circuits_at_cost(&mut self, k: u32) -> Vec<(Perm, Circuit)> {
+        self.expand_to_cost(k);
+        let n = self.library.domain().wires();
+        let mut out: Vec<(Perm, Circuit)> = self
+            .classes
+            .iter()
+            .filter(|(_, class)| class.cost == k)
+            .map(|(key, class)| {
+                let images: Vec<usize> =
+                    key.iter().map(|&b| b as usize + 1).collect();
+                let perm = Perm::from_images(&images).expect("valid restriction");
+                let circuit =
+                    Circuit::new(n, self.reconstruct(&class.witnesses[0]));
+                (perm, circuit)
+            })
+            .collect();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Synthesizes a circuit realizing an arbitrary (possibly
+    /// *probabilistic*) specification: `images[i]` is the 1-based domain
+    /// index that binary input pattern `i + 1` must map to. Mixed-valued
+    /// targets are allowed — this is the Section 4 front-end used for
+    /// quantum random generators and probabilistic machines.
+    ///
+    /// Returns the first (minimal-cost) matching cascade within cost `cb`,
+    /// or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` does not have one entry per binary pattern or
+    /// mentions an index outside the domain.
+    pub fn synthesize_quaternary(&mut self, images: &[usize], cb: u32) -> Option<Synthesis> {
+        let n = self.library.domain().wires();
+        let binary = self.library.binary_set().to_vec();
+        assert_eq!(images.len(), binary.len(), "one target per binary pattern");
+        for &img in images {
+            assert!(
+                img >= 1 && img <= self.library.domain().len(),
+                "target index {img} outside the domain"
+            );
+        }
+        let matches = |word: &Word| -> bool {
+            binary
+                .iter()
+                .zip(images)
+                .all(|(&p, &img)| word[p - 1] as usize + 1 == img)
+        };
+        let mut level = 0u32;
+        loop {
+            if self.completed.is_none_or(|c| c < level) && !self.expand_next_level() {
+                return None;
+            }
+            let completed = self.completed.expect("at least one level done");
+            while level <= completed {
+                // Scan the elements discovered at exactly `level`.
+                let hit: Option<Word> = self
+                    .seen
+                    .iter()
+                    .find(|(w, m)| m.cost == level && matches(w))
+                    .map(|(w, _)| w.clone());
+                if let Some(word) = hit {
+                    let gates = self.reconstruct(&word);
+                    return Some(Synthesis {
+                        circuit: Circuit::new(n, gates),
+                        cost: level,
+                        not_layer: Vec::new(),
+                        implementation_count: 1,
+                    });
+                }
+                level += 1;
+                if level > cb {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Restriction of a 0-based image word to the binary index set, if closed.
+fn restrict(word: &Word, binary: &[usize]) -> Option<Word> {
+    let mut out = Vec::with_capacity(binary.len());
+    for &p in binary {
+        let img = word[p - 1] as usize + 1;
+        let pos = binary.binary_search(&img).ok()?;
+        out.push(pos as u8);
+    }
+    Some(out.into_boxed_slice())
+}
+
+/// Bitmask of the images of the binary set under a word.
+fn binary_image_mask(word: &Word, binary: &[usize]) -> u64 {
+    binary
+        .iter()
+        .map(|&p| 1u64 << word[p - 1])
+        .fold(0, |acc, bit| acc | bit)
+}
+
+/// The permutation of `{1, …, 2^n}` realized by NOT gates on the wires
+/// whose bit is set in `bits` (wire A = most significant).
+fn not_layer_perm(bits: usize, n: usize) -> Perm {
+    let images: Vec<usize> = (0..1usize << n).map(|p| (p ^ bits) + 1).collect();
+    Perm::from_images(&images).expect("xor is a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known;
+
+    #[test]
+    fn level_0_is_identity_only() {
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(0);
+        assert_eq!(e.g_counts(), &[1]);
+        assert_eq!(e.b_counts(), &[1]);
+        assert_eq!(e.a_size(), 19); // identity + 18 gates discovered
+    }
+
+    #[test]
+    fn table_2_prefix() {
+        // |G[k]| for k = 0..3: the verified counts (see
+        // `census::EXPECTED_TABLE_2` for why k = 2, 3 differ from the
+        // paper's printed 30 and 52).
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(3);
+        assert_eq!(e.g_counts(), &[1, 6, 24, 51]);
+    }
+
+    #[test]
+    fn g1_is_feynman_gates_only() {
+        // "G[1] consists of the binary-input binary-output circuits which
+        // are the combinations of 1 Feynman gate" — six of them.
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(1);
+        assert_eq!(e.g_counts()[1], 6);
+    }
+
+    #[test]
+    fn peres_synthesis_cost_4() {
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e.synthesize(&known::peres_perm(), 5).expect("reachable");
+        assert_eq!(syn.cost, 4);
+        assert!(syn.not_layer.is_empty());
+        assert!(syn.circuit.verify_against_binary_perm(&known::peres_perm()));
+    }
+
+    #[test]
+    fn toffoli_synthesis_cost_5() {
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e.synthesize(&known::toffoli_perm(), 6).expect("reachable");
+        assert_eq!(syn.cost, 5);
+        assert!(syn
+            .circuit
+            .verify_against_binary_perm(&known::toffoli_perm()));
+    }
+
+    #[test]
+    fn feynman_costs_1() {
+        let mut e = SynthesisEngine::unit_cost();
+        let target: Perm = "(5,7)(6,8)".parse::<Perm>().unwrap().extended(8);
+        let syn = e.synthesize(&target, 3).expect("one Feynman gate");
+        assert_eq!(syn.cost, 1);
+        assert_eq!(syn.circuit.gates().len(), 1);
+    }
+
+    #[test]
+    fn identity_costs_0() {
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e.synthesize(&Perm::identity(8), 2).expect("trivial");
+        assert_eq!(syn.cost, 0);
+        assert!(syn.circuit.gates().is_empty());
+    }
+
+    #[test]
+    fn pure_not_target_costs_0() {
+        // NOT(C): (1,2)(3,4)(5,6)(7,8) — coset layer only.
+        let target: Perm = "(1,2)(3,4)(5,6)(7,8)".parse().unwrap();
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e.synthesize(&target, 2).expect("not layer");
+        assert_eq!(syn.cost, 0);
+        assert_eq!(syn.not_layer, vec![Gate::not(2)]);
+        assert!(syn.circuit.verify_against_binary_perm(&target));
+    }
+
+    #[test]
+    fn cost_exceeding_bound_returns_none() {
+        let mut e = SynthesisEngine::unit_cost();
+        // Toffoli needs 5.
+        assert!(e.synthesize(&known::toffoli_perm(), 4).is_none());
+    }
+
+    #[test]
+    fn synthesize_all_returns_distinct_verified_circuits() {
+        let mut e = SynthesisEngine::unit_cost();
+        let all = e.synthesize_all(&known::peres_perm(), 5);
+        assert!(!all.is_empty());
+        for syn in &all {
+            assert_eq!(syn.cost, 4);
+            assert!(syn
+                .circuit
+                .verify_against_binary_perm(&known::peres_perm()));
+        }
+        // Distinct circuits.
+        let mut circuits: Vec<String> =
+            all.iter().map(|s| s.circuit.to_string()).collect();
+        circuits.sort();
+        circuits.dedup();
+        assert_eq!(circuits.len(), all.len());
+    }
+
+    #[test]
+    fn weighted_costs_change_levels() {
+        // With Feynman cost 1 and V costs 2, Peres should cost
+        // 1 (Feynman) + 3 × 2 (V gates) = 7.
+        let lib = GateLibrary::standard(3);
+        let mut e = SynthesisEngine::new(lib, CostModel::weighted(2, 2, 1));
+        let syn = e.synthesize(&known::peres_perm(), 8).expect("reachable");
+        assert_eq!(syn.cost, 7);
+        assert!(syn.circuit.verify_against_binary_perm(&known::peres_perm()));
+    }
+
+    #[test]
+    fn two_wire_engine_works() {
+        // On 2 wires the only reversible circuits are Feynman products.
+        let lib = GateLibrary::standard(2);
+        let mut e = SynthesisEngine::new(lib, CostModel::unit());
+        // CNOT (B ^= A): patterns (1,0)↔? pattern idx: 1=(00),2=(01),
+        // 3=(10),4=(11); B^=A swaps 3,4.
+        let target: Perm = "(3,4)".parse::<Perm>().unwrap().extended(4);
+        let syn = e.synthesize(&target, 3).expect("single CNOT");
+        assert_eq!(syn.cost, 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The named circuits and permutations of the paper's experimental
+//! section: Peres, Toffoli, Fredkin, and the four G\[4\] representatives
+//! g1–g4 (Figures 4–7).
+//!
+//! All permutations act on the 8 binary patterns of a 3-wire register,
+//! indexed 1 (`000`) through 8 (`111`), wire `A` most significant.
+
+use mvq_logic::Gate;
+use mvq_perm::Perm;
+
+use crate::Circuit;
+
+/// The Peres permutation `g1 = (5,7,6,8)`: `P = A`, `Q = A⊕B`,
+/// `R = C⊕AB`.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::known;
+/// assert_eq!(known::peres_perm().to_string(), "(5,7,6,8)");
+/// ```
+pub fn peres_perm() -> Perm {
+    "(5,7,6,8)".parse::<Perm>().expect("valid").extended(8)
+}
+
+/// The Toffoli permutation `(7,8)`: `R = C ⊕ AB`.
+pub fn toffoli_perm() -> Perm {
+    "(7,8)".parse::<Perm>().expect("valid").extended(8)
+}
+
+/// The Fredkin permutation `(6,7)`: controlled swap of `B`, `C` by `A`.
+pub fn fredkin_perm() -> Perm {
+    "(6,7)".parse::<Perm>().expect("valid").extended(8)
+}
+
+/// The g2 permutation `(5,8,7,6)`: `P = A`, `Q = B⊕AC'`, `R = C⊕A`
+/// (Figure 5).
+pub fn g2_perm() -> Perm {
+    "(5,8,7,6)".parse::<Perm>().expect("valid").extended(8)
+}
+
+/// The g3 permutation `(3,4)(5,7)(6,8)`: `P = A`, `Q = B⊕A`, `R = C⊕A'B`
+/// (Figure 6).
+pub fn g3_perm() -> Perm {
+    "(3,4)(5,7)(6,8)".parse::<Perm>().expect("valid").extended(8)
+}
+
+/// The g4 permutation `(3,4)(5,8)(6,7)`: `P = A`, `Q = B⊕A`,
+/// `R = C'⊕A'B'` (Figure 7).
+pub fn g4_perm() -> Perm {
+    "(3,4)(5,8)(6,7)".parse::<Perm>().expect("valid").extended(8)
+}
+
+/// Figure 4: `g1 = VCB * FBA * VCA * V⁺CB` — the Peres circuit.
+pub fn peres_circuit() -> Circuit {
+    Circuit::new(
+        3,
+        vec![
+            Gate::v(2, 1),
+            Gate::feynman(1, 0),
+            Gate::v(2, 0),
+            Gate::v_dagger(2, 1),
+        ],
+    )
+}
+
+/// Figure 8: the Hermitian-adjoint implementation of Peres
+/// (`V⁺CB * FBA * V⁺CA * VCB`: every V swapped with V⁺).
+pub fn peres_adjoint_circuit() -> Circuit {
+    peres_circuit().vswapped()
+}
+
+/// Figure 5: `g2 = V⁺BC * FCA * VBA * VBC`.
+pub fn g2_circuit() -> Circuit {
+    Circuit::new(
+        3,
+        vec![
+            Gate::v_dagger(1, 2),
+            Gate::feynman(2, 0),
+            Gate::v(1, 0),
+            Gate::v(1, 2),
+        ],
+    )
+}
+
+/// Figure 6: `g3 = VCB * FBA * V⁺CA * VCB`.
+pub fn g3_circuit() -> Circuit {
+    Circuit::new(
+        3,
+        vec![
+            Gate::v(2, 1),
+            Gate::feynman(1, 0),
+            Gate::v_dagger(2, 0),
+            Gate::v(2, 1),
+        ],
+    )
+}
+
+/// Figure 7: `g4 = VCB * FBA * VCA * VCB`.
+pub fn g4_circuit() -> Circuit {
+    Circuit::new(
+        3,
+        vec![
+            Gate::v(2, 1),
+            Gate::feynman(1, 0),
+            Gate::v(2, 0),
+            Gate::v(2, 1),
+        ],
+    )
+}
+
+/// Figure 9 (a): `To = FBA * V⁺CB * FBA * VCA * VCB`.
+pub fn toffoli_circuit_a() -> Circuit {
+    Circuit::new(
+        3,
+        vec![
+            Gate::feynman(1, 0),
+            Gate::v_dagger(2, 1),
+            Gate::feynman(1, 0),
+            Gate::v(2, 0),
+            Gate::v(2, 1),
+        ],
+    )
+}
+
+/// Figure 9 (b): `To = FBA * VCB * FBA * V⁺CA * V⁺CB` — the Hermitian
+/// adjoint of (a).
+pub fn toffoli_circuit_b() -> Circuit {
+    toffoli_circuit_a().vswapped()
+}
+
+/// Figure 9 (c): `To = FAB * V⁺CA * FAB * VCA * VCB`.
+pub fn toffoli_circuit_c() -> Circuit {
+    Circuit::new(
+        3,
+        vec![
+            Gate::feynman(0, 1),
+            Gate::v_dagger(2, 0),
+            Gate::feynman(0, 1),
+            Gate::v(2, 0),
+            Gate::v(2, 1),
+        ],
+    )
+}
+
+/// Figure 9 (d): `To = FAB * VCA * FAB * V⁺CA * V⁺CB` — the Hermitian
+/// adjoint of (c).
+pub fn toffoli_circuit_d() -> Circuit {
+    toffoli_circuit_c().vswapped()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_peres() {
+        let c = peres_circuit();
+        assert_eq!(c.to_string(), "VCB*FBA*VCA*V+CB");
+        assert_eq!(c.binary_perm().unwrap(), peres_perm());
+        assert!(c.verify_against_binary_perm(&peres_perm()));
+    }
+
+    #[test]
+    fn figure_8_adjoint_peres() {
+        let c = peres_adjoint_circuit();
+        assert_eq!(c.to_string(), "V+CB*FBA*V+CA*VCB");
+        assert!(c.verify_against_binary_perm(&peres_perm()));
+    }
+
+    #[test]
+    fn figure_5_g2() {
+        let c = g2_circuit();
+        assert_eq!(c.binary_perm().unwrap(), g2_perm());
+        // Boolean spec: P = A, Q = B⊕AC', R = C⊕A.
+        for bits in 0..8usize {
+            let (a, b, cc) = (bits >> 2 & 1, bits >> 1 & 1, bits & 1);
+            let want = (a << 2) | ((b ^ (a & (cc ^ 1))) << 1) | (cc ^ a);
+            assert_eq!(g2_perm().image(bits + 1) - 1, want, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn figure_6_g3() {
+        let c = g3_circuit();
+        assert_eq!(c.binary_perm().unwrap(), g3_perm());
+        // P = A, Q = B⊕A, R = C⊕A'B.
+        for bits in 0..8usize {
+            let (a, b, cc) = (bits >> 2 & 1, bits >> 1 & 1, bits & 1);
+            let want = (a << 2) | ((b ^ a) << 1) | (cc ^ ((a ^ 1) & b));
+            assert_eq!(g3_perm().image(bits + 1) - 1, want, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn figure_7_g4() {
+        let c = g4_circuit();
+        assert_eq!(c.binary_perm().unwrap(), g4_perm());
+        // P = A, Q = B⊕A, R = C'⊕A'B'.
+        for bits in 0..8usize {
+            let (a, b, cc) = (bits >> 2 & 1, bits >> 1 & 1, bits & 1);
+            let want = (a << 2) | ((b ^ a) << 1) | (cc ^ 1 ^ ((a ^ 1) & (b ^ 1)));
+            assert_eq!(g4_perm().image(bits + 1) - 1, want, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn figure_9_all_four_toffoli_implementations() {
+        for (name, c) in [
+            ("a", toffoli_circuit_a()),
+            ("b", toffoli_circuit_b()),
+            ("c", toffoli_circuit_c()),
+            ("d", toffoli_circuit_d()),
+        ] {
+            assert_eq!(c.quantum_cost(), 5, "cost of ({name})");
+            assert!(
+                c.verify_against_binary_perm(&toffoli_perm()),
+                "Figure 9({name}) realizes Toffoli"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_9_pairs_are_vswaps() {
+        assert_eq!(toffoli_circuit_a().vswapped(), toffoli_circuit_b());
+        assert_eq!(toffoli_circuit_c().vswapped(), toffoli_circuit_d());
+    }
+
+    #[test]
+    fn g_permutation_orders() {
+        // g1, g2 are 4-cycles; g3, g4 are products of transpositions.
+        assert_eq!(peres_perm().order(), 4);
+        assert_eq!(g2_perm().order(), 4);
+        assert_eq!(g3_perm().order(), 2);
+        assert_eq!(g4_perm().order(), 2);
+    }
+
+    #[test]
+    fn fredkin_is_controlled_swap() {
+        let p = fredkin_perm();
+        // (1,1,0) ↔ (1,0,1): indices 7 ↔ 6.
+        assert_eq!(p.image(6), 7);
+        assert_eq!(p.image(7), 6);
+        assert_eq!(p.image(5), 5);
+    }
+}

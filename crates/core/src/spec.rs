@@ -1,0 +1,275 @@
+use std::error::Error;
+use std::fmt;
+
+use mvq_logic::{Pattern, PatternDomain};
+use mvq_sim::{Distribution, StateVector};
+
+use crate::{Circuit, SynthesisEngine};
+
+/// A binary-input / quaternary-output specification — the Section 4
+/// synthesis target for probabilistic circuits (controlled quantum random
+/// number generators, probabilistic state machines).
+///
+/// For each binary input pattern (by bit code, `A` most significant) the
+/// spec gives the required output [`Pattern`], which may contain the mixed
+/// values `V0`/`V1`. After measurement such an output behaves as a random
+/// binary vector with exactly known probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::{QuaternarySpec, SynthesisEngine};
+/// use mvq_logic::{Pattern, Value};
+///
+/// // A controlled random bit on wire B: input A=0 keeps B=0; input A=1
+/// // outputs B = V0 (measures 0/1 with probability ½ each).
+/// let spec = QuaternarySpec::new(2, vec![
+///     Pattern::from_bits(0b00, 2),
+///     Pattern::from_bits(0b01, 2),
+///     Pattern::new(vec![Value::One, Value::V0]),
+///     Pattern::new(vec![Value::One, Value::V1]),
+/// ])?;
+/// let mut engine = SynthesisEngine::new(
+///     mvq_logic::GateLibrary::standard(2),
+///     mvq_core::CostModel::unit(),
+/// );
+/// let result = mvq_core::synthesize_spec(&mut engine, &spec, 3)
+///     .expect("one controlled-V suffices");
+/// assert_eq!(result.cost, 1);
+/// # Ok::<(), mvq_core::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuaternarySpec {
+    wires: usize,
+    targets: Vec<Pattern>,
+}
+
+/// Error building a [`QuaternarySpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid specification: {}", self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+impl QuaternarySpec {
+    /// Builds a spec from one output pattern per binary input (input bit
+    /// codes ascending).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the target count is not `2^wires`, a
+    /// target has the wrong width, targets are not pairwise distinct
+    /// (reversibility), the all-zeros input is not mapped to itself, or a
+    /// target without any `1` differs from its input (such patterns are
+    /// fixed by every gate and therefore unreachable).
+    pub fn new(wires: usize, targets: Vec<Pattern>) -> Result<Self, SpecError> {
+        let err = |m: String| Err(SpecError { message: m });
+        if targets.len() != 1 << wires {
+            return err(format!(
+                "expected {} targets, got {}",
+                1 << wires,
+                targets.len()
+            ));
+        }
+        for (bits, t) in targets.iter().enumerate() {
+            if t.len() != wires {
+                return err(format!("target for input {bits:b} has wrong width"));
+            }
+            if !t.contains_one() && t.to_bits() != Some(bits) {
+                return err(format!(
+                    "target {t} for input {bits:03b} contains no 1 and is not the input itself; \
+                     such patterns are unreachable"
+                ));
+            }
+        }
+        let mut sorted: Vec<&Pattern> = targets.iter().collect();
+        sorted.sort();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return err("targets must be pairwise distinct (reversibility)".into());
+        }
+        Ok(Self { wires, targets })
+    }
+
+    /// The number of wires.
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// The target pattern for binary input `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 2^wires`.
+    pub fn target(&self, bits: usize) -> &Pattern {
+        &self.targets[bits]
+    }
+
+    /// All targets, input bit code ascending.
+    pub fn targets(&self) -> &[Pattern] {
+        &self.targets
+    }
+
+    /// `true` iff every target is binary (the spec is an ordinary
+    /// reversible function).
+    pub fn is_deterministic(&self) -> bool {
+        self.targets.iter().all(|t| t.is_binary())
+    }
+
+    /// The 1-based domain indices of the targets, or `None` if a target is
+    /// outside `domain`.
+    pub fn to_images(&self, domain: &PatternDomain) -> Option<Vec<usize>> {
+        self.targets.iter().map(|t| domain.index(t)).collect()
+    }
+
+    /// The exact measurement distribution the spec demands for input
+    /// `bits` — the product-state distribution of the target pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 2^wires`.
+    pub fn output_distribution(&self, bits: usize) -> Distribution {
+        StateVector::from_pattern(&self.targets[bits]).distribution()
+    }
+}
+
+/// A successful Section 4 synthesis: the circuit and its quantum cost.
+#[derive(Debug, Clone)]
+pub struct SpecSynthesis {
+    /// The synthesized cascade.
+    pub circuit: Circuit,
+    /// Its quantum cost.
+    pub cost: u32,
+}
+
+/// Synthesizes a minimal-cost circuit meeting a binary-input /
+/// quaternary-output specification, searching up to cost `cb`.
+///
+/// Returns `None` if no circuit within the bound realizes the spec (or a
+/// target lies outside the engine's domain).
+pub fn synthesize_spec(
+    engine: &mut SynthesisEngine,
+    spec: &QuaternarySpec,
+    cb: u32,
+) -> Option<SpecSynthesis> {
+    let images = spec.to_images(engine.library().domain())?;
+    let synthesis = engine.synthesize_quaternary(&images, cb)?;
+    Some(SpecSynthesis {
+        circuit: synthesis.circuit,
+        cost: synthesis.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+    use mvq_logic::{GateLibrary, Value};
+
+    fn controlled_rng_spec() -> QuaternarySpec {
+        QuaternarySpec::new(
+            2,
+            vec![
+                Pattern::from_bits(0b00, 2),
+                Pattern::from_bits(0b01, 2),
+                Pattern::new(vec![Value::One, Value::V0]),
+                Pattern::new(vec![Value::One, Value::V1]),
+            ],
+        )
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn controlled_rng_synthesizes_to_single_v() {
+        let mut engine =
+            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let result =
+            synthesize_spec(&mut engine, &controlled_rng_spec(), 3).expect("reachable");
+        assert_eq!(result.cost, 1);
+        assert_eq!(result.circuit.gates().len(), 1);
+    }
+
+    #[test]
+    fn synthesized_circuit_realizes_the_spec_on_states() {
+        let spec = controlled_rng_spec();
+        let mut engine =
+            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let result = synthesize_spec(&mut engine, &spec, 3).expect("reachable");
+        for bits in 0..4usize {
+            let mut sv = StateVector::basis(2, bits);
+            sv.apply_cascade(result.circuit.gates());
+            let want = StateVector::from_pattern(spec.target(bits));
+            assert_eq!(sv, want, "input {bits:02b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_spec_detection() {
+        assert!(!controlled_rng_spec().is_deterministic());
+        let det = QuaternarySpec::new(
+            1,
+            vec![Pattern::from_bits(0, 1), Pattern::from_bits(1, 1)],
+        )
+        .unwrap();
+        assert!(det.is_deterministic());
+    }
+
+    #[test]
+    fn output_distribution_of_mixed_target() {
+        let spec = controlled_rng_spec();
+        let d = spec.output_distribution(0b10);
+        assert_eq!(d.prob_of(0b10).to_f64(), 0.5);
+        assert_eq!(d.prob_of(0b11).to_f64(), 0.5);
+        assert_eq!(d.prob_of(0b00).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_inputs() {
+        // Wrong count.
+        assert!(QuaternarySpec::new(2, vec![Pattern::zeros(2)]).is_err());
+        // Duplicate targets.
+        assert!(QuaternarySpec::new(
+            1,
+            vec![Pattern::from_bits(0, 1), Pattern::from_bits(0, 1)]
+        )
+        .is_err());
+        // Unreachable no-1 target.
+        assert!(QuaternarySpec::new(
+            1,
+            vec![
+                Pattern::new(vec![Value::V0]),
+                Pattern::from_bits(1, 1),
+            ]
+        )
+        .is_err());
+        // Wrong width.
+        assert!(QuaternarySpec::new(
+            1,
+            vec![Pattern::zeros(2), Pattern::from_bits(1, 1)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unreachable_spec_returns_none() {
+        // Demand B = V0 for *both* values of A with A preserved: the
+        // all-zero input cannot move, so this is invalid at validation…
+        // use instead a reachable-looking but over-tight bound.
+        let mut engine =
+            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let spec = controlled_rng_spec();
+        assert!(synthesize_spec(&mut engine, &spec, 0).is_none());
+    }
+
+    #[test]
+    fn spec_error_displays() {
+        let e = QuaternarySpec::new(2, vec![Pattern::zeros(2)]).unwrap_err();
+        assert!(e.to_string().contains("expected 4 targets"));
+    }
+}

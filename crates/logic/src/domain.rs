@@ -1,0 +1,299 @@
+use std::collections::HashMap;
+
+use crate::Pattern;
+
+/// An indexed set of patterns — the domain on which gates act as
+/// permutations.
+///
+/// Indices are **1-based**, matching every formula in the paper.
+///
+/// Two domains matter:
+///
+/// * [`PatternDomain::full`]: all `4^n` patterns in base-4 order. Used for
+///   the 16-row Table 1 (`n = 2`) and for the domain-reduction ablation.
+/// * [`PatternDomain::permutable`]: the paper's reduction. Patterns with no
+///   `1` anywhere are fixed by every gate, so only the `4^n − 3^n` patterns
+///   containing a `1`, plus the all-zero pattern, are kept:
+///   `4^n − 3^n + 1` indices (38 for `n = 3`). The `2^n` binary patterns
+///   come first ("the 8 binary patterns will appear first, from small to
+///   big, then the other 30 patterns also from small to big").
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::{Pattern, PatternDomain, Value};
+///
+/// let d = PatternDomain::permutable(3);
+/// assert_eq!(d.len(), 38);
+/// // Index 5 is the binary pattern [1,0,0] …
+/// assert_eq!(d.pattern(5).to_bits(), Some(0b100));
+/// // … and index 17 is [1,V0,0], its image under VBA.
+/// assert_eq!(
+///     d.pattern(17).values(),
+///     &[Value::One, Value::V0, Value::Zero],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternDomain {
+    wires: usize,
+    patterns: Vec<Pattern>,
+    index_of: HashMap<Pattern, usize>,
+}
+
+impl PatternDomain {
+    /// All `4^n` patterns on `n` wires, ascending base-4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than 3 (the permutation substrate
+    /// stores indices as `u8`; `4^4 = 256` would exceed it by one).
+    pub fn full(n: usize) -> Self {
+        assert!((1..=3).contains(&n), "full domain supports 1..=3 wires");
+        let patterns = (0..4usize.pow(n as u32))
+            .map(|code| Pattern::from_code(code, n))
+            .collect();
+        Self::from_patterns(n, patterns)
+    }
+
+    /// The paper's reduced domain: the `2^n` binary patterns first
+    /// (ascending), then every pattern that contains both a `1` and a mixed
+    /// value (ascending). Total `4^n − 3^n + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than 4.
+    pub fn permutable(n: usize) -> Self {
+        assert!(
+            (1..=4).contains(&n),
+            "permutable domain supports 1..=4 wires"
+        );
+        let mut patterns: Vec<Pattern> = (0..2usize.pow(n as u32))
+            .map(|bits| Pattern::from_bits(bits, n))
+            .collect();
+        let mixed = (0..4usize.pow(n as u32))
+            .map(|code| Pattern::from_code(code, n))
+            .filter(|p| p.contains_one() && p.contains_mixed());
+        patterns.extend(mixed);
+        Self::from_patterns(n, patterns)
+    }
+
+    /// The row ordering of the paper's **Table 1**: all `4^n` patterns,
+    /// grouped by *which* wires are mixed (pure binary rows first, then
+    /// data-mixed, then control-mixed, then both), ascending within each
+    /// group.
+    ///
+    /// Formally the sort key is `(mixed-mask, base-4 code)` where the
+    /// mixed-mask has a 1-bit for every mixed wire, wire `A` most
+    /// significant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than 3.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::{PatternDomain, Value};
+    /// let d = PatternDomain::table_ordered(2);
+    /// // Row 7 of Table 1 is (1, V0).
+    /// assert_eq!(d.pattern(7).values(), &[Value::One, Value::V0]);
+    /// ```
+    pub fn table_ordered(n: usize) -> Self {
+        assert!((1..=3).contains(&n), "table ordering supports 1..=3 wires");
+        let mut patterns: Vec<Pattern> = (0..4usize.pow(n as u32))
+            .map(|code| Pattern::from_code(code, n))
+            .collect();
+        let mask = |p: &Pattern| -> usize {
+            p.values()
+                .iter()
+                .fold(0, |acc, v| (acc << 1) | usize::from(v.is_mixed()))
+        };
+        patterns.sort_by_key(|p| (mask(p), p.code()));
+        Self::from_patterns(n, patterns)
+    }
+
+    fn from_patterns(wires: usize, patterns: Vec<Pattern>) -> Self {
+        let index_of = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i + 1))
+            .collect();
+        Self {
+            wires,
+            patterns,
+            index_of,
+        }
+    }
+
+    /// The number of wires `n`.
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// The number of indexed patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` iff the domain is empty (never happens for valid wire
+    /// counts; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The pattern at 1-based `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is 0 or exceeds [`PatternDomain::len`].
+    pub fn pattern(&self, index: usize) -> &Pattern {
+        &self.patterns[index - 1]
+    }
+
+    /// The 1-based index of `pattern`, or `None` if it is outside the
+    /// domain (e.g. a no-`1` mixed pattern in the permutable domain).
+    pub fn index(&self, pattern: &Pattern) -> Option<usize> {
+        self.index_of.get(pattern).copied()
+    }
+
+    /// The indices of the pure binary patterns — the paper's set
+    /// `S = {1, …, 2^n}` (ascending).
+    pub fn binary_set(&self) -> Vec<usize> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_binary())
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// The paper's banned set for a single wire: all indices whose pattern
+    /// carries a mixed value on `wire` (`N_A`, `N_B`, `N_C` for wires 0, 1,
+    /// 2).
+    pub fn banned_for_wire(&self, wire: usize) -> Vec<usize> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.value(wire).is_mixed())
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// The paper's banned set for a pair of wires: indices whose pattern is
+    /// mixed on either wire (`N_AB`, `N_AC`, `N_BC`).
+    pub fn banned_for_pair(&self, wire_a: usize, wire_b: usize) -> Vec<usize> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.value(wire_a).is_mixed() || p.value(wire_b).is_mixed())
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Iterates over `(1-based index, pattern)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Pattern)> {
+        self.patterns.iter().enumerate().map(|(i, p)| (i + 1, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(PatternDomain::full(2).len(), 16); // Table 1
+        assert_eq!(PatternDomain::full(3).len(), 64);
+        assert_eq!(PatternDomain::permutable(3).len(), 38); // 64 − 27 + 1
+        assert_eq!(PatternDomain::permutable(2).len(), 8); // 16 − 9 + 1
+    }
+
+    #[test]
+    fn binary_patterns_come_first() {
+        let d = PatternDomain::permutable(3);
+        for (idx, bits) in (1..=8).zip(0..8) {
+            assert_eq!(d.pattern(idx).to_bits(), Some(bits));
+        }
+        assert_eq!(d.binary_set(), (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_patterns_sorted_ascending() {
+        let d = PatternDomain::permutable(3);
+        let codes: Vec<usize> = (9..=38).map(|i| d.pattern(i).code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted);
+        // First mixed pattern is [0,1,V0] (code 6), per the hand encoding.
+        assert_eq!(
+            d.pattern(9).values(),
+            &[Value::Zero, Value::One, Value::V0]
+        );
+    }
+
+    #[test]
+    fn banned_sets_match_paper() {
+        let d = PatternDomain::permutable(3);
+        // N_A = {25,…,38}.
+        assert_eq!(d.banned_for_wire(0), (25..=38).collect::<Vec<_>>());
+        // N_B (paper, Section 3).
+        assert_eq!(
+            d.banned_for_wire(1),
+            vec![11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 30, 31, 37, 38]
+        );
+        // N_C (paper, Section 3).
+        assert_eq!(
+            d.banned_for_wire(2),
+            vec![9, 10, 13, 14, 15, 16, 19, 20, 23, 24, 28, 29, 35, 36]
+        );
+    }
+
+    #[test]
+    fn banned_pairs_match_paper() {
+        let d = PatternDomain::permutable(3);
+        // N_AB = N_A ∪ N_B.
+        assert_eq!(
+            d.banned_for_pair(0, 1),
+            vec![
+                11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31,
+                32, 33, 34, 35, 36, 37, 38
+            ]
+        );
+        // N_BC (paper, Section 3).
+        assert_eq!(
+            d.banned_for_pair(1, 2),
+            vec![
+                9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 28,
+                29, 30, 31, 35, 36, 37, 38
+            ]
+        );
+    }
+
+    #[test]
+    fn index_lookup_roundtrip() {
+        let d = PatternDomain::permutable(3);
+        for (idx, pattern) in d.iter() {
+            assert_eq!(d.index(pattern), Some(idx));
+        }
+        // A no-1 mixed pattern is outside the permutable domain.
+        let outside = Pattern::new(vec![Value::V0, Value::Zero, Value::V1]);
+        assert_eq!(d.index(&outside), None);
+    }
+
+    #[test]
+    fn full_domain_indexes_by_code() {
+        let d = PatternDomain::full(2);
+        for (idx, pattern) in d.iter() {
+            assert_eq!(pattern.code(), idx - 1);
+        }
+    }
+
+    #[test]
+    fn full_domain_binary_set_is_sparse() {
+        // In the full 2-wire domain the binary patterns are rows 1, 2, 5, 6
+        // (codes 0, 1, 4, 5) — Table 1's first four rows after relabeling.
+        let d = PatternDomain::full(2);
+        assert_eq!(d.binary_set(), vec![1, 2, 5, 6]);
+    }
+}

@@ -1,0 +1,569 @@
+use std::fmt;
+
+use mvq_matrix::CMatrix;
+use mvq_perm::Perm;
+
+use crate::{wire_name, Pattern, PatternDomain, Value};
+
+/// An elementary quantum gate placed on specific wires of an `n`-qubit
+/// register (Figure 2 of the paper).
+///
+/// The subscript convention follows the paper: the **first** wire index is
+/// the data wire (the one that changes), the **second** is the control.
+/// `Gate::v(1, 0)` is the paper's `V_BA` — V applied to `B`, controlled by
+/// `A`.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::{Gate, PatternDomain};
+///
+/// let domain = PatternDomain::permutable(3);
+/// let feca = Gate::feynman(2, 0); // F_CA: C ^= A
+/// assert_eq!(feca.perm(&domain).to_string(), "(5,6)(7,8)(17,18)(21,22)");
+/// assert_eq!(feca.to_string(), "FCA");
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Gate {
+    /// Controlled-V: `data ← V(data)` when `control = 1`.
+    V {
+        /// The wire whose value changes.
+        data: usize,
+        /// The (binary-constrained) control wire.
+        control: usize,
+    },
+    /// Controlled-V⁺: `data ← V⁺(data)` when `control = 1`.
+    VDagger {
+        /// The wire whose value changes.
+        data: usize,
+        /// The (binary-constrained) control wire.
+        control: usize,
+    },
+    /// Feynman / CNOT: `data ← data ⊕ control` (both wires binary).
+    Feynman {
+        /// The wire receiving the XOR.
+        data: usize,
+        /// The other XOR operand.
+        control: usize,
+    },
+    /// Single-qubit NOT (inverter) — quantum cost 0 in the paper's model.
+    Not {
+        /// The inverted wire.
+        wire: usize,
+    },
+}
+
+impl Gate {
+    /// Controlled-V with the given data and control wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data == control`.
+    pub fn v(data: usize, control: usize) -> Self {
+        assert_ne!(data, control, "data and control must differ");
+        Gate::V { data, control }
+    }
+
+    /// Controlled-V⁺ with the given data and control wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data == control`.
+    pub fn v_dagger(data: usize, control: usize) -> Self {
+        assert_ne!(data, control, "data and control must differ");
+        Gate::VDagger { data, control }
+    }
+
+    /// Feynman (CNOT) with the given data (target) and control wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data == control`.
+    pub fn feynman(data: usize, control: usize) -> Self {
+        assert_ne!(data, control, "data and control must differ");
+        Gate::Feynman { data, control }
+    }
+
+    /// NOT on `wire`.
+    pub fn not(wire: usize) -> Self {
+        Gate::Not { wire }
+    }
+
+    /// The wires the gate touches (data first).
+    pub fn wires(&self) -> Vec<usize> {
+        match *self {
+            Gate::V { data, control }
+            | Gate::VDagger { data, control }
+            | Gate::Feynman { data, control } => vec![data, control],
+            Gate::Not { wire } => vec![wire],
+        }
+    }
+
+    /// `true` for the 2-qubit gates (cost 1); `false` for NOT (cost 0).
+    pub fn is_two_qubit(&self) -> bool {
+        !matches!(self, Gate::Not { .. })
+    }
+
+    /// The Hermitian adjoint of the gate: swaps V ↔ V⁺, fixes Feynman and
+    /// NOT (both are self-adjoint).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::Gate;
+    /// assert_eq!(Gate::v(1, 0).adjoint(), Gate::v_dagger(1, 0));
+    /// assert_eq!(Gate::feynman(2, 1).adjoint(), Gate::feynman(2, 1));
+    /// ```
+    pub fn adjoint(&self) -> Self {
+        match *self {
+            Gate::V { data, control } => Gate::VDagger { data, control },
+            Gate::VDagger { data, control } => Gate::V { data, control },
+            other => other,
+        }
+    }
+
+    /// Applies the gate to a pattern under the paper's multiple-valued
+    /// semantics:
+    ///
+    /// * controlled-V / V⁺ act on the data wire when the control is `1`,
+    ///   and leave the pattern unchanged when the control is `0` **or
+    ///   mixed** (the paper's don't-care convention that makes the gate a
+    ///   permutation);
+    /// * Feynman XORs when both wires are binary, else leaves the pattern
+    ///   unchanged;
+    /// * NOT always inverts its wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced wire is out of range for the pattern.
+    pub fn apply(&self, pattern: &Pattern) -> Pattern {
+        match *self {
+            Gate::V { data, control } => match pattern.value(control) {
+                Value::One => pattern.with_value(data, pattern.value(data).apply_v()),
+                _ => pattern.clone(),
+            },
+            Gate::VDagger { data, control } => match pattern.value(control) {
+                Value::One => {
+                    pattern.with_value(data, pattern.value(data).apply_v_dagger())
+                }
+                _ => pattern.clone(),
+            },
+            Gate::Feynman { data, control } => {
+                match pattern.value(data).xor(pattern.value(control)) {
+                    Some(x) => pattern.with_value(data, x),
+                    None => pattern.clone(),
+                }
+            }
+            Gate::Not { wire } => pattern.with_value(wire, pattern.value(wire).apply_not()),
+        }
+    }
+
+    /// The gate's permutation of a pattern domain — the paper's
+    /// representation `(3,7,4,8)`, `VBA = (5,17,7,21)…` etc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate maps some domain pattern outside the domain
+    /// (cannot happen for [`PatternDomain::full`],
+    /// [`PatternDomain::table_ordered`] or [`PatternDomain::permutable`]:
+    /// gates fix every no-`1` pattern).
+    pub fn perm(&self, domain: &PatternDomain) -> Perm {
+        let images: Vec<usize> = (1..=domain.len())
+            .map(|idx| {
+                let out = self.apply(domain.pattern(idx));
+                domain
+                    .index(&out)
+                    .expect("gate output stays inside the domain")
+            })
+            .collect();
+        Perm::from_images(&images).expect("gates are bijections")
+    }
+
+    /// The exact `2^n × 2^n` unitary of the gate on an `n`-wire register
+    /// (wire `A` is the most significant bit of the basis index).
+    ///
+    /// This is the bridge back from the multiple-valued abstraction to
+    /// Hilbert space: cascades of these matrices are compared against
+    /// target permutation matrices in the verification tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced wire is ≥ `n`.
+    pub fn unitary(&self, n: usize) -> CMatrix {
+        let dim = 1usize << n;
+        let bit = |wire: usize| -> usize {
+            assert!(wire < n, "wire out of range");
+            1 << (n - 1 - wire)
+        };
+        match *self {
+            Gate::V { data, control } | Gate::VDagger { data, control } => {
+                let v = match self {
+                    Gate::V { .. } => CMatrix::v_gate(),
+                    _ => CMatrix::v_dagger_gate(),
+                };
+                let cm = bit(control);
+                let dm = bit(data);
+                let mut m = CMatrix::zeros(dim, dim);
+                for col in 0..dim {
+                    if col & cm == 0 {
+                        m.set(col, col, mvq_arith::CDyadic::ONE);
+                    } else {
+                        let d_in = usize::from(col & dm != 0);
+                        for d_out in 0..2 {
+                            let row = (col & !dm) | if d_out == 1 { dm } else { 0 };
+                            m.set(row, col, v[(d_out, d_in)]);
+                        }
+                    }
+                }
+                m
+            }
+            Gate::Feynman { data, control } => {
+                let cm = bit(control);
+                let dm = bit(data);
+                let images: Vec<usize> = (0..dim)
+                    .map(|col| (if col & cm != 0 { col ^ dm } else { col }) + 1)
+                    .collect();
+                CMatrix::permutation(&images)
+            }
+            Gate::Not { wire } => {
+                let wm = bit(wire);
+                let images: Vec<usize> = (0..dim).map(|col| (col ^ wm) + 1).collect();
+                CMatrix::permutation(&images)
+            }
+        }
+    }
+}
+
+/// Error returned when parsing a [`Gate`] from paper notation fails.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Gate;
+/// assert!("VXX".parse::<Gate>().is_err());
+/// assert!("QAB".parse::<Gate>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateError {
+    input: String,
+}
+
+impl fmt::Display for ParseGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid gate `{}` (expected paper notation such as VBA, V+AB, FCA or NOT(B))",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseGateError {}
+
+impl std::str::FromStr for Gate {
+    type Err = ParseGateError;
+
+    /// Parses the paper's notation: `VBA` / `V+AB` / `FCA` / `NOT(B)`.
+    ///
+    /// The first wire letter is the data wire, the second the control
+    /// (Figure 2 convention). Case-sensitive; wires `A`–`Z`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::Gate;
+    /// assert_eq!("VBA".parse::<Gate>().unwrap(), Gate::v(1, 0));
+    /// assert_eq!("V+AB".parse::<Gate>().unwrap(), Gate::v_dagger(0, 1));
+    /// assert_eq!("FCA".parse::<Gate>().unwrap(), Gate::feynman(2, 0));
+    /// assert_eq!("NOT(B)".parse::<Gate>().unwrap(), Gate::not(1));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseGateError { input: s.into() };
+        let s = s.trim();
+        let wire = |c: char| -> Result<usize, ParseGateError> {
+            if c.is_ascii_uppercase() {
+                Ok((c as u8 - b'A') as usize)
+            } else {
+                Err(err())
+            }
+        };
+        if let Some(inner) = s.strip_prefix("NOT(").and_then(|r| r.strip_suffix(')')) {
+            let mut chars = inner.chars();
+            let (Some(w), None) = (chars.next(), chars.next()) else {
+                return Err(err());
+            };
+            return Ok(Gate::not(wire(w)?));
+        }
+        let (kind, rest): (u8, &str) = if let Some(rest) = s.strip_prefix("V+") {
+            (1, rest)
+        } else if let Some(rest) = s.strip_prefix('V') {
+            (0, rest)
+        } else if let Some(rest) = s.strip_prefix("Fe") {
+            // The paper occasionally writes "FeCA" for Feynman gates.
+            (2, rest)
+        } else if let Some(rest) = s.strip_prefix('F') {
+            (2, rest)
+        } else {
+            return Err(err());
+        };
+        let mut chars = rest.chars();
+        let (Some(d), Some(c), None) = (chars.next(), chars.next(), chars.next()) else {
+            return Err(err());
+        };
+        let (data, control) = (wire(d)?, wire(c)?);
+        if data == control {
+            return Err(err());
+        }
+        Ok(match kind {
+            0 => Gate::v(data, control),
+            1 => Gate::v_dagger(data, control),
+            _ => Gate::feynman(data, control),
+        })
+    }
+}
+
+impl fmt::Display for Gate {
+    /// Paper notation: `VBA`, `V+AB`, `FCA`, `NOT(B)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::V { data, control } => {
+                write!(f, "V{}{}", wire_name(data), wire_name(control))
+            }
+            Gate::VDagger { data, control } => {
+                write!(f, "V+{}{}", wire_name(data), wire_name(control))
+            }
+            Gate::Feynman { data, control } => {
+                write!(f, "F{}{}", wire_name(data), wire_name(control))
+            }
+            Gate::Not { wire } => write!(f, "NOT({})", wire_name(wire)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formula_vba() {
+        let d = PatternDomain::permutable(3);
+        assert_eq!(
+            Gate::v(1, 0).perm(&d).to_string(),
+            "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)"
+        );
+    }
+
+    #[test]
+    fn paper_formula_v_dagger_ab() {
+        let d = PatternDomain::permutable(3);
+        assert_eq!(
+            Gate::v_dagger(0, 1).perm(&d).to_string(),
+            "(3,33,7,26)(4,34,8,27)(9,35,15,28)(10,36,16,29)"
+        );
+    }
+
+    #[test]
+    fn paper_formula_feca() {
+        let d = PatternDomain::permutable(3);
+        assert_eq!(
+            Gate::feynman(2, 0).perm(&d).to_string(),
+            "(5,6)(7,8)(17,18)(21,22)"
+        );
+    }
+
+    #[test]
+    fn ctrl_v_2qubit_table_perm() {
+        // Table 1's permutation representation: (3,7,4,8).
+        let d = PatternDomain::table_ordered(2);
+        assert_eq!(Gate::v(1, 0).perm(&d).to_string(), "(3,7,4,8)");
+    }
+
+    #[test]
+    fn v_then_v_gives_not_on_patterns() {
+        let d = PatternDomain::permutable(3);
+        let v = Gate::v(1, 0);
+        for (_, p) in d.iter() {
+            let twice = v.apply(&v.apply(p));
+            // When control is 1, two Vs equal a NOT on the data wire.
+            if p.value(0) == Value::One {
+                assert_eq!(twice.value(1), p.value(1).apply_not());
+            } else {
+                assert_eq!(&twice, p);
+            }
+        }
+    }
+
+    #[test]
+    fn v_dagger_perm_is_inverse_of_v_perm() {
+        let d = PatternDomain::permutable(3);
+        for (data, control) in [(0, 1), (1, 0), (2, 0), (0, 2), (2, 1), (1, 2)] {
+            let v = Gate::v(data, control).perm(&d);
+            let vd = Gate::v_dagger(data, control).perm(&d);
+            assert!((v * vd).is_identity());
+        }
+    }
+
+    #[test]
+    fn feynman_perm_is_involution() {
+        let d = PatternDomain::permutable(3);
+        let f = Gate::feynman(0, 2).perm(&d);
+        assert!((f.clone() * f).is_identity());
+    }
+
+    #[test]
+    fn gates_fix_no_one_patterns() {
+        // "Every pattern must contain a 1. Otherwise, this pattern will not
+        // change after any quantum gate."
+        let d = PatternDomain::full(3);
+        let gates = [
+            Gate::v(1, 0),
+            Gate::v_dagger(2, 1),
+            Gate::feynman(0, 2),
+        ];
+        for (_, p) in d.iter() {
+            if !p.contains_one() {
+                for g in gates {
+                    assert_eq!(&g.apply(p), p, "{g} moved {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_gate_acts_everywhere() {
+        let p = Pattern::new(vec![Value::V0, Value::One, Value::Zero]);
+        let out = Gate::not(0).apply(&p);
+        assert_eq!(out.value(0), Value::V1);
+    }
+
+    #[test]
+    fn unitary_of_feynman_is_cnot() {
+        // F_CA on 3 wires: flip C when A = 1 — permutation (5,6)(7,8) of
+        // basis states 1..8.
+        let u = Gate::feynman(2, 0).unitary(3);
+        assert_eq!(
+            u.to_permutation_images().unwrap(),
+            vec![1, 2, 3, 4, 6, 5, 8, 7]
+        );
+    }
+
+    #[test]
+    fn unitary_of_controlled_v_is_unitary_and_correct() {
+        let u = Gate::v(1, 0).unitary(2);
+        assert!(u.is_unitary());
+        // Control 0 block is identity.
+        assert!(u[(0, 0)].is_one());
+        assert!(u[(1, 1)].is_one());
+        // Control 1 block is V.
+        let v = CMatrix::v_gate();
+        assert_eq!(u[(2, 2)], v[(0, 0)]);
+        assert_eq!(u[(2, 3)], v[(0, 1)]);
+        assert_eq!(u[(3, 2)], v[(1, 0)]);
+        assert_eq!(u[(3, 3)], v[(1, 1)]);
+    }
+
+    #[test]
+    fn unitary_v_squares_to_cnot() {
+        // Controlled-V twice = CNOT, at the full matrix level.
+        let v = Gate::v(1, 0).unitary(3);
+        let cnot = Gate::feynman(1, 0).unitary(3);
+        assert_eq!(&v * &v, cnot);
+    }
+
+    #[test]
+    fn unitary_adjoint_matches_gate_adjoint() {
+        let g = Gate::v(2, 1);
+        assert_eq!(g.unitary(3).adjoint(), g.adjoint().unitary(3));
+    }
+
+    #[test]
+    fn unitary_agrees_with_pattern_semantics() {
+        // For every gate and every domain pattern, applying the unitary to
+        // the pattern's product-state amplitudes equals the amplitudes of
+        // the pattern image. The MV algebra is exactly the unitary algebra
+        // restricted to product states.
+        let d = PatternDomain::permutable(3);
+        let gates = [Gate::v(1, 0), Gate::v_dagger(0, 2), Gate::feynman(2, 1)];
+        for g in gates {
+            let u = g.unitary(3);
+            for (_, p) in d.iter() {
+                // Controlled gates with a mixed control are genuinely
+                // entangling; the paper *defines* those cases as identity
+                // (don't care). Skip them: the MV semantics is only
+                // claimed on reachable (control-binary) patterns.
+                if let Gate::V { control, .. } | Gate::VDagger { control, .. } = g {
+                    if p.value(control).is_mixed() {
+                        continue;
+                    }
+                }
+                if let Gate::Feynman { data, control } = g {
+                    if p.value(data).is_mixed() || p.value(control).is_mixed() {
+                        continue;
+                    }
+                }
+                let amps = pattern_amplitudes(p);
+                let got = u.apply(&amps);
+                let want = pattern_amplitudes(&g.apply(p));
+                assert_eq!(got, want, "{g} on {p}");
+            }
+        }
+    }
+
+    fn pattern_amplitudes(p: &Pattern) -> Vec<mvq_arith::CDyadic> {
+        // Tensor product left to right: wire A ends up most significant.
+        let mut amps = vec![mvq_arith::CDyadic::ONE];
+        for v in p.values() {
+            let (a0, a1) = v.amplitudes();
+            let mut next = Vec::with_capacity(amps.len() * 2);
+            for &a in &amps {
+                next.push(a * a0);
+                next.push(a * a1);
+            }
+            amps = next;
+        }
+        amps
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gate::v(1, 0).to_string(), "VBA");
+        assert_eq!(Gate::v_dagger(0, 1).to_string(), "V+AB");
+        assert_eq!(Gate::feynman(2, 0).to_string(), "FCA");
+        assert_eq!(Gate::not(1).to_string(), "NOT(B)");
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_wire_rejected() {
+        let _ = Gate::v(1, 1);
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        let gates = [
+            Gate::v(1, 0),
+            Gate::v_dagger(0, 1),
+            Gate::feynman(2, 0),
+            Gate::not(1),
+            Gate::v(2, 1),
+            Gate::v_dagger(2, 0),
+        ];
+        for g in gates {
+            let s = g.to_string();
+            assert_eq!(s.parse::<Gate>().unwrap(), g, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_fe_prefix() {
+        assert_eq!("FeCA".parse::<Gate>().unwrap(), Gate::feynman(2, 0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_gates() {
+        for bad in ["", "V", "VA", "VAA", "XAB", "NOT()", "NOT(AB)", "vba", "V+A"] {
+            assert!(bad.parse::<Gate>().is_err(), "should reject `{bad}`");
+        }
+    }
+}

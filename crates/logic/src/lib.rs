@@ -1,0 +1,65 @@
+//! Quaternary signal algebra, pattern domains and the quantum-gate →
+//! permutation encoding of the reproduced paper.
+//!
+//! With pure binary primary inputs, every wire of a circuit built from
+//! controlled-V, controlled-V⁺, Feynman (CNOT) and NOT gates carries one of
+//! only four values ([`Value`]): `0`, `1`, `V0 = V|0⟩`, `V1 = V|1⟩`
+//! (Section 2 of the paper; `V0 = V⁺1` and `V1 = V⁺0` collapse the six
+//! seemingly-possible values to four). A joint assignment to `n` wires is a
+//! [`Pattern`]; the paper's index encoding of patterns is captured by
+//! [`PatternDomain`]:
+//!
+//! * [`PatternDomain::full`] — all `4^n` patterns (Table 1 uses `n = 2`),
+//! * [`PatternDomain::permutable`] — the paper's reduced domain: patterns
+//!   that contain a `1`, plus the all-zero pattern (`4^n − 3^n + 1`
+//!   patterns; **38** for `n = 3`), with the `2^n` binary patterns first.
+//!
+//! Every [`Gate`] then becomes a permutation of the domain
+//! ([`Gate::perm`]), cascading constraints become banned sets
+//! ([`GateLibrary`]), and the synthesis problem is handed over to group
+//! theory exactly as in Section 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvq_logic::{Gate, PatternDomain};
+//!
+//! let domain = PatternDomain::permutable(3);
+//! assert_eq!(domain.len(), 38);
+//!
+//! // The paper's formula: VBA = (5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24).
+//! let vba = Gate::v(1, 0); // data wire B, control wire A
+//! assert_eq!(
+//!     vba.perm(&domain).to_string(),
+//!     "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)",
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod gate;
+mod library;
+mod pattern;
+mod table;
+mod value;
+
+pub use domain::PatternDomain;
+pub use gate::{Gate, ParseGateError};
+pub use library::{BannedSets, GateLibrary, LibraryGate};
+pub use pattern::Pattern;
+pub use table::{TruthTable, TruthTableRow};
+pub use value::Value;
+
+/// Returns the conventional wire name for a wire index: `A`, `B`, `C`, …
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mvq_logic::wire_name(0), 'A');
+/// assert_eq!(mvq_logic::wire_name(2), 'C');
+/// ```
+pub fn wire_name(wire: usize) -> char {
+    (b'A' + wire as u8) as char
+}

@@ -1,0 +1,319 @@
+use mvq_perm::Perm;
+
+use crate::{Gate, PatternDomain};
+
+/// A library gate: an elementary gate together with its precomputed
+/// permutation and banned-set mask on a fixed [`PatternDomain`].
+///
+/// The banned set is the paper's `N` set for the gate's wire constraint;
+/// the gate may be cascaded after a circuit `f` iff `f(S)` avoids it
+/// (Definition 1, the *reasonable product*).
+#[derive(Debug, Clone)]
+pub struct LibraryGate {
+    gate: Gate,
+    perm: Perm,
+    banned_mask: u64,
+}
+
+impl LibraryGate {
+    /// The underlying gate.
+    pub fn gate(&self) -> Gate {
+        self.gate
+    }
+
+    /// The gate's permutation of the library's domain.
+    pub fn perm(&self) -> &Perm {
+        &self.perm
+    }
+
+    /// Bitmask over 1-based domain indices (bit `i−1` set ⇔ index `i`
+    /// banned).
+    pub fn banned_mask(&self) -> u64 {
+        self.banned_mask
+    }
+
+    /// `true` iff the gate may be cascaded after a circuit whose image of
+    /// the binary set `S` is `image_mask` (same bit convention).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::GateLibrary;
+    ///
+    /// let lib = GateLibrary::standard(3);
+    /// let identity_image = lib.binary_set_mask();
+    /// // Every gate is reasonable after the empty circuit.
+    /// assert!(lib.gates().iter().all(|g| g.is_reasonable_after(identity_image)));
+    /// ```
+    pub fn is_reasonable_after(&self, image_mask: u64) -> bool {
+        image_mask & self.banned_mask == 0
+    }
+}
+
+/// The paper's banned sets for a 3-wire domain, exposed for inspection and
+/// tests (`N_A`, `N_B`, `N_C`, `N_AB`, `N_AC`, `N_BC` of Section 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BannedSets {
+    /// Indices whose pattern is mixed on wire A.
+    pub n_a: Vec<usize>,
+    /// Indices whose pattern is mixed on wire B.
+    pub n_b: Vec<usize>,
+    /// Indices whose pattern is mixed on wire C.
+    pub n_c: Vec<usize>,
+    /// Mixed on A or B.
+    pub n_ab: Vec<usize>,
+    /// Mixed on A or C.
+    pub n_ac: Vec<usize>,
+    /// Mixed on B or C.
+    pub n_bc: Vec<usize>,
+}
+
+/// The paper's quantum gate library **L** on an `n`-wire register: all
+/// controlled-V, controlled-V⁺ and Feynman placements (`6 + 6 + 6 = 18`
+/// gates for `n = 3`), with precomputed permutations and banned masks on
+/// the permutable domain.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::GateLibrary;
+///
+/// let lib = GateLibrary::standard(3);
+/// assert_eq!(lib.gates().len(), 18);
+/// assert_eq!(lib.domain().len(), 38);
+/// assert_eq!(lib.not_gates().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateLibrary {
+    domain: PatternDomain,
+    gates: Vec<LibraryGate>,
+    binary_set: Vec<usize>,
+    binary_set_mask: u64,
+}
+
+impl GateLibrary {
+    /// Builds the standard library (all V, V⁺ and Feynman placements) on
+    /// the permutable domain for `n` wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2 or 3 (domain index masks are stored in a
+    /// `u64`; `n = 3` gives 38 indices, `n = 4` would give 176).
+    pub fn standard(n: usize) -> Self {
+        assert!(
+            (2..=3).contains(&n),
+            "standard library supports 2 or 3 wires"
+        );
+        Self::with_domain(PatternDomain::permutable(n))
+    }
+
+    /// Builds the library over an explicit domain (e.g.
+    /// [`PatternDomain::full`] for the domain-reduction ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has more than 64 indices.
+    pub fn with_domain(domain: PatternDomain) -> Self {
+        assert!(domain.len() <= 64, "domain exceeds 64-bit masks");
+        let n = domain.wires();
+        let mask_of = |indices: &[usize]| -> u64 {
+            indices.iter().map(|&i| 1u64 << (i - 1)).sum()
+        };
+        let mut gates = Vec::new();
+        for data in 0..n {
+            for control in 0..n {
+                if data == control {
+                    continue;
+                }
+                for gate in [
+                    Gate::v(data, control),
+                    Gate::v_dagger(data, control),
+                ] {
+                    gates.push(LibraryGate {
+                        gate,
+                        perm: gate.perm(&domain),
+                        banned_mask: mask_of(&domain.banned_for_wire(control)),
+                    });
+                }
+            }
+        }
+        // Feynman gates: banned when either wire is mixed.
+        for data in 0..n {
+            for control in 0..n {
+                if data == control {
+                    continue;
+                }
+                let gate = Gate::feynman(data, control);
+                gates.push(LibraryGate {
+                    gate,
+                    perm: gate.perm(&domain),
+                    banned_mask: mask_of(&domain.banned_for_pair(data, control)),
+                });
+            }
+        }
+        let binary_set = domain.binary_set();
+        let binary_set_mask = mask_of(&binary_set);
+        Self {
+            domain,
+            gates,
+            binary_set,
+            binary_set_mask,
+        }
+    }
+
+    /// The pattern domain the library acts on.
+    pub fn domain(&self) -> &PatternDomain {
+        &self.domain
+    }
+
+    /// All 2-qubit library gates.
+    pub fn gates(&self) -> &[LibraryGate] {
+        &self.gates
+    }
+
+    /// The NOT gates (cost 0, used for the Theorem 2 coset layer).
+    pub fn not_gates(&self) -> Vec<Gate> {
+        (0..self.domain.wires()).map(Gate::not).collect()
+    }
+
+    /// The paper's `S`: indices of the pure binary patterns.
+    pub fn binary_set(&self) -> &[usize] {
+        &self.binary_set
+    }
+
+    /// `S` as a bitmask (bit `i−1` ⇔ index `i`).
+    pub fn binary_set_mask(&self) -> u64 {
+        self.binary_set_mask
+    }
+
+    /// Looks up the library gate for `gate`, if present.
+    pub fn find(&self, gate: Gate) -> Option<&LibraryGate> {
+        self.gates.iter().find(|lg| lg.gate == gate)
+    }
+
+    /// The banned sets in the paper's notation (3-wire domains only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain does not have exactly 3 wires.
+    pub fn banned_sets(&self) -> BannedSets {
+        assert_eq!(self.domain.wires(), 3, "banned-set notation is 3-wire");
+        BannedSets {
+            n_a: self.domain.banned_for_wire(0),
+            n_b: self.domain.banned_for_wire(1),
+            n_c: self.domain.banned_for_wire(2),
+            n_ab: self.domain.banned_for_pair(0, 1),
+            n_ac: self.domain.banned_for_pair(0, 2),
+            n_bc: self.domain.banned_for_pair(1, 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_18_gates() {
+        let lib = GateLibrary::standard(3);
+        assert_eq!(lib.gates().len(), 18);
+        let v_count = lib
+            .gates()
+            .iter()
+            .filter(|g| matches!(g.gate(), Gate::V { .. }))
+            .count();
+        assert_eq!(v_count, 6);
+    }
+
+    #[test]
+    fn two_wire_library() {
+        let lib = GateLibrary::standard(2);
+        assert_eq!(lib.gates().len(), 6); // 2 V + 2 V⁺ + 2 F
+        assert_eq!(lib.domain().len(), 8);
+        assert_eq!(lib.binary_set(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn binary_set_mask_is_low_bits() {
+        let lib = GateLibrary::standard(3);
+        assert_eq!(lib.binary_set_mask(), 0xFF);
+    }
+
+    #[test]
+    fn banned_sets_match_paper() {
+        let lib = GateLibrary::standard(3);
+        let b = lib.banned_sets();
+        assert_eq!(b.n_a, (25..=38).collect::<Vec<_>>());
+        assert_eq!(
+            b.n_b,
+            vec![11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 30, 31, 37, 38]
+        );
+        assert_eq!(
+            b.n_c,
+            vec![9, 10, 13, 14, 15, 16, 19, 20, 23, 24, 28, 29, 35, 36]
+        );
+        // Pair sets are unions of the wire sets.
+        let union = |x: &[usize], y: &[usize]| {
+            let mut u: Vec<usize> = x.iter().chain(y).copied().collect();
+            u.sort_unstable();
+            u.dedup();
+            u
+        };
+        assert_eq!(b.n_ab, union(&b.n_a, &b.n_b));
+        assert_eq!(b.n_ac, union(&b.n_a, &b.n_c));
+        assert_eq!(b.n_bc, union(&b.n_b, &b.n_c));
+    }
+
+    #[test]
+    fn identity_image_allows_all_gates() {
+        let lib = GateLibrary::standard(3);
+        let s = lib.binary_set_mask();
+        for g in lib.gates() {
+            assert!(g.is_reasonable_after(s), "{} blocked at identity", g.gate());
+        }
+    }
+
+    #[test]
+    fn v_gate_image_blocks_dependent_gates() {
+        // After VBA, binary patterns with A=1 have a mixed B; gates
+        // controlled by B (or XOR-touching B) must be banned.
+        let lib = GateLibrary::standard(3);
+        let vba = lib.find(Gate::v(1, 0)).unwrap();
+        let image_mask: u64 = lib
+            .binary_set()
+            .iter()
+            .map(|&p| 1u64 << (vba.perm().image(p) - 1))
+            .sum();
+        // V controlled by B: banned.
+        assert!(!lib.find(Gate::v(0, 1)).unwrap().is_reasonable_after(image_mask));
+        // Feynman touching B: banned.
+        assert!(!lib
+            .find(Gate::feynman(1, 2))
+            .unwrap()
+            .is_reasonable_after(image_mask));
+        // V *on data* B controlled by A: allowed (control A stays binary).
+        assert!(lib.find(Gate::v(1, 0)).unwrap().is_reasonable_after(image_mask));
+        // Feynman on A and C: allowed.
+        assert!(lib
+            .find(Gate::feynman(2, 0))
+            .unwrap()
+            .is_reasonable_after(image_mask));
+    }
+
+    #[test]
+    fn with_full_domain_works() {
+        let lib = GateLibrary::with_domain(PatternDomain::full(3));
+        assert_eq!(lib.domain().len(), 64);
+        assert_eq!(lib.gates().len(), 18);
+        // Binary set in the full domain is sparse but has 8 entries.
+        assert_eq!(lib.binary_set().len(), 8);
+    }
+
+    #[test]
+    fn find_locates_gates() {
+        let lib = GateLibrary::standard(3);
+        assert!(lib.find(Gate::v(2, 1)).is_some());
+        assert!(lib.find(Gate::not(0)).is_none());
+        assert_eq!(lib.not_gates().len(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+use std::fmt;
+
+use crate::Value;
+
+/// A joint assignment of [`Value`]s to `n` wires — one row of the paper's
+/// truth tables.
+///
+/// Wire 0 is the paper's `A` (most significant in the base-4 code), wire 1
+/// is `B`, and so on. The base-4 code induced by the value ordering
+/// `0 < 1 < V0 < V1` is the paper's "from small to big" pattern order.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::{Pattern, Value};
+///
+/// let p = Pattern::new(vec![Value::One, Value::V0, Value::Zero]);
+/// assert_eq!(p.code(), 1 * 16 + 2 * 4 + 0);
+/// assert_eq!(p.to_string(), "[1,V0,0]");
+/// assert!(p.contains_one());
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern {
+    values: Vec<Value>,
+}
+
+impl Pattern {
+    /// Creates a pattern from wire values (wire `A` first).
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// The all-zeros pattern on `n` wires.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            values: vec![Value::Zero; n],
+        }
+    }
+
+    /// Decodes a base-4 code into a pattern on `n` wires (wire `A` is the
+    /// most significant digit).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::{Pattern, Value};
+    /// let p = Pattern::from_code(0b100100 /* 36 = (2,1,0) base 4 */, 3);
+    /// assert_eq!(p.values(), &[Value::V0, Value::One, Value::Zero]);
+    /// ```
+    pub fn from_code(code: usize, n: usize) -> Self {
+        let values = (0..n)
+            .map(|wire| {
+                let shift = 2 * (n - 1 - wire);
+                Value::from_rank((code >> shift) & 0b11).expect("rank < 4")
+            })
+            .collect();
+        Self { values }
+    }
+
+    /// Builds a pattern from the bits of `bits` (`A` = most significant of
+    /// the low `n` bits), yielding a pure binary pattern.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::{Pattern, Value};
+    /// let p = Pattern::from_bits(0b110, 3);
+    /// assert_eq!(p.values(), &[Value::One, Value::One, Value::Zero]);
+    /// ```
+    pub fn from_bits(bits: usize, n: usize) -> Self {
+        let values = (0..n)
+            .map(|wire| {
+                if (bits >> (n - 1 - wire)) & 1 == 1 {
+                    Value::One
+                } else {
+                    Value::Zero
+                }
+            })
+            .collect();
+        Self { values }
+    }
+
+    /// The number of wires.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the pattern has no wires.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The wire values, `A` first.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value on `wire`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    pub fn value(&self, wire: usize) -> Value {
+        self.values[wire]
+    }
+
+    /// Returns a copy with `wire` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    pub fn with_value(&self, wire: usize, value: Value) -> Self {
+        let mut values = self.values.clone();
+        values[wire] = value;
+        Self { values }
+    }
+
+    /// The base-4 code of the pattern (paper sort key).
+    pub fn code(&self) -> usize {
+        self.values
+            .iter()
+            .fold(0, |acc, v| (acc << 2) | v.rank())
+    }
+
+    /// `true` iff every wire is binary.
+    pub fn is_binary(&self) -> bool {
+        self.values.iter().all(|v| v.is_binary())
+    }
+
+    /// For a binary pattern, its bit encoding (`A` most significant).
+    ///
+    /// Returns `None` if any wire is mixed.
+    pub fn to_bits(&self) -> Option<usize> {
+        self.values.iter().try_fold(0usize, |acc, v| match v {
+            Value::Zero => Some(acc << 1),
+            Value::One => Some((acc << 1) | 1),
+            _ => None,
+        })
+    }
+
+    /// `true` iff some wire carries the value `1`.
+    ///
+    /// Patterns without a `1` are fixed by every gate in the library
+    /// (Section 3: "every pattern must contain a 1, otherwise this pattern
+    /// will not change after any quantum gate").
+    pub fn contains_one(&self) -> bool {
+        self.values.contains(&Value::One)
+    }
+
+    /// `true` iff some wire carries a mixed value.
+    pub fn contains_mixed(&self) -> bool {
+        self.values.iter().any(|v| v.is_mixed())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip_all_three_wire_patterns() {
+        for code in 0..64 {
+            let p = Pattern::from_code(code, 3);
+            assert_eq!(p.code(), code);
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for bits in 0..8 {
+            let p = Pattern::from_bits(bits, 3);
+            assert!(p.is_binary());
+            assert_eq!(p.to_bits(), Some(bits));
+        }
+    }
+
+    #[test]
+    fn mixed_pattern_has_no_bits() {
+        let p = Pattern::new(vec![Value::V0, Value::One]);
+        assert_eq!(p.to_bits(), None);
+        assert!(!p.is_binary());
+        assert!(p.contains_mixed());
+    }
+
+    #[test]
+    fn contains_one_detects_fixity() {
+        assert!(!Pattern::new(vec![Value::Zero, Value::V0, Value::V1]).contains_one());
+        assert!(Pattern::new(vec![Value::Zero, Value::One, Value::V1]).contains_one());
+        assert!(!Pattern::zeros(3).contains_one());
+    }
+
+    #[test]
+    fn ordering_follows_code() {
+        let a = Pattern::from_code(5, 3);
+        let b = Pattern::from_code(9, 3);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn with_value_replaces_one_wire() {
+        let p = Pattern::zeros(3).with_value(1, Value::V1);
+        assert_eq!(p.value(1), Value::V1);
+        assert_eq!(p.value(0), Value::Zero);
+    }
+
+    #[test]
+    fn display() {
+        let p = Pattern::new(vec![Value::One, Value::V1, Value::Zero]);
+        assert_eq!(p.to_string(), "[1,V1,0]");
+    }
+}

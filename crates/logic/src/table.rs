@@ -1,0 +1,180 @@
+use std::fmt;
+
+use mvq_perm::Perm;
+
+use crate::{wire_name, Gate, Pattern, PatternDomain};
+
+/// One row of a gate truth table: input pattern, output pattern, and their
+/// 1-based labels (the paper's Table 1 layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTableRow {
+    /// 1-based input label.
+    pub input_label: usize,
+    /// The input pattern.
+    pub input: Pattern,
+    /// The output pattern.
+    pub output: Pattern,
+    /// 1-based label of the output pattern (the permutation image).
+    pub output_label: usize,
+}
+
+/// A complete truth table of a gate over a pattern domain, with the
+/// permutation representation the paper derives from it.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::{Gate, PatternDomain, TruthTable};
+///
+/// // Table 1: the 2-qubit controlled-V gate, and its permutation (3,7,4,8).
+/// let table = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+/// assert_eq!(table.perm().to_string(), "(3,7,4,8)");
+/// assert_eq!(table.rows().len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TruthTable {
+    gate: Gate,
+    domain: PatternDomain,
+    rows: Vec<TruthTableRow>,
+    perm: Perm,
+}
+
+impl TruthTable {
+    /// Builds the truth table of `gate` over `domain`.
+    pub fn new(gate: Gate, domain: PatternDomain) -> Self {
+        let rows: Vec<TruthTableRow> = domain
+            .iter()
+            .map(|(idx, pattern)| {
+                let output = gate.apply(pattern);
+                let output_label = domain
+                    .index(&output)
+                    .expect("gate output stays inside the domain");
+                TruthTableRow {
+                    input_label: idx,
+                    input: pattern.clone(),
+                    output,
+                    output_label,
+                }
+            })
+            .collect();
+        let perm = gate.perm(&domain);
+        Self {
+            gate,
+            domain,
+            rows,
+            perm,
+        }
+    }
+
+    /// The tabulated gate.
+    pub fn gate(&self) -> Gate {
+        self.gate
+    }
+
+    /// The pattern domain the table is enumerated over.
+    pub fn domain(&self) -> &PatternDomain {
+        &self.domain
+    }
+
+    /// All rows in domain order.
+    pub fn rows(&self) -> &[TruthTableRow] {
+        &self.rows
+    }
+
+    /// The permutation representation of the table.
+    pub fn perm(&self) -> &Perm {
+        &self.perm
+    }
+}
+
+impl fmt::Display for TruthTable {
+    /// Renders in the paper's Table 1 layout.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.domain.wires();
+        writeln!(f, "Truth table of {} ({} patterns)", self.gate, self.rows.len())?;
+        write!(f, "{:>5} ", "Label")?;
+        for w in 0..n {
+            write!(f, "{:>3} ", wire_name(w))?;
+        }
+        write!(f, "| ")?;
+        for w in 0..n {
+            write!(f, "{:>3} ", wire_name((w as u8 + b'P' - b'A') as usize))?;
+        }
+        writeln!(f, "{:>5}", "Label")?;
+        for row in &self.rows {
+            write!(f, "{:>5} ", row.input_label)?;
+            for v in row.input.values() {
+                write!(f, "{:>3} ", v.to_string())?;
+            }
+            write!(f, "| ")?;
+            for v in row.output.values() {
+                write!(f, "{:>3} ", v.to_string())?;
+            }
+            writeln!(f, "{:>5}", row.output_label)?;
+        }
+        write!(f, "Permutation: {}", self.perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn table_1_permutation() {
+        let t = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+        assert_eq!(t.perm().to_string(), "(3,7,4,8)");
+    }
+
+    #[test]
+    fn table_1_rows_match_paper() {
+        // Spot-check the paper's Table 1 rows (label → output label).
+        let t = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+        let expected_outputs = [1, 2, 7, 8, 5, 6, 4, 3, 9, 10, 11, 12, 13, 14, 15, 16];
+        for (row, &want) in t.rows().iter().zip(&expected_outputs) {
+            assert_eq!(
+                row.output_label, want,
+                "row {} ({})",
+                row.input_label, row.input
+            );
+        }
+    }
+
+    #[test]
+    fn table_1_row_7_detail() {
+        // Row 7: input (1, V0) → output (1, 1) = label 4.
+        let t = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+        let row = &t.rows()[6];
+        assert_eq!(row.input.values(), &[Value::One, Value::V0]);
+        assert_eq!(row.output.values(), &[Value::One, Value::One]);
+        assert_eq!(row.output_label, 4);
+    }
+
+    #[test]
+    fn dont_care_rows_are_fixed() {
+        // Rows 9–16 of Table 1 (mixed control) map to themselves.
+        let t = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+        for row in &t.rows()[8..] {
+            assert_eq!(row.input_label, row.output_label);
+        }
+    }
+
+    #[test]
+    fn display_contains_permutation() {
+        let t = TruthTable::new(Gate::v(1, 0), PatternDomain::table_ordered(2));
+        let s = t.to_string();
+        assert!(s.contains("(3,7,4,8)"));
+        assert!(s.contains("V0"));
+    }
+
+    #[test]
+    fn three_wire_table_has_38_rows() {
+        let t = TruthTable::new(Gate::v(1, 0), PatternDomain::permutable(3));
+        assert_eq!(t.rows().len(), 38);
+        assert_eq!(
+            t.perm().to_string(),
+            "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+use std::fmt;
+
+use mvq_arith::CDyadic;
+
+/// One of the four signal values a quantum wire can carry when the primary
+/// inputs are pure binary (Section 2 of the paper).
+///
+/// `V0` is the state `V|0⟩` and `V1` is `V|1⟩`. The paper's six candidate
+/// values collapse to these four because `V0 = V⁺1` and `V1 = V⁺0`.
+///
+/// The ordering `Zero < One < V0 < V1` is the paper's pattern ordering
+/// ("from small to big") and determines every index in the permutation
+/// encoding.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Value;
+///
+/// assert_eq!(Value::Zero.apply_v(), Value::V0);
+/// assert_eq!(Value::V0.apply_v(), Value::One);      // V·V = NOT
+/// assert_eq!(Value::V0.apply_v_dagger(), Value::Zero); // V⁺·V = I
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Value {
+    /// The pure state `|0⟩`.
+    #[default]
+    Zero,
+    /// The pure state `|1⟩`.
+    One,
+    /// The mixed state `V|0⟩ = ((1+i)|0⟩ + (1−i)|1⟩)/2`.
+    V0,
+    /// The mixed state `V|1⟩ = ((1−i)|0⟩ + (1+i)|1⟩)/2`.
+    V1,
+}
+
+impl Value {
+    /// All four values in paper order.
+    pub const ALL: [Value; 4] = [Value::Zero, Value::One, Value::V0, Value::V1];
+
+    /// The value's rank in the paper ordering: 0, 1, 2, 3.
+    pub fn rank(self) -> usize {
+        match self {
+            Value::Zero => 0,
+            Value::One => 1,
+            Value::V0 => 2,
+            Value::V1 => 3,
+        }
+    }
+
+    /// Builds a value from its rank.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::Value;
+    /// assert_eq!(Value::from_rank(2), Some(Value::V0));
+    /// assert_eq!(Value::from_rank(4), None);
+    /// ```
+    pub fn from_rank(rank: usize) -> Option<Self> {
+        Value::ALL.get(rank).copied()
+    }
+
+    /// `true` for the pure binary values `0` and `1`.
+    pub fn is_binary(self) -> bool {
+        matches!(self, Value::Zero | Value::One)
+    }
+
+    /// `true` for the mixed values `V0` and `V1`.
+    pub fn is_mixed(self) -> bool {
+        !self.is_binary()
+    }
+
+    /// The action of the V gate: `0 → V0`, `1 → V1`, `V0 → 1`, `V1 → 0`.
+    ///
+    /// Applying it twice gives [`Value::apply_not`] — V is the square root
+    /// of NOT.
+    pub fn apply_v(self) -> Self {
+        match self {
+            Value::Zero => Value::V0,
+            Value::One => Value::V1,
+            Value::V0 => Value::One,
+            Value::V1 => Value::Zero,
+        }
+    }
+
+    /// The action of the V⁺ gate: `0 → V1`, `1 → V0`, `V0 → 0`, `V1 → 1`.
+    pub fn apply_v_dagger(self) -> Self {
+        match self {
+            Value::Zero => Value::V1,
+            Value::One => Value::V0,
+            Value::V0 => Value::Zero,
+            Value::V1 => Value::One,
+        }
+    }
+
+    /// The action of the NOT (Pauli-X) gate: `0 ↔ 1`, `V0 ↔ V1`.
+    ///
+    /// The mixed case follows from `X·V|0⟩ = V|1⟩` at the matrix level,
+    /// although the paper only ever applies NOT to binary wires.
+    pub fn apply_not(self) -> Self {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+            Value::V0 => Value::V1,
+            Value::V1 => Value::V0,
+        }
+    }
+
+    /// Binary XOR; `None` if either operand is mixed (the paper's
+    /// synthesis constraint forbids that situation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::Value;
+    /// assert_eq!(Value::One.xor(Value::One), Some(Value::Zero));
+    /// assert_eq!(Value::V0.xor(Value::One), None);
+    /// ```
+    pub fn xor(self, other: Self) -> Option<Self> {
+        match (self, other) {
+            (Value::Zero, b) if b.is_binary() => Some(b),
+            (Value::One, Value::Zero) => Some(Value::One),
+            (Value::One, Value::One) => Some(Value::Zero),
+            _ => None,
+        }
+    }
+
+    /// The exact amplitude vector `(⟨0|ψ⟩, ⟨1|ψ⟩)` of the value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::Value;
+    /// use mvq_arith::CDyadic;
+    /// let (a0, a1) = Value::V0.amplitudes();
+    /// assert_eq!(a0, CDyadic::HALF_ONE_PLUS_I);
+    /// assert_eq!(a1, CDyadic::HALF_ONE_MINUS_I);
+    /// ```
+    pub fn amplitudes(self) -> (CDyadic, CDyadic) {
+        match self {
+            Value::Zero => (CDyadic::ONE, CDyadic::ZERO),
+            Value::One => (CDyadic::ZERO, CDyadic::ONE),
+            Value::V0 => (CDyadic::HALF_ONE_PLUS_I, CDyadic::HALF_ONE_MINUS_I),
+            Value::V1 => (CDyadic::HALF_ONE_MINUS_I, CDyadic::HALF_ONE_PLUS_I),
+        }
+    }
+
+    /// The probability of measuring `|1⟩`, as an exact dyadic.
+    ///
+    /// `0` for `Zero`, `1` for `One`, `½` for both mixed values.
+    pub fn prob_one(self) -> mvq_arith::Dyadic {
+        self.amplitudes().1.norm_sqr()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Zero => write!(f, "0"),
+            Value::One => write!(f, "1"),
+            Value::V0 => write!(f, "V0"),
+            Value::V1 => write!(f, "V1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_arith::Dyadic;
+
+    #[test]
+    fn v_twice_is_not() {
+        for v in Value::ALL {
+            assert_eq!(v.apply_v().apply_v(), v.apply_not());
+        }
+    }
+
+    #[test]
+    fn v_dagger_twice_is_not() {
+        for v in Value::ALL {
+            assert_eq!(v.apply_v_dagger().apply_v_dagger(), v.apply_not());
+        }
+    }
+
+    #[test]
+    fn v_dagger_inverts_v() {
+        for v in Value::ALL {
+            assert_eq!(v.apply_v().apply_v_dagger(), v);
+            assert_eq!(v.apply_v_dagger().apply_v(), v);
+        }
+    }
+
+    #[test]
+    fn not_is_involution() {
+        for v in Value::ALL {
+            assert_eq!(v.apply_not().apply_not(), v);
+        }
+    }
+
+    #[test]
+    fn paper_value_identities() {
+        // V0 = V⁺1 and V1 = V⁺0 (Section 2).
+        assert_eq!(Value::One.apply_v_dagger(), Value::V0);
+        assert_eq!(Value::Zero.apply_v_dagger(), Value::V1);
+        // V(V1) = V⁺(V0) = 0 and V(V0) = V⁺(V1) = 1 (Section 3).
+        assert_eq!(Value::V1.apply_v(), Value::Zero);
+        assert_eq!(Value::V0.apply_v_dagger(), Value::Zero);
+        assert_eq!(Value::V0.apply_v(), Value::One);
+        assert_eq!(Value::V1.apply_v_dagger(), Value::One);
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let mut sorted = Value::ALL;
+        sorted.sort();
+        assert_eq!(sorted, Value::ALL);
+    }
+
+    #[test]
+    fn rank_roundtrip() {
+        for v in Value::ALL {
+            assert_eq!(Value::from_rank(v.rank()), Some(v));
+        }
+        assert_eq!(Value::from_rank(7), None);
+    }
+
+    #[test]
+    fn xor_table() {
+        use Value::*;
+        assert_eq!(Zero.xor(Zero), Some(Zero));
+        assert_eq!(Zero.xor(One), Some(One));
+        assert_eq!(One.xor(Zero), Some(One));
+        assert_eq!(One.xor(One), Some(Zero));
+        assert_eq!(V0.xor(Zero), None);
+        assert_eq!(One.xor(V1), None);
+    }
+
+    #[test]
+    fn amplitudes_are_unit_vectors() {
+        for v in Value::ALL {
+            let (a0, a1) = v.amplitudes();
+            assert_eq!(a0.norm_sqr() + a1.norm_sqr(), Dyadic::ONE);
+        }
+    }
+
+    #[test]
+    fn amplitudes_match_matrix_action() {
+        use mvq_matrix::CMatrix;
+        // V applied to the amplitude vector of x equals amplitudes of
+        // x.apply_v(), for every value x — the quaternary algebra is a
+        // faithful shadow of the matrix algebra.
+        let v = CMatrix::v_gate();
+        for x in Value::ALL {
+            let (a0, a1) = x.amplitudes();
+            let out = v.apply(&[a0, a1]);
+            let (b0, b1) = x.apply_v().amplitudes();
+            assert_eq!(out, vec![b0, b1], "V on {x}");
+        }
+        let vd = CMatrix::v_dagger_gate();
+        for x in Value::ALL {
+            let (a0, a1) = x.amplitudes();
+            let out = vd.apply(&[a0, a1]);
+            let (b0, b1) = x.apply_v_dagger().amplitudes();
+            assert_eq!(out, vec![b0, b1], "V⁺ on {x}");
+        }
+    }
+
+    #[test]
+    fn prob_one_values() {
+        assert_eq!(Value::Zero.prob_one(), Dyadic::ZERO);
+        assert_eq!(Value::One.prob_one(), Dyadic::ONE);
+        assert_eq!(Value::V0.prob_one(), Dyadic::HALF);
+        assert_eq!(Value::V1.prob_one(), Dyadic::HALF);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::V0.to_string(), "V0");
+        assert_eq!(Value::Zero.to_string(), "0");
+    }
+}

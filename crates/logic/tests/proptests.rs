@@ -1,0 +1,129 @@
+//! Property-based tests: the quaternary algebra is a faithful shadow of
+//! the matrix algebra, gates permute every domain, and banned sets exactly
+//! characterize when the multiple-valued semantics is trustworthy.
+
+use mvq_logic::{Gate, Pattern, PatternDomain, Value};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop::sample::select(Value::ALL.to_vec())
+}
+
+fn pattern3() -> impl Strategy<Value = Pattern> {
+    prop::collection::vec(value(), 3).prop_map(Pattern::new)
+}
+
+/// Any of the 18 two-qubit gates on 3 wires.
+fn gate3() -> impl Strategy<Value = Gate> {
+    let pairs = [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+    (0usize..3, prop::sample::select(pairs.to_vec())).prop_map(|(kind, (d, c))| match kind {
+        0 => Gate::v(d, c),
+        1 => Gate::v_dagger(d, c),
+        _ => Gate::feynman(d, c),
+    })
+}
+
+proptest! {
+    #[test]
+    fn gate_application_is_invertible_on_the_full_domain(g in gate3()) {
+        // Each gate is a bijection of all 64 patterns.
+        let d = PatternDomain::full(3);
+        let p = g.perm(&d);
+        prop_assert!((p.clone() * p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn v_and_v_dagger_perms_are_mutually_inverse(
+        pair in prop::sample::select(vec![(0usize, 1usize), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)])
+    ) {
+        let d = PatternDomain::permutable(3);
+        let v = Gate::v(pair.0, pair.1).perm(&d);
+        let vd = Gate::v_dagger(pair.0, pair.1).perm(&d);
+        prop_assert!((v * vd).is_identity());
+    }
+
+    #[test]
+    fn applying_v_four_times_is_identity(p in pattern3(), g in gate3()) {
+        if let Gate::V { .. } | Gate::VDagger { .. } = g {
+            let mut cur = p.clone();
+            for _ in 0..4 {
+                cur = g.apply(&cur);
+            }
+            prop_assert_eq!(cur, p);
+        }
+    }
+
+    #[test]
+    fn no_one_patterns_are_fixed(p in pattern3(), g in gate3()) {
+        if !p.contains_one() {
+            prop_assert_eq!(g.apply(&p), p);
+        }
+    }
+
+    #[test]
+    fn pattern_code_roundtrip(p in pattern3()) {
+        prop_assert_eq!(Pattern::from_code(p.code(), 3), p);
+    }
+
+    #[test]
+    fn domain_index_roundtrip(code in 0usize..64) {
+        let d = PatternDomain::permutable(3);
+        let p = Pattern::from_code(code, 3);
+        match d.index(&p) {
+            Some(idx) => prop_assert_eq!(d.pattern(idx), &p),
+            None => prop_assert!(!p.contains_one() && p.code() != 0),
+        }
+    }
+
+    #[test]
+    fn gate_perm_matches_pointwise_application(g in gate3()) {
+        let d = PatternDomain::permutable(3);
+        let perm = g.perm(&d);
+        for (idx, p) in d.iter() {
+            let image_pattern = g.apply(p);
+            prop_assert_eq!(d.index(&image_pattern), Some(perm.image(idx)));
+        }
+    }
+
+    #[test]
+    fn unitary_is_always_unitary(g in gate3()) {
+        prop_assert!(g.unitary(3).is_unitary());
+    }
+
+    #[test]
+    fn adjoint_gate_has_adjoint_unitary(g in gate3()) {
+        prop_assert_eq!(g.adjoint().unitary(3), g.unitary(3).adjoint());
+    }
+
+    #[test]
+    fn value_algebra_tracks_amplitudes(v in value()) {
+        use mvq_matrix::CMatrix;
+        let (a0, a1) = v.amplitudes();
+        // V action.
+        let out = CMatrix::v_gate().apply(&[a0, a1]);
+        let (w0, w1) = v.apply_v().amplitudes();
+        prop_assert_eq!(out, vec![w0, w1]);
+        // NOT action.
+        let out = CMatrix::not_gate().apply(&[a0, a1]);
+        let (w0, w1) = v.apply_not().amplitudes();
+        prop_assert_eq!(out, vec![w0, w1]);
+    }
+
+    #[test]
+    fn banned_masks_cover_exactly_the_mixed_patterns(wire in 0usize..3) {
+        let d = PatternDomain::permutable(3);
+        let banned = d.banned_for_wire(wire);
+        for (idx, p) in d.iter() {
+            prop_assert_eq!(banned.contains(&idx), p.value(wire).is_mixed());
+        }
+    }
+
+    #[test]
+    fn table_ordering_and_plain_ordering_agree_on_binary_prefix(n in 1usize..=3) {
+        let table = PatternDomain::table_ordered(n);
+        let perm = PatternDomain::permutable(n);
+        for idx in 1..=(1usize << n) {
+            prop_assert_eq!(table.pattern(idx), perm.pattern(idx));
+        }
+    }
+}

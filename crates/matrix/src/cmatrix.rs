@@ -1,0 +1,504 @@
+use std::fmt;
+use std::ops::{Add, Index, Mul, Sub};
+
+use mvq_arith::CDyadic;
+
+/// A dense matrix over the exact complex ring ℤ[i, ½].
+///
+/// Row-major storage. Sizes in this workspace are tiny (2×2 up to 8×8 for
+/// three qubits), so no sparsity or blocking is attempted; exactness and
+/// clarity win.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_matrix::CMatrix;
+/// use mvq_arith::CDyadic;
+///
+/// let id = CMatrix::identity(4);
+/// assert!(id.is_unitary());
+/// assert_eq!(id[(2, 2)], CDyadic::ONE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<CDyadic>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![CDyadic::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, CDyadic::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, entries: Vec<CDyadic>) -> Self {
+        assert_eq!(entries.len(), rows * cols, "entry count mismatch");
+        Self {
+            rows,
+            cols,
+            data: entries,
+        }
+    }
+
+    /// The 2×2 NOT (Pauli-X) gate.
+    pub fn not_gate() -> Self {
+        Self::from_rows(
+            2,
+            2,
+            vec![CDyadic::ZERO, CDyadic::ONE, CDyadic::ONE, CDyadic::ZERO],
+        )
+    }
+
+    /// The 2×2 V gate — the square root of NOT used throughout the paper:
+    /// `V = ½·[[1+i, 1−i], [1−i, 1+i]]`.
+    pub fn v_gate() -> Self {
+        let d = CDyadic::HALF_ONE_PLUS_I;
+        let o = CDyadic::HALF_ONE_MINUS_I;
+        Self::from_rows(2, 2, vec![d, o, o, d])
+    }
+
+    /// The 2×2 V⁺ gate, the Hermitian adjoint of [`CMatrix::v_gate`].
+    pub fn v_dagger_gate() -> Self {
+        Self::v_gate().adjoint()
+    }
+
+    /// The `n × n` permutation matrix of a 1-based image table:
+    /// column `j` carries a 1 in row `images[j] − 1`, i.e. basis state `j`
+    /// is mapped to basis state `images[j] − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not a permutation of `1..=n`.
+    pub fn permutation(images: &[usize]) -> Self {
+        let n = images.len();
+        let mut m = Self::zeros(n, n);
+        let mut seen = vec![false; n];
+        for (col, &img) in images.iter().enumerate() {
+            assert!(img >= 1 && img <= n && !seen[img - 1], "not a permutation");
+            seen[img - 1] = true;
+            m.set(img - 1, col, CDyadic::ONE);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor with bounds checking.
+    pub fn get(&self, row: usize, col: usize) -> Option<&CDyadic> {
+        if row < self.rows && col < self.cols {
+            Some(&self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: CDyadic) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The conjugate transpose (Hermitian adjoint) `U⁺`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_matrix::CMatrix;
+    /// let v = CMatrix::v_gate();
+    /// assert_eq!(v.adjoint().adjoint(), v);
+    /// ```
+    pub fn adjoint(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.data[r * self.cols + c].conj());
+            }
+        }
+        out
+    }
+
+    /// The transpose without conjugation.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.data[r * self.cols + c]);
+            }
+        }
+        out
+    }
+
+    /// The Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_matrix::CMatrix;
+    /// let i2 = CMatrix::identity(2);
+    /// let x = CMatrix::not_gate();
+    /// let ix = i2.kron(&x);
+    /// assert_eq!(ix.rows(), 4);
+    /// // I ⊗ X swaps |00⟩↔|01⟩ and |10⟩↔|11⟩.
+    /// assert_eq!(ix, CMatrix::permutation(&[2, 1, 4, 3]));
+    /// ```
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for ar in 0..self.rows {
+            for ac in 0..self.cols {
+                let a = self.data[ar * self.cols + ac];
+                if a.is_zero() {
+                    continue;
+                }
+                for br in 0..rhs.rows {
+                    for bc in 0..rhs.cols {
+                        let b = rhs.data[br * rhs.cols + bc];
+                        if !b.is_zero() {
+                            out.set(ar * rhs.rows + br, ac * rhs.cols + bc, a * b);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` iff the matrix is square and `U·U⁺ = I` (exact test).
+    pub fn is_unitary(&self) -> bool {
+        self.rows == self.cols && self * &self.adjoint() == Self::identity(self.rows)
+    }
+
+    /// `true` iff the matrix is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.rows == self.cols && *self == Self::identity(self.rows)
+    }
+
+    /// `true` iff the matrix is a 0/1 permutation matrix.
+    #[allow(clippy::needless_range_loop)]
+    pub fn is_permutation(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let n = self.rows;
+        let mut row_seen = vec![false; n];
+        for c in 0..n {
+            let mut ones = 0;
+            for r in 0..n {
+                let e = self.data[r * self.cols + c];
+                if e == CDyadic::ONE {
+                    if row_seen[r] {
+                        return false;
+                    }
+                    row_seen[r] = true;
+                    ones += 1;
+                } else if !e.is_zero() {
+                    return false;
+                }
+            }
+            if ones != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// If the matrix is a permutation matrix, returns its 1-based image
+    /// table (`state j ↦ images[j]`).
+    #[allow(clippy::needless_range_loop)]
+    pub fn to_permutation_images(&self) -> Option<Vec<usize>> {
+        if !self.is_permutation() {
+            return None;
+        }
+        let n = self.rows;
+        let mut images = vec![0usize; n];
+        for c in 0..n {
+            for r in 0..n {
+                if self.data[r * self.cols + c] == CDyadic::ONE {
+                    images[c] = r + 1;
+                }
+            }
+        }
+        Some(images)
+    }
+
+    /// Applies the matrix to a column vector of amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn apply(&self, vec: &[CDyadic]) -> Vec<CDyadic> {
+        assert_eq!(vec.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = CDyadic::ZERO;
+                for c in 0..self.cols {
+                    let e = self.data[r * self.cols + c];
+                    if !e.is_zero() && !vec[c].is_zero() {
+                        acc += e * vec[c];
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = CDyadic;
+
+    fn index(&self, (row, col): (usize, usize)) -> &CDyadic {
+        self.get(row, col).expect("index out of bounds")
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let b = rhs.data[k * rhs.cols + c];
+                    if !b.is_zero() {
+                        let cur = out.data[r * rhs.cols + c];
+                        out.data[r * rhs.cols + c] = cur + a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Mul for CMatrix {
+    type Output = CMatrix;
+
+    fn mul(self, rhs: CMatrix) -> CMatrix {
+        &self * &rhs
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+
+    /// Entry-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+
+    /// Entry-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column-aligned exact entries.
+        let strings: Vec<String> = self.data.iter().map(|e| e.to_string()).collect();
+        let width = strings.iter().map(|s| s.len()).max().unwrap_or(1);
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>width$}", strings[r * self.cols + c])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_arith::Dyadic;
+
+    #[test]
+    fn v_squares_to_not() {
+        assert_eq!(&CMatrix::v_gate() * &CMatrix::v_gate(), CMatrix::not_gate());
+    }
+
+    #[test]
+    fn v_dagger_squares_to_not() {
+        let vd = CMatrix::v_dagger_gate();
+        assert_eq!(&vd * &vd, CMatrix::not_gate());
+    }
+
+    #[test]
+    fn v_times_v_dagger_is_identity() {
+        let v = CMatrix::v_gate();
+        let vd = CMatrix::v_dagger_gate();
+        assert!( (&v * &vd).is_identity());
+        assert!( (&vd * &v).is_identity());
+    }
+
+    #[test]
+    fn gates_are_unitary() {
+        assert!(CMatrix::v_gate().is_unitary());
+        assert!(CMatrix::v_dagger_gate().is_unitary());
+        assert!(CMatrix::not_gate().is_unitary());
+        assert!(CMatrix::identity(8).is_unitary());
+    }
+
+    #[test]
+    fn permutation_matrix_roundtrip() {
+        let images = vec![3, 1, 2, 4];
+        let m = CMatrix::permutation(&images);
+        assert!(m.is_permutation());
+        assert!(m.is_unitary());
+        assert_eq!(m.to_permutation_images().unwrap(), images);
+    }
+
+    #[test]
+    fn non_permutation_detected() {
+        assert!(!CMatrix::v_gate().is_permutation());
+        assert!(CMatrix::v_gate().to_permutation_images().is_none());
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = CMatrix::not_gate();
+        let xx = x.kron(&x);
+        assert_eq!(xx.rows(), 4);
+        // X ⊗ X maps |00⟩→|11⟩ etc.
+        assert_eq!(xx, CMatrix::permutation(&[4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn kron_with_identity_is_block_diagonal() {
+        let v = CMatrix::v_gate();
+        let iv = CMatrix::identity(2).kron(&v);
+        assert_eq!(iv[(0, 0)], v[(0, 0)]);
+        assert_eq!(iv[(2, 2)], v[(0, 0)]);
+        assert_eq!(iv[(0, 2)], CDyadic::ZERO);
+        assert!(iv.is_unitary());
+    }
+
+    #[test]
+    fn apply_matches_multiplication() {
+        let v = CMatrix::v_gate();
+        let e0 = vec![CDyadic::ONE, CDyadic::ZERO];
+        let out = v.apply(&e0);
+        assert_eq!(out[0], CDyadic::HALF_ONE_PLUS_I);
+        assert_eq!(out[1], CDyadic::HALF_ONE_MINUS_I);
+        // Probabilities sum to one exactly.
+        assert_eq!(
+            out[0].norm_sqr() + out[1].norm_sqr(),
+            Dyadic::ONE
+        );
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let v = CMatrix::v_gate();
+        let z = &v - &v;
+        assert_eq!(z, CMatrix::zeros(2, 2));
+        assert_eq!(&z + &v, v);
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let v = CMatrix::v_gate();
+        let x = CMatrix::not_gate();
+        assert_eq!((&v * &x).adjoint(), &x.adjoint() * &v.adjoint());
+    }
+
+    #[test]
+    fn transpose_vs_adjoint() {
+        let v = CMatrix::v_gate();
+        // V is symmetric, so transpose == V but adjoint != V.
+        assert_eq!(v.transpose(), v);
+        assert_ne!(v.adjoint(), v);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = CMatrix::v_gate().to_string();
+        assert!(s.contains("(1+1i)/2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn product_shape_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense exact complex matrices for quantum gate algebra.
+//!
+//! Matrices over [`CDyadic`](mvq_arith::CDyadic) — the exact ring
+//! ℤ[i, ½] that contains every entry of the gates used in the reproduced
+//! paper (V, V⁺, CNOT, NOT). Because the scalar type is exact, unitarity
+//! checks, the identities `V·V = NOT` and `V⁺·V = I`, and the comparison
+//! of a synthesized cascade's unitary against a target permutation matrix
+//! are all **equality** tests, not tolerance tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use mvq_matrix::CMatrix;
+//!
+//! let v = CMatrix::v_gate();
+//! let not = CMatrix::not_gate();
+//! assert_eq!(&v * &v, not);            // V is the square root of NOT
+//! assert!(v.is_unitary());
+//! assert_eq!(&v * &v.adjoint(), CMatrix::identity(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cmatrix;
+
+pub use cmatrix::CMatrix;

@@ -1,0 +1,96 @@
+//! Property-based tests: exact matrix algebra over ℤ[i, ½].
+
+use mvq_arith::CDyadic;
+use mvq_matrix::CMatrix;
+use proptest::prelude::*;
+
+fn scalar() -> impl Strategy<Value = CDyadic> {
+    (-8i64..=8, -8i64..=8, 0u32..=2).prop_map(|(re, im, e)| CDyadic::new(re, im, e))
+}
+
+fn matrix2() -> impl Strategy<Value = CMatrix> {
+    prop::collection::vec(scalar(), 4).prop_map(|v| CMatrix::from_rows(2, 2, v))
+}
+
+fn perm_images(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((1..=n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #[test]
+    fn product_associates(a in matrix2(), b in matrix2(), c in matrix2()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn adjoint_reverses_products(a in matrix2(), b in matrix2()) {
+        prop_assert_eq!((&a * &b).adjoint(), &b.adjoint() * &a.adjoint());
+    }
+
+    #[test]
+    fn adjoint_is_involutive(a in matrix2()) {
+        prop_assert_eq!(a.adjoint().adjoint(), a);
+    }
+
+    #[test]
+    fn addition_commutes(a in matrix2(), b in matrix2()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn distributivity(a in matrix2(), b in matrix2(), c in matrix2()) {
+        let left = &a * &(&b + &c);
+        let right = &(&a * &b) + &(&a * &c);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn kron_mixed_product_identity(
+        a in matrix2(), b in matrix2(), c in matrix2(), d in matrix2()
+    ) {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD).
+        let left = &a.kron(&b) * &c.kron(&d);
+        let right = (&a * &c).kron(&(&b * &d));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity(n in 1usize..=3, m in 1usize..=3) {
+        prop_assert_eq!(
+            CMatrix::identity(n).kron(&CMatrix::identity(m)),
+            CMatrix::identity(n * m)
+        );
+    }
+
+    #[test]
+    fn permutation_matrices_compose_contravariantly(
+        p in perm_images(6), q in perm_images(6)
+    ) {
+        // Column convention: P maps basis j ↦ p[j]. Applying p then q is
+        // the matrix product Q·P.
+        let mp = CMatrix::permutation(&p);
+        let mq = CMatrix::permutation(&q);
+        let composed: Vec<usize> = (0..6).map(|j| q[p[j] - 1]).collect();
+        prop_assert_eq!(&mq * &mp, CMatrix::permutation(&composed));
+    }
+
+    #[test]
+    fn permutation_roundtrip(p in perm_images(8)) {
+        let m = CMatrix::permutation(&p);
+        prop_assert!(m.is_permutation());
+        prop_assert!(m.is_unitary());
+        prop_assert_eq!(m.to_permutation_images().expect("is a permutation"), p);
+    }
+
+    #[test]
+    fn apply_is_matrix_vector_product(a in matrix2(), x in scalar(), y in scalar()) {
+        let out = a.apply(&[x, y]);
+        prop_assert_eq!(out[0], a[(0, 0)] * x + a[(0, 1)] * y);
+        prop_assert_eq!(out[1], a[(1, 0)] * x + a[(1, 1)] * y);
+    }
+
+    #[test]
+    fn transpose_of_transpose(a in matrix2()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,560 @@
+use std::error::Error;
+use std::fmt;
+use std::ops::Mul;
+use std::str::FromStr;
+
+/// A permutation of the points `{1, 2, …, n}`.
+///
+/// Internally stored as a 0-based image table; externally every API speaks
+/// the paper's 1-based language. Products use the paper's (and GAP's)
+/// convention: `a * b` applies `a` **first**, then `b`, so
+/// `(a * b).image(p) == b.image(a.image(p))`.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_perm::Perm;
+///
+/// let a: Perm = "(1,2,3)".parse()?;
+/// let b: Perm = "(3,4)".parse()?;
+/// let ab = a * b;
+/// assert_eq!(ab.image(2), 4); // 2 →a 3 →b 4
+/// # Ok::<(), mvq_perm::ParsePermError>(())
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Perm {
+    /// `images[p]` is the 0-based image of 0-based point `p`.
+    images: Vec<u8>,
+}
+
+impl Perm {
+    /// Maximum supported domain size (images are stored as `u8`).
+    pub const MAX_DEGREE: usize = 255;
+
+    /// The identity permutation `( )` on `{1, …, degree}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree > Perm::MAX_DEGREE`.
+    pub fn identity(degree: usize) -> Self {
+        assert!(degree <= Self::MAX_DEGREE, "degree too large");
+        Self {
+            images: (0..degree as u8).collect(),
+        }
+    }
+
+    /// Builds a permutation from a 1-based image table:
+    /// `images[p - 1]` is the image of point `p`.
+    ///
+    /// Returns `None` if the table is not a bijection of `{1, …, n}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let p = Perm::from_images(&[2, 1, 3]).unwrap();
+    /// assert_eq!(p.to_string(), "(1,2)");
+    /// assert!(Perm::from_images(&[1, 1]).is_none());
+    /// ```
+    pub fn from_images(images: &[usize]) -> Option<Self> {
+        let n = images.len();
+        if n > Self::MAX_DEGREE {
+            return None;
+        }
+        let mut seen = vec![false; n];
+        let mut table = Vec::with_capacity(n);
+        for &img in images {
+            if img == 0 || img > n || seen[img - 1] {
+                return None;
+            }
+            seen[img - 1] = true;
+            table.push((img - 1) as u8);
+        }
+        Some(Self { images: table })
+    }
+
+    /// Builds a permutation of `{1, …, degree}` from disjoint cycles.
+    ///
+    /// Returns `None` if a point is out of range or repeated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let vba = Perm::from_cycles(38, &[vec![5, 17, 7, 21], vec![6, 18, 8, 22]]).unwrap();
+    /// assert_eq!(vba.image(5), 17);
+    /// assert_eq!(vba.image(21), 5);
+    /// ```
+    pub fn from_cycles(degree: usize, cycles: &[Vec<usize>]) -> Option<Self> {
+        if degree > Self::MAX_DEGREE {
+            return None;
+        }
+        let mut images: Vec<u8> = (0..degree as u8).collect();
+        let mut seen = vec![false; degree];
+        for cycle in cycles {
+            for window in 0..cycle.len() {
+                let from = *cycle.get(window)?;
+                let to = cycle[(window + 1) % cycle.len()];
+                if from == 0 || from > degree || to == 0 || to > degree || seen[from - 1] {
+                    return None;
+                }
+                seen[from - 1] = true;
+                images[from - 1] = (to - 1) as u8;
+            }
+        }
+        Some(Self { images })
+    }
+
+    /// The domain size `n`.
+    pub fn degree(&self) -> usize {
+        self.images.len()
+    }
+
+    /// The image of 1-based point `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or exceeds the degree.
+    pub fn image(&self, p: usize) -> usize {
+        self.images[p - 1] as usize + 1
+    }
+
+    /// The preimage of 1-based point `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or exceeds the degree.
+    pub fn preimage(&self, p: usize) -> usize {
+        self.images
+            .iter()
+            .position(|&img| img as usize == p - 1)
+            .expect("point out of range")
+            + 1
+    }
+
+    /// The image of a set of 1-based points, sorted ascending.
+    ///
+    /// This is the paper's `f(S)` used in the banned-set test of the
+    /// *reasonable product*.
+    pub fn image_of_set(&self, set: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = set.iter().map(|&p| self.image(p)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` iff this is the identity mapping `( )`.
+    pub fn is_identity(&self) -> bool {
+        self.images.iter().enumerate().all(|(p, &img)| p as u8 == img)
+    }
+
+    /// `true` iff `self` maps the set `S` onto itself.
+    ///
+    /// Points above the degree are treated as fixed, so a narrow
+    /// permutation can be tested against a wider set.
+    pub fn stabilizes_set(&self, set: &[usize]) -> bool {
+        set.iter().all(|&p| {
+            let img = if p <= self.degree() { self.image(p) } else { p };
+            set.contains(&img)
+        })
+    }
+
+    /// GAP's `RestrictedPerm(b, S)`: if `b(S) = S`, the permutation `b'` of
+    /// `{1, …, |S|}` with `b'(i) = position in S of b(S[i])`; otherwise
+    /// `None`.
+    ///
+    /// `set` must be sorted ascending; the resulting permutation acts on
+    /// positions within `set` (1-based). For the paper's `S = {1, …, 8}`
+    /// this is literally the restriction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let b: Perm = "(5,7,6,8)(9,11)".parse()?;
+    /// let s: Vec<usize> = (1..=8).collect();
+    /// let restricted = b.restricted(&s).unwrap();
+    /// assert_eq!(restricted.to_string(), "(5,7,6,8)");
+    /// # Ok::<(), mvq_perm::ParsePermError>(())
+    /// ```
+    pub fn restricted(&self, set: &[usize]) -> Option<Perm> {
+        let mut images = Vec::with_capacity(set.len());
+        for &p in set {
+            let img = self.image(p);
+            let pos = set.binary_search(&img).ok()?;
+            images.push(pos as u8);
+        }
+        Some(Perm { images })
+    }
+
+    /// The inverse permutation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let p: Perm = "(1,2,3)".parse()?;
+    /// assert!((p.clone() * p.inverse()).is_identity());
+    /// # Ok::<(), mvq_perm::ParsePermError>(())
+    /// ```
+    pub fn inverse(&self) -> Perm {
+        let mut images = vec![0u8; self.images.len()];
+        for (p, &img) in self.images.iter().enumerate() {
+            images[img as usize] = p as u8;
+        }
+        Perm { images }
+    }
+
+    /// The multiplicative order of the permutation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let p: Perm = "(1,2)(3,4,5)".parse()?;
+    /// assert_eq!(p.order(), 6);
+    /// # Ok::<(), mvq_perm::ParsePermError>(())
+    /// ```
+    pub fn order(&self) -> u64 {
+        self.cycles()
+            .iter()
+            .map(|c| c.len() as u64)
+            .fold(1, lcm)
+    }
+
+    /// The disjoint cycles of length ≥ 2 (1-based, each starting at its
+    /// smallest point, sorted by that point).
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let n = self.images.len();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if seen[start] || self.images[start] as usize == start {
+                continue;
+            }
+            let mut cycle = vec![start + 1];
+            seen[start] = true;
+            let mut cur = self.images[start] as usize;
+            while cur != start {
+                seen[cur] = true;
+                cycle.push(cur + 1);
+                cur = self.images[cur] as usize;
+            }
+            cycles.push(cycle);
+        }
+        cycles
+    }
+
+    /// The set of points moved by the permutation (1-based, ascending).
+    pub fn support(&self) -> Vec<usize> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter(|&(p, &img)| p as u8 != img)
+            .map(|(p, _)| p + 1)
+            .collect()
+    }
+
+    /// Extends the permutation to a larger degree, fixing the new points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is smaller than the current degree or exceeds
+    /// [`Perm::MAX_DEGREE`].
+    pub fn extended(&self, degree: usize) -> Perm {
+        assert!(degree >= self.degree(), "cannot shrink a permutation");
+        assert!(degree <= Self::MAX_DEGREE, "degree too large");
+        let mut images = self.images.clone();
+        images.extend(self.degree() as u8..degree as u8);
+        Perm { images }
+    }
+
+    /// Raw access to the 0-based image table.
+    pub fn as_images(&self) -> &[u8] {
+        &self.images
+    }
+
+    /// Conjugate of `self` by `g`: `g⁻¹ * self * g` (paper convention).
+    ///
+    /// Used to derive the "other five similar circuits with different
+    /// permutations of the three bits" from each g1–g4 representative.
+    pub fn conjugated_by(&self, g: &Perm) -> Perm {
+        g.inverse() * self.clone() * g.clone()
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Mul for Perm {
+    type Output = Perm;
+
+    /// `a * b`: apply `a` first, then `b` (paper/GAP convention).
+    ///
+    /// Operands of different degrees are extended to the larger one by
+    /// fixing the extra points, matching GAP semantics.
+    fn mul(self, rhs: Perm) -> Perm {
+        let degree = self.degree().max(rhs.degree());
+        let lhs = if self.degree() < degree { self.extended(degree) } else { self };
+        let rhs = if rhs.degree() < degree { rhs.extended(degree) } else { rhs };
+        let images = lhs
+            .images
+            .iter()
+            .map(|&mid| rhs.images[mid as usize])
+            .collect();
+        Perm { images }
+    }
+}
+
+impl Mul for &Perm {
+    type Output = Perm;
+
+    fn mul(self, rhs: &Perm) -> Perm {
+        self.clone() * rhs.clone()
+    }
+}
+
+impl fmt::Display for Perm {
+    /// Formats as disjoint cycles, `( )` for the identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            return write!(f, "( )");
+        }
+        for cycle in cycles {
+            write!(f, "(")?;
+            for (i, p) in cycle.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`Perm`] from cycle notation fails.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_perm::Perm;
+/// assert!("(1,2".parse::<Perm>().is_err());
+/// assert!("(1,1)".parse::<Perm>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePermError {
+    message: String,
+}
+
+impl fmt::Display for ParsePermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cycle notation: {}", self.message)
+    }
+}
+
+impl Error for ParsePermError {}
+
+impl FromStr for Perm {
+    type Err = ParsePermError;
+
+    /// Parses disjoint-cycle notation such as `"(5,17,7,21)(6,18,8,22)"`.
+    ///
+    /// `"( )"` and `"()"` denote the identity. The degree is the largest
+    /// point mentioned (minimum 1); use [`Perm::extended`] to widen it.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: &str| ParsePermError { message: m.into() };
+        let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.is_empty() {
+            return Err(err("empty input"));
+        }
+        let mut cycles: Vec<Vec<usize>> = Vec::new();
+        let mut rest = compact.as_str();
+        while !rest.is_empty() {
+            let body_and_rest = rest
+                .strip_prefix('(')
+                .ok_or_else(|| err("expected `(`"))?;
+            let close = body_and_rest
+                .find(')')
+                .ok_or_else(|| err("missing `)`"))?;
+            let body = &body_and_rest[..close];
+            rest = &body_and_rest[close + 1..];
+            if body.is_empty() {
+                continue; // identity cycle
+            }
+            let cycle = body
+                .split(',')
+                .map(|t| {
+                    t.parse::<usize>()
+                        .ok()
+                        .filter(|&p| p >= 1)
+                        .ok_or_else(|| err(&format!("bad point `{t}`")))
+                })
+                .collect::<Result<Vec<usize>, _>>()?;
+            cycles.push(cycle);
+        }
+        let degree = cycles
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .max()
+            .unwrap_or(1);
+        Perm::from_cycles(degree, &cycles)
+            .ok_or_else(|| err("repeated point across cycles"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Perm {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let id = Perm::identity(8);
+        assert!(id.is_identity());
+        assert_eq!(id.to_string(), "( )");
+        assert_eq!("()".parse::<Perm>().unwrap().degree(), 1);
+        assert!("( )".parse::<Perm>().unwrap().is_identity());
+    }
+
+    #[test]
+    fn product_applies_left_first() {
+        let a = p("(1,2,3)");
+        let b = p("(3,4)").extended(4);
+        let ab = a.extended(4) * b;
+        // 2 →a 3 →b 4.
+        assert_eq!(ab.image(2), 4);
+        // GAP convention, not function composition.
+        assert_eq!(ab.image(3), 1);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let a = p("(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)");
+        assert!((a.clone() * a.inverse()).is_identity());
+        assert!((a.inverse() * a).is_identity());
+    }
+
+    #[test]
+    fn inverse_of_four_cycle() {
+        let v = p("(5,17,7,21)");
+        let vinv = v.inverse();
+        assert_eq!(vinv.image(17), 5);
+        assert_eq!(vinv.to_string(), "(5,21,7,17)");
+    }
+
+    #[test]
+    fn order_is_lcm_of_cycle_lengths() {
+        assert_eq!(p("(1,2)").order(), 2);
+        assert_eq!(p("(1,2)(3,4,5)").order(), 6);
+        assert_eq!(Perm::identity(5).order(), 1);
+        assert_eq!(p("(5,7,6,8)").order(), 4);
+    }
+
+    #[test]
+    fn cycles_start_at_smallest_point() {
+        let v = p("(7,21,5,17)");
+        assert_eq!(v.to_string(), "(5,17,7,21)");
+    }
+
+    #[test]
+    fn image_of_set_sorts() {
+        let a = p("(1,5)(2,6)");
+        assert_eq!(a.image_of_set(&[1, 2, 3]), vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn restricted_matches_gap_semantics() {
+        let s: Vec<usize> = (1..=8).collect();
+        // b stabilizes S.
+        let b = p("(5,7,6,8)(9,11)");
+        let r = b.restricted(&s).unwrap();
+        assert_eq!(r.degree(), 8);
+        assert_eq!(r.to_string(), "(5,7,6,8)");
+        // b does not stabilize S → None (Restrictedperm returns FALSE).
+        let b2 = p("(8,9)");
+        assert!(b2.restricted(&s).is_none());
+    }
+
+    #[test]
+    fn restricted_renumbers_sparse_sets() {
+        // Restricting (2,4) to S = {2, 4} gives the transposition (1,2).
+        let b = p("(2,4)");
+        let r = b.restricted(&[2, 4]).unwrap();
+        assert_eq!(r.to_string(), "(1,2)");
+    }
+
+    #[test]
+    fn stabilizes_set_checks_closure() {
+        assert!(p("(1,2)").stabilizes_set(&[1, 2, 3]));
+        assert!(!p("(3,4)").stabilizes_set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn support_and_extension() {
+        let a = p("(2,3)");
+        assert_eq!(a.support(), vec![2, 3]);
+        let wide = a.extended(10);
+        assert_eq!(wide.degree(), 10);
+        assert_eq!(wide.image(9), 9);
+        assert_eq!(wide.support(), vec![2, 3]);
+    }
+
+    #[test]
+    fn preimage_inverts_image() {
+        let a = p("(1,3,5,7)");
+        for point in 1..=7 {
+            assert_eq!(a.preimage(a.image(point)), point);
+        }
+    }
+
+    #[test]
+    fn conjugation_relabels_cycles() {
+        // Conjugating (1,2) by (2,3) gives (1,3).
+        let t = p("(1,2)").extended(3);
+        let g = p("(2,3)");
+        assert_eq!(t.conjugated_by(&g).to_string(), "(1,3)");
+    }
+
+    #[test]
+    fn from_images_validates() {
+        assert!(Perm::from_images(&[2, 1]).is_some());
+        assert!(Perm::from_images(&[2, 2]).is_none());
+        assert!(Perm::from_images(&[0, 1]).is_none());
+        assert!(Perm::from_images(&[3, 1]).is_none());
+    }
+
+    #[test]
+    fn from_cycles_rejects_overlap() {
+        assert!(Perm::from_cycles(5, &[vec![1, 2], vec![2, 3]]).is_none());
+        assert!(Perm::from_cycles(5, &[vec![1, 6]]).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "(1,2", "1,2)", "(1,x)", "(1,1)", "(0,1)"] {
+            assert!(bad.parse::<Perm>().is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["(1,2)", "(5,17,7,21)(6,18,8,22)", "(3,4)(5,8)(6,7)"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: permutations form a group, cycle notation
+//! round-trips, and restriction behaves like GAP's `RestrictedPerm`.
+
+use mvq_perm::Perm;
+use proptest::prelude::*;
+
+/// Random permutation of {1..=n} for n in 2..=12.
+fn perm() -> impl Strategy<Value = Perm> {
+    (2usize..=12)
+        .prop_flat_map(|n| Just((1..=n).collect::<Vec<usize>>()).prop_shuffle())
+        .prop_map(|images| Perm::from_images(&images).expect("shuffle is a bijection"))
+}
+
+/// Two random permutations of the same degree.
+fn perm_pair() -> impl Strategy<Value = (Perm, Perm)> {
+    (2usize..=10).prop_flat_map(|n| {
+        let one = Just((1..=n).collect::<Vec<usize>>())
+            .prop_shuffle()
+            .prop_map(|v| Perm::from_images(&v).expect("bijection"));
+        let two = Just((1..=n).collect::<Vec<usize>>())
+            .prop_shuffle()
+            .prop_map(|v| Perm::from_images(&v).expect("bijection"));
+        (one, two)
+    })
+}
+
+proptest! {
+    #[test]
+    fn inverse_cancels_both_sides(p in perm()) {
+        prop_assert!((p.clone() * p.inverse()).is_identity());
+        prop_assert!((p.inverse() * p).is_identity());
+    }
+
+    #[test]
+    fn product_convention_applies_left_first((a, b) in perm_pair()) {
+        let ab = a.clone() * b.clone();
+        for point in 1..=a.degree() {
+            prop_assert_eq!(ab.image(point), b.image(a.image(point)));
+        }
+    }
+
+    #[test]
+    fn inverse_of_product_reverses((a, b) in perm_pair()) {
+        let left = (a.clone() * b.clone()).inverse();
+        let right = b.inverse() * a.inverse();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(p in perm()) {
+        if p.is_identity() {
+            return Ok(()); // "( )" parses to degree 1; see extended()
+        }
+        let s = p.to_string();
+        let back: Perm = s.parse().expect("cycle notation parses");
+        prop_assert_eq!(back.extended(p.degree()), p);
+    }
+
+    #[test]
+    fn order_annihilates(p in perm()) {
+        let order = p.order();
+        prop_assert!(order >= 1);
+        let mut acc = Perm::identity(p.degree());
+        for _ in 0..order {
+            acc = acc * p.clone();
+        }
+        prop_assert!(acc.is_identity());
+    }
+
+    #[test]
+    fn power_below_order_is_not_identity(p in perm()) {
+        let order = p.order();
+        if order > 1 {
+            // p^d for every proper divisor d of order is non-identity
+            // exactly when d < order; check d = order / smallest prime
+            // factor.
+            let spf = (2..=order).find(|d| order % d == 0).expect("has a factor");
+            let d = order / spf;
+            if d > 0 {
+                let mut acc = Perm::identity(p.degree());
+                for _ in 0..d {
+                    acc = acc * p.clone();
+                }
+                prop_assert!(!acc.is_identity());
+            }
+        }
+    }
+
+    #[test]
+    fn preimage_inverts_image(p in perm()) {
+        for point in 1..=p.degree() {
+            prop_assert_eq!(p.preimage(p.image(point)), point);
+            prop_assert_eq!(p.inverse().image(point), p.preimage(point));
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_cycle_type((a, b) in perm_pair()) {
+        let conj = a.conjugated_by(&b);
+        let mut type_a: Vec<usize> = a.cycles().iter().map(|c| c.len()).collect();
+        let mut type_c: Vec<usize> = conj.cycles().iter().map(|c| c.len()).collect();
+        type_a.sort_unstable();
+        type_c.sort_unstable();
+        prop_assert_eq!(type_a, type_c);
+    }
+
+    #[test]
+    fn support_matches_moved_points(p in perm()) {
+        let support = p.support();
+        for point in 1..=p.degree() {
+            prop_assert_eq!(support.contains(&point), p.image(point) != point);
+        }
+    }
+
+    #[test]
+    fn restriction_to_full_domain_is_identity_operation(p in perm()) {
+        let full: Vec<usize> = (1..=p.degree()).collect();
+        let r = p.restricted(&full).expect("full set is invariant");
+        prop_assert_eq!(r, p);
+    }
+
+    #[test]
+    fn cycles_partition_the_support(p in perm()) {
+        let mut from_cycles: Vec<usize> =
+            p.cycles().into_iter().flatten().collect();
+        from_cycles.sort_unstable();
+        prop_assert_eq!(from_cycles, p.support());
+    }
+
+    #[test]
+    fn extension_commutes_with_product((a, b) in perm_pair()) {
+        let wide = (a.clone() * b.clone()).extended(14);
+        let separate = a.extended(14) * b.extended(14);
+        prop_assert_eq!(wide, separate);
+    }
+}

@@ -1,0 +1,46 @@
+//! Exact state-vector and unitary simulator for small qubit registers.
+//!
+//! This crate is the reproduction's stand-in for the authors' physical
+//! (NMR) semantics: every synthesis result produced by the multiple-valued
+//! / group-theoretic machinery is *independently verified* here at the
+//! Hilbert-space level, using exact ℤ[i, ½] arithmetic throughout — a
+//! synthesized Toffoli cascade is checked by **matrix equality**, not by a
+//! floating-point tolerance.
+//!
+//! * [`circuit_unitary`] multiplies out a gate cascade into one
+//!   `2^n × 2^n` unitary.
+//! * [`StateVector`] simulates amplitudes, exact measurement
+//!   probabilities, and (for the Section 4 probabilistic-machine
+//!   experiments) rand-driven sampling.
+//! * [`adjoint_cascade`] / [`vswap_cascade`] implement the two circuit
+//!   transforms the paper uses in Figures 8 and 9 (Hermitian-adjoint
+//!   implementations).
+//!
+//! # Examples
+//!
+//! ```
+//! use mvq_logic::Gate;
+//! use mvq_sim::{circuit_unitary, StateVector};
+//!
+//! // Controlled-V twice equals CNOT.
+//! let u = circuit_unitary(&[Gate::v(1, 0), Gate::v(1, 0)], 2);
+//! assert_eq!(u, Gate::feynman(1, 0).unitary(2));
+//!
+//! // With the control raised, V|0⟩ measures 0 and 1 with probability ½ each.
+//! let mut sv = StateVector::basis(2, 0b10);
+//! sv.apply_gate(Gate::v(1, 0));
+//! let probs = sv.distribution();
+//! assert_eq!(probs.prob_of(0b10).to_f64(), 0.5);
+//! assert_eq!(probs.prob_of(0b11).to_f64(), 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod measure;
+mod state;
+mod transform;
+
+pub use measure::Distribution;
+pub use state::StateVector;
+pub use transform::{adjoint_cascade, circuit_unitary, vswap_cascade};

@@ -1,0 +1,154 @@
+use mvq_arith::Dyadic;
+use rand::Rng;
+
+/// An exact probability distribution over the `2^n` basis states of a
+/// register — the interface between the quantum circuit and the
+/// measurement unit of Figure 3 (the probabilistic state machine).
+///
+/// Probabilities are exact dyadic rationals (squared magnitudes of
+/// ℤ[i, ½] amplitudes always are), so empirical sampling frequencies can
+/// be compared against *exact* targets.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Gate;
+/// use mvq_sim::StateVector;
+///
+/// let mut sv = StateVector::basis(2, 0b10);
+/// sv.apply_gate(Gate::v(1, 0));
+/// let d = sv.distribution();
+/// assert_eq!(d.prob_of(0b10).to_f64(), 0.5);
+/// assert_eq!(d.support().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    probs: Vec<Dyadic>,
+}
+
+impl Distribution {
+    /// Wraps a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities do not sum exactly to 1.
+    pub fn new(probs: Vec<Dyadic>) -> Self {
+        let total = probs.iter().fold(Dyadic::ZERO, |acc, &p| acc + p);
+        assert_eq!(total, Dyadic::ONE, "probabilities must sum to one");
+        Self { probs }
+    }
+
+    /// The exact probability of basis state `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn prob_of(&self, state: usize) -> Dyadic {
+        self.probs[state]
+    }
+
+    /// All probabilities in basis order.
+    pub fn probs(&self) -> &[Dyadic] {
+        &self.probs
+    }
+
+    /// Basis states with non-zero probability, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_zero())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` iff the distribution is a point mass (deterministic output).
+    pub fn is_deterministic(&self) -> bool {
+        self.support().len() == 1
+    }
+
+    /// Samples one basis state.
+    ///
+    /// This is the "Measurement" box of Figure 3: the only place in the
+    /// workspace where exactness gives way to randomness.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let roll: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (state, p) in self.probs.iter().enumerate() {
+            acc += p.to_f64();
+            if roll < acc {
+                return state;
+            }
+        }
+        // Floating-point slack: return the last supported state.
+        *self.support().last().expect("distribution has support")
+    }
+
+    /// Samples `n` measurements and returns per-state counts.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.probs.len()];
+        for _ in 0..n {
+            counts[self.sample(rng)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn half_half() -> Distribution {
+        Distribution::new(vec![
+            Dyadic::HALF,
+            Dyadic::ZERO,
+            Dyadic::ZERO,
+            Dyadic::HALF,
+        ])
+    }
+
+    #[test]
+    fn support_and_determinism() {
+        let d = half_half();
+        assert_eq!(d.support(), vec![0, 3]);
+        assert!(!d.is_deterministic());
+        let point = Distribution::new(vec![Dyadic::ZERO, Dyadic::ONE]);
+        assert!(point.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to one")]
+    fn rejects_unnormalized() {
+        let _ = Distribution::new(vec![Dyadic::HALF, Dyadic::HALF, Dyadic::HALF]);
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let d = half_half();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            assert!(s == 0 || s == 3);
+        }
+    }
+
+    #[test]
+    fn sampling_frequencies_approach_exact_probabilities() {
+        let d = half_half();
+        let mut rng = StdRng::seed_from_u64(42);
+        let counts = d.sample_counts(&mut rng, 20_000);
+        let f0 = counts[0] as f64 / 20_000.0;
+        assert!((f0 - 0.5).abs() < 0.02, "frequency {f0} too far from 0.5");
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    fn deterministic_sampling_is_constant() {
+        let point = Distribution::new(vec![Dyadic::ZERO, Dyadic::ONE]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(point.sample_counts(&mut rng, 50)[1] == 50);
+    }
+}

@@ -1,0 +1,276 @@
+use mvq_arith::{CDyadic, Dyadic};
+use mvq_logic::{Gate, Pattern};
+use mvq_matrix::CMatrix;
+
+use crate::Distribution;
+
+/// An exact amplitude vector over the `2^n` computational basis states of
+/// an `n`-qubit register.
+///
+/// Wire `A` (index 0) is the most significant bit of the basis index,
+/// matching the paper's truth-table ordering.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Gate;
+/// use mvq_sim::StateVector;
+///
+/// // |10⟩ through controlled-V (control A, data B):
+/// let mut sv = StateVector::basis(2, 0b10);
+/// sv.apply_gate(Gate::v(1, 0));
+/// // The data qubit is now V|0⟩ — a half/half superposition.
+/// let d = sv.distribution();
+/// assert_eq!(d.prob_of(0b10).to_f64(), 0.5);
+/// assert_eq!(d.prob_of(0b11).to_f64(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVector {
+    wires: usize,
+    amps: Vec<CDyadic>,
+}
+
+impl StateVector {
+    /// The basis state `|bits⟩` on `wires` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 2^wires` or `wires > 12` (exact simulation of
+    /// larger registers is outside this reproduction's scope).
+    pub fn basis(wires: usize, bits: usize) -> Self {
+        assert!(wires <= 12, "register too large for exact simulation");
+        let dim = 1usize << wires;
+        assert!(bits < dim, "basis state out of range");
+        let mut amps = vec![CDyadic::ZERO; dim];
+        amps[bits] = CDyadic::ONE;
+        Self { wires, amps }
+    }
+
+    /// The product state of a (possibly mixed-valued) wire pattern.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_logic::{Pattern, Value};
+    /// use mvq_sim::StateVector;
+    ///
+    /// let p = Pattern::new(vec![Value::One, Value::V0]);
+    /// let sv = StateVector::from_pattern(&p);
+    /// assert_eq!(sv.distribution().prob_of(0b10).to_f64(), 0.5);
+    /// ```
+    pub fn from_pattern(pattern: &Pattern) -> Self {
+        let mut amps = vec![CDyadic::ONE];
+        for v in pattern.values() {
+            let (a0, a1) = v.amplitudes();
+            let mut next = Vec::with_capacity(amps.len() * 2);
+            for &a in &amps {
+                next.push(a * a0);
+                next.push(a * a1);
+            }
+            amps = next;
+        }
+        Self {
+            wires: pattern.len(),
+            amps,
+        }
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// Returns `None` unless the length is a power of two and the squared
+    /// magnitudes sum to exactly 1.
+    pub fn from_amplitudes(amps: Vec<CDyadic>) -> Option<Self> {
+        if !amps.len().is_power_of_two() {
+            return None;
+        }
+        let norm: Dyadic = amps
+            .iter()
+            .map(|a| a.norm_sqr())
+            .fold(Dyadic::ZERO, |acc, p| acc + p);
+        if norm != Dyadic::ONE {
+            return None;
+        }
+        Some(Self {
+            wires: amps.len().trailing_zeros() as usize,
+            amps,
+        })
+    }
+
+    /// The number of wires.
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// The exact amplitudes, basis order (wire `A` most significant).
+    pub fn amplitudes(&self) -> &[CDyadic] {
+        &self.amps
+    }
+
+    /// Applies an elementary gate in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a wire outside the register.
+    pub fn apply_gate(&mut self, gate: Gate) {
+        // Gate unitaries are tiny; going through the matrix keeps the
+        // semantics in one place (`Gate::unitary`).
+        let u = gate.unitary(self.wires);
+        self.amps = u.apply(&self.amps);
+    }
+
+    /// Applies a cascade of gates left to right (paper order: `d[0]` is
+    /// executed first).
+    pub fn apply_cascade(&mut self, gates: &[Gate]) {
+        for &g in gates {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies an arbitrary unitary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply_unitary(&mut self, u: &CMatrix) {
+        assert_eq!(u.cols(), self.amps.len(), "dimension mismatch");
+        self.amps = u.apply(&self.amps);
+    }
+
+    /// The exact measurement distribution over all basis states.
+    pub fn distribution(&self) -> Distribution {
+        Distribution::new(
+            self.amps.iter().map(|a| a.norm_sqr()).collect(),
+        )
+    }
+
+    /// The exact probability of measuring `1` on `wire` (marginal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    pub fn prob_wire_one(&self, wire: usize) -> Dyadic {
+        assert!(wire < self.wires, "wire out of range");
+        let mask = 1usize << (self.wires - 1 - wire);
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .fold(Dyadic::ZERO, |acc, p| acc + p)
+    }
+
+    /// `true` iff the state is exactly a computational basis state, and if
+    /// so, which.
+    pub fn as_basis(&self) -> Option<usize> {
+        let mut found = None;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            // Accept any unit-magnitude amplitude (global phase).
+            if a.norm_sqr() != Dyadic::ONE || found.is_some() {
+                return None;
+            }
+            found = Some(i);
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_logic::Value;
+
+    #[test]
+    fn basis_state_roundtrip() {
+        let sv = StateVector::basis(3, 0b101);
+        assert_eq!(sv.as_basis(), Some(0b101));
+        assert_eq!(sv.wires(), 3);
+    }
+
+    #[test]
+    fn from_pattern_matches_basis_for_binary() {
+        let p = Pattern::from_bits(0b110, 3);
+        assert_eq!(StateVector::from_pattern(&p), StateVector::basis(3, 0b110));
+    }
+
+    #[test]
+    fn v_creates_equal_superposition() {
+        let mut sv = StateVector::basis(2, 0b10);
+        sv.apply_gate(Gate::v(1, 0));
+        assert_eq!(sv.prob_wire_one(1), Dyadic::HALF);
+        assert_eq!(sv.prob_wire_one(0), Dyadic::ONE);
+        assert_eq!(sv.as_basis(), None);
+    }
+
+    #[test]
+    fn v_twice_is_not_on_states() {
+        let mut sv = StateVector::basis(2, 0b10);
+        sv.apply_cascade(&[Gate::v(1, 0), Gate::v(1, 0)]);
+        assert_eq!(sv.as_basis(), Some(0b11));
+    }
+
+    #[test]
+    fn control_zero_is_inert() {
+        let mut sv = StateVector::basis(2, 0b01);
+        sv.apply_gate(Gate::v(1, 0)); // control A = 0
+        assert_eq!(sv.as_basis(), Some(0b01));
+    }
+
+    #[test]
+    fn cascade_matches_pattern_semantics() {
+        // A mixed-value pattern pushed through a (control-binary) cascade
+        // agrees with the MV algebra.
+        let p = Pattern::new(vec![Value::One, Value::V0, Value::Zero]);
+        let mut sv = StateVector::from_pattern(&p);
+        let g = Gate::v(1, 0); // control A = 1, data B mixed
+        sv.apply_gate(g);
+        let expected = StateVector::from_pattern(&g.apply(&p));
+        assert_eq!(sv, expected);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut sv = StateVector::basis(3, 0b111);
+        sv.apply_cascade(&[Gate::v(1, 0), Gate::v_dagger(2, 1), Gate::feynman(0, 2)]);
+        let total = sv
+            .distribution()
+            .probs()
+            .iter()
+            .fold(Dyadic::ZERO, |acc, &p| acc + p);
+        assert_eq!(total, Dyadic::ONE);
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(StateVector::from_amplitudes(vec![CDyadic::ONE, CDyadic::ZERO]).is_some());
+        // Not normalized.
+        assert!(StateVector::from_amplitudes(vec![CDyadic::ONE, CDyadic::ONE]).is_none());
+        // Not a power of two.
+        assert!(StateVector::from_amplitudes(vec![
+            CDyadic::ONE,
+            CDyadic::ZERO,
+            CDyadic::ZERO
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn global_phase_still_counts_as_basis() {
+        let mut amps = vec![CDyadic::ZERO; 4];
+        amps[2] = CDyadic::I; // i·|10⟩
+        let sv = StateVector::from_amplitudes(amps).unwrap();
+        assert_eq!(sv.as_basis(), Some(2));
+    }
+
+    #[test]
+    fn apply_unitary_matches_apply_gate() {
+        let g = Gate::v_dagger(0, 2);
+        let mut a = StateVector::basis(3, 0b011);
+        let mut b = a.clone();
+        a.apply_gate(g);
+        b.apply_unitary(&g.unitary(3));
+        assert_eq!(a, b);
+    }
+}

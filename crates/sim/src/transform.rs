@@ -1,0 +1,172 @@
+use mvq_logic::Gate;
+use mvq_matrix::CMatrix;
+
+/// Multiplies a gate cascade into a single `2^n × 2^n` unitary.
+///
+/// The cascade is in execution order (`gates[0]` acts first), so the
+/// matrix is `U = U_k · … · U_2 · U_1`.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Gate;
+/// use mvq_sim::circuit_unitary;
+///
+/// // The paper's Figure 4: Peres = VCB * FBA * VCA * V⁺CB.
+/// let peres = [
+///     Gate::v(2, 1),
+///     Gate::feynman(1, 0),
+///     Gate::v(2, 0),
+///     Gate::v_dagger(2, 1),
+/// ];
+/// let u = circuit_unitary(&peres, 3);
+/// // Peres is permutative: P = A, Q = A⊕B, R = C⊕AB.
+/// assert_eq!(
+///     u.to_permutation_images().unwrap(),
+///     vec![1, 2, 3, 4, 7, 8, 6, 5],
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if a gate references a wire ≥ `n`.
+pub fn circuit_unitary(gates: &[Gate], n: usize) -> CMatrix {
+    let mut u = CMatrix::identity(1 << n);
+    for g in gates {
+        u = &g.unitary(n) * &u;
+    }
+    u
+}
+
+/// The Hermitian adjoint of a cascade: reversed order, each gate replaced
+/// by its adjoint. `circuit_unitary(adjoint_cascade(c)) =
+/// circuit_unitary(c)⁺` always holds.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Gate;
+/// use mvq_sim::{adjoint_cascade, circuit_unitary};
+///
+/// let c = [Gate::v(2, 1), Gate::feynman(1, 0)];
+/// let adj = adjoint_cascade(&c);
+/// assert_eq!(adj, vec![Gate::feynman(1, 0), Gate::v_dagger(2, 1)]);
+/// assert_eq!(circuit_unitary(&adj, 3), circuit_unitary(&c, 3).adjoint());
+/// ```
+pub fn adjoint_cascade(gates: &[Gate]) -> Vec<Gate> {
+    gates.iter().rev().map(|g| g.adjoint()).collect()
+}
+
+/// The paper's Figure 8 transform: **keep the gate order** but swap every
+/// V with V⁺ (and vice versa).
+///
+/// For a permutative circuit whose unitary is real (a 0/1 permutation
+/// matrix), this produces the complex-conjugate implementation, which
+/// realizes the *same* permutation — the paper's "hermitian adjoint
+/// implementation" of Peres, and the (a)/(b) and (c)/(d) pairs of
+/// Figure 9.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_logic::Gate;
+/// use mvq_sim::{circuit_unitary, vswap_cascade};
+///
+/// let peres = [
+///     Gate::v(2, 1),
+///     Gate::feynman(1, 0),
+///     Gate::v(2, 0),
+///     Gate::v_dagger(2, 1),
+/// ];
+/// let swapped = vswap_cascade(&peres);
+/// // Same permutative behaviour:
+/// assert_eq!(
+///     circuit_unitary(&swapped, 3),
+///     circuit_unitary(&peres, 3),
+/// );
+/// ```
+pub fn vswap_cascade(gates: &[Gate]) -> Vec<Gate> {
+    gates.iter().map(|g| g.adjoint()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_logic::PatternDomain;
+
+    fn peres() -> Vec<Gate> {
+        vec![
+            Gate::v(2, 1),
+            Gate::feynman(1, 0),
+            Gate::v(2, 0),
+            Gate::v_dagger(2, 1),
+        ]
+    }
+
+    #[test]
+    fn empty_cascade_is_identity() {
+        assert!(circuit_unitary(&[], 3).is_identity());
+    }
+
+    #[test]
+    fn unitary_order_matters() {
+        let a = circuit_unitary(&[Gate::v(1, 0), Gate::feynman(2, 1)], 3);
+        let b = circuit_unitary(&[Gate::feynman(2, 1), Gate::v(1, 0)], 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn peres_cascade_is_permutative() {
+        let u = circuit_unitary(&peres(), 3);
+        assert!(u.is_permutation());
+        // P = A, Q = A⊕B, R = C⊕AB (paper, Figure 4).
+        let images = u.to_permutation_images().unwrap();
+        for (state, &img) in images.iter().enumerate() {
+            let (a, b, c) = (state >> 2 & 1, state >> 1 & 1, state & 1);
+            let want = (a << 2) | ((a ^ b) << 1) | (c ^ (a & b));
+            assert_eq!(img - 1, want, "state {state:03b}");
+        }
+    }
+
+    #[test]
+    fn adjoint_cascade_inverts() {
+        let c = peres();
+        let u = circuit_unitary(&c, 3);
+        let adj = circuit_unitary(&adjoint_cascade(&c), 3);
+        assert!((&u * &adj).is_identity());
+    }
+
+    #[test]
+    fn vswap_preserves_permutative_behaviour() {
+        // Figure 8: swapping V ↔ V⁺ realizes the same permutation.
+        let c = peres();
+        let swapped = vswap_cascade(&c);
+        assert_eq!(circuit_unitary(&swapped, 3), circuit_unitary(&c, 3));
+        // But is a genuinely different gate list.
+        assert_ne!(swapped, c);
+    }
+
+    #[test]
+    fn vswap_is_involution() {
+        let c = peres();
+        assert_eq!(vswap_cascade(&vswap_cascade(&c)), c);
+    }
+
+    #[test]
+    fn unitary_matches_pattern_permutation_on_binary_inputs() {
+        // The MV permutation restricted to binary patterns agrees with the
+        // unitary permutation for the Peres cascade.
+        let domain = PatternDomain::permutable(3);
+        let mut perm = mvq_perm::Perm::identity(38);
+        for g in peres() {
+            perm = perm * g.perm(&domain);
+        }
+        let s: Vec<usize> = (1..=8).collect();
+        let restricted = perm.restricted(&s).expect("peres maps S to S");
+        let u = circuit_unitary(&peres(), 3);
+        let images = u.to_permutation_images().unwrap();
+        for p in 1..=8usize {
+            assert_eq!(restricted.image(p), images[p - 1]);
+        }
+    }
+}

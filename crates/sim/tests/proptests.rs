@@ -1,0 +1,111 @@
+//! Property-based tests: exact state-vector simulation preserves
+//! normalization, adjoint cascades invert, and the V ↔ V⁺ swap preserves
+//! permutative behaviour.
+
+use mvq_arith::Dyadic;
+use mvq_logic::Gate;
+use mvq_sim::{adjoint_cascade, circuit_unitary, vswap_cascade, StateVector};
+use proptest::prelude::*;
+
+fn gate3() -> impl Strategy<Value = Gate> {
+    let pairs = [(0usize, 1usize), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+    (0usize..4, prop::sample::select(pairs.to_vec())).prop_map(|(kind, (d, c))| match kind {
+        0 => Gate::v(d, c),
+        1 => Gate::v_dagger(d, c),
+        2 => Gate::feynman(d, c),
+        _ => Gate::not(d),
+    })
+}
+
+fn cascade() -> impl Strategy<Value = Vec<Gate>> {
+    prop::collection::vec(gate3(), 0..10)
+}
+
+proptest! {
+    #[test]
+    fn normalization_is_preserved_exactly(gates in cascade(), start in 0usize..8) {
+        let mut sv = StateVector::basis(3, start);
+        sv.apply_cascade(&gates);
+        let total = sv
+            .distribution()
+            .probs()
+            .iter()
+            .fold(Dyadic::ZERO, |acc, &p| acc + p);
+        prop_assert_eq!(total, Dyadic::ONE);
+    }
+
+    #[test]
+    fn adjoint_cascade_returns_to_start(gates in cascade(), start in 0usize..8) {
+        let mut sv = StateVector::basis(3, start);
+        sv.apply_cascade(&gates);
+        sv.apply_cascade(&adjoint_cascade(&gates));
+        prop_assert_eq!(sv.as_basis(), Some(start));
+    }
+
+    #[test]
+    fn cascade_unitary_is_unitary(gates in cascade()) {
+        prop_assert!(circuit_unitary(&gates, 3).is_unitary());
+    }
+
+    #[test]
+    fn unitary_times_adjoint_unitary_is_identity(gates in cascade()) {
+        let u = circuit_unitary(&gates, 3);
+        let ua = circuit_unitary(&adjoint_cascade(&gates), 3);
+        prop_assert!((&u * &ua).is_identity());
+    }
+
+    #[test]
+    fn vswap_preserves_permutation_matrices(gates in cascade()) {
+        // Whenever a cascade is permutative, its V ↔ V⁺ swap realizes the
+        // very same permutation (a permutation matrix is real, so it
+        // equals its complex conjugate).
+        let u = circuit_unitary(&gates, 3);
+        if let Some(images) = u.to_permutation_images() {
+            let swapped = circuit_unitary(&vswap_cascade(&gates), 3);
+            prop_assert_eq!(swapped.to_permutation_images(), Some(images));
+        }
+    }
+
+    #[test]
+    fn marginal_probabilities_are_consistent(gates in cascade(), start in 0usize..8) {
+        let mut sv = StateVector::basis(3, start);
+        sv.apply_cascade(&gates);
+        let dist = sv.distribution();
+        for wire in 0..3 {
+            let mask = 1usize << (2 - wire);
+            let marginal: Dyadic = dist
+                .probs()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & mask != 0)
+                .map(|(_, &p)| p)
+                .fold(Dyadic::ZERO, |acc, p| acc + p);
+            prop_assert_eq!(marginal, sv.prob_wire_one(wire));
+        }
+    }
+
+    #[test]
+    fn state_application_matches_unitary_application(
+        gates in cascade(), start in 0usize..8
+    ) {
+        let mut a = StateVector::basis(3, start);
+        a.apply_cascade(&gates);
+        let mut b = StateVector::basis(3, start);
+        b.apply_unitary(&circuit_unitary(&gates, 3));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_stays_in_support(gates in cascade(), seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut sv = StateVector::basis(3, 0b101);
+        sv.apply_cascade(&gates);
+        let dist = sv.distribution();
+        let support = dist.support();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert!(support.contains(&dist.sample(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! E9: Section 4 end to end — spec synthesis, measurement statistics, and
+//! the probabilistic state machine of Figure 3.
+
+use mvq_arith::Dyadic;
+use mvq_automata::{ControlledRng, ProbabilisticCircuit, QuantumAutomaton, QuantumHmm};
+use mvq_core::{
+    known, synthesize_spec, QuaternarySpec, SynthesisEngine,
+};
+use mvq_logic::{Gate, Pattern, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn controlled_rng_end_to_end() {
+    let generator = ControlledRng::synthesize().expect("realizable");
+    assert_eq!(generator.quantum_cost(), 1);
+
+    // Exact probabilities.
+    let d = generator.block().output_distribution(0b10);
+    assert_eq!(d.prob_of(0b10), Dyadic::HALF);
+    assert_eq!(d.prob_of(0b11), Dyadic::HALF);
+
+    // Large-sample empirical agreement.
+    let mut rng = StdRng::seed_from_u64(123);
+    let bits = generator.generate(&mut rng, 50_000, true);
+    let f = bits.iter().filter(|&&b| b).count() as f64 / 50_000.0;
+    assert!((f - 0.5).abs() < 0.01, "empirical frequency {f}");
+}
+
+#[test]
+fn controlled_controlled_v_spec_is_unreachable() {
+    // A notable negative result: "C becomes a coin exactly when A = B =
+    // 1" (a controlled-controlled-V) is NOT realizable in the paper's
+    // model at low cost — a true CCV needs phases outside the quaternary
+    // algebra.
+    let mut targets: Vec<Pattern> = (0..8).map(|b| Pattern::from_bits(b, 3)).collect();
+    targets[0b110] = Pattern::new(vec![Value::One, Value::One, Value::V0]);
+    targets[0b111] = Pattern::new(vec![Value::One, Value::One, Value::V1]);
+    let spec = QuaternarySpec::new(3, targets).expect("valid");
+    let mut engine = SynthesisEngine::unit_cost();
+    assert!(synthesize_spec(&mut engine, &spec, 5).is_none());
+}
+
+#[test]
+fn three_wire_probabilistic_spec_synthesis() {
+    // A 3-wire spec: XOR B with A, then C becomes a coin wherever the new
+    // B is 1. Reachable at cost 2 (FBA then VCB); the engine must find a
+    // minimal circuit and meet the spec exactly.
+    let targets: Vec<Pattern> = (0..8usize)
+        .map(|bits| {
+            let (a, b, c) = (bits >> 2 & 1, bits >> 1 & 1, bits & 1);
+            let b2 = b ^ a;
+            let c_val = if b2 == 1 {
+                if c == 0 { Value::V0 } else { Value::V1 }
+            } else if c == 0 {
+                Value::Zero
+            } else {
+                Value::One
+            };
+            Pattern::new(vec![
+                if a == 1 { Value::One } else { Value::Zero },
+                if b2 == 1 { Value::One } else { Value::Zero },
+                c_val,
+            ])
+        })
+        .collect();
+    let spec = QuaternarySpec::new(3, targets).expect("valid");
+    assert!(!spec.is_deterministic());
+
+    let mut engine = SynthesisEngine::unit_cost();
+    let result = synthesize_spec(&mut engine, &spec, 4).expect("reachable");
+    assert_eq!(result.cost, 2);
+    // Verify against exact state simulation for every input.
+    for bits in 0..8usize {
+        let mut sv = mvq_sim::StateVector::basis(3, bits);
+        sv.apply_cascade(result.circuit.gates());
+        let want = mvq_sim::StateVector::from_pattern(spec.target(bits));
+        assert_eq!(sv, want, "input {bits:03b}");
+    }
+    // A deterministic circuit cannot realize it.
+    let block = ProbabilisticCircuit::new(result.circuit.clone());
+    assert!(!block.is_deterministic());
+}
+
+#[test]
+fn deterministic_spec_agrees_with_mce() {
+    // A purely binary spec synthesizes to the same cost as MCE on the
+    // corresponding permutation.
+    let targets: Vec<Pattern> = (0..8)
+        .map(|b| {
+            Pattern::from_bits(
+                known::peres_perm().image(b + 1) - 1,
+                3,
+            )
+        })
+        .collect();
+    let spec = QuaternarySpec::new(3, targets).expect("valid");
+    assert!(spec.is_deterministic());
+    let mut engine = SynthesisEngine::unit_cost();
+    let via_spec = synthesize_spec(&mut engine, &spec, 5).expect("reachable");
+    let mut engine2 = SynthesisEngine::unit_cost();
+    let via_mce = engine2.synthesize(&known::peres_perm(), 5).expect("reachable");
+    assert_eq!(via_spec.cost, via_mce.cost);
+}
+
+#[test]
+fn automaton_transition_probabilities_sum_to_one() {
+    let circuit = mvq_core::Circuit::new(2, vec![Gate::v(0, 1)]);
+    let fsm = QuantumAutomaton::new(circuit, 1).expect("valid");
+    for state in 0..2 {
+        for input in 0..2 {
+            let total = (0..2)
+                .map(|next| fsm.transition_prob(state, input, next))
+                .fold(Dyadic::ZERO, |acc, p| acc + p);
+            assert_eq!(total, Dyadic::ONE, "state {state}, input {input}");
+        }
+    }
+}
+
+#[test]
+fn hmm_long_run_statistics() {
+    let mut hmm = QuantumHmm::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let obs = hmm.emit(&mut rng, 50_000);
+    let ones = obs.iter().filter(|&&b| b).count() as f64 / 50_000.0;
+    assert!((ones - 0.5).abs() < 0.01, "emission rate {ones}");
+    // Exact transition matrix row sums.
+    for s in 0..2 {
+        assert_eq!(
+            hmm.transition_prob(s, 0) + hmm.transition_prob(s, 1),
+            Dyadic::ONE
+        );
+    }
+}
+
+#[test]
+fn deterministic_automaton_is_a_classical_fsm() {
+    // Feynman-only circuit ⇒ the automaton is deterministic: same input
+    // sequence, same trajectory, every time.
+    let circuit = mvq_core::Circuit::new(2, vec![Gate::feynman(0, 1)]);
+    let mut a = QuantumAutomaton::new(circuit.clone(), 1).expect("valid");
+    let mut b = QuantumAutomaton::new(circuit, 1).expect("valid");
+    let inputs = [1, 0, 1, 1, 0, 1];
+    let mut rng_a = StdRng::seed_from_u64(1);
+    let mut rng_b = StdRng::seed_from_u64(999); // different seed!
+    assert_eq!(a.run(&mut rng_a, &inputs), b.run(&mut rng_b, &inputs));
+}
+
+#[test]
+fn synthesized_rng_spec_distributions_match_spec_object() {
+    let spec = ControlledRng::spec();
+    let generator = ControlledRng::synthesize().expect("realizable");
+    for bits in 0..4usize {
+        assert_eq!(
+            generator.block().output_distribution(bits),
+            spec.output_distribution(bits),
+            "input {bits:02b}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! E10: the matrix-level identities of Figures 1–2 — `V·V = NOT`,
+//! `V⁺·V = I`, unitarity of all 18 gate arrangements, and exact agreement
+//! between the multiple-valued abstraction and Hilbert space.
+
+use mvq_arith::{CDyadic, Dyadic};
+use mvq_logic::{Gate, GateLibrary, PatternDomain};
+use mvq_matrix::CMatrix;
+use mvq_sim::{circuit_unitary, StateVector};
+
+#[test]
+fn v_matrix_values_match_the_paper() {
+    // V = ½ [[1+i, 1−i], [1−i, 1+i]].
+    let v = CMatrix::v_gate();
+    assert_eq!(v[(0, 0)], CDyadic::new(1, 1, 1));
+    assert_eq!(v[(0, 1)], CDyadic::new(1, -1, 1));
+    assert_eq!(v[(1, 0)], CDyadic::new(1, -1, 1));
+    assert_eq!(v[(1, 1)], CDyadic::new(1, 1, 1));
+    // V⁺ is the conjugate.
+    let vd = CMatrix::v_dagger_gate();
+    assert_eq!(vd[(0, 0)], CDyadic::new(1, -1, 1));
+    assert_eq!(vd[(0, 1)], CDyadic::new(1, 1, 1));
+}
+
+#[test]
+fn square_root_of_not_identities() {
+    let v = CMatrix::v_gate();
+    let vd = CMatrix::v_dagger_gate();
+    let not = CMatrix::not_gate();
+    // V×V = V⁺×V⁺ = NOT; V⁺×V = V×V⁺ = I (Section 2).
+    assert_eq!(&v * &v, not);
+    assert_eq!(&vd * &vd, not);
+    assert!((&vd * &v).is_identity());
+    assert!((&v * &vd).is_identity());
+}
+
+#[test]
+fn paper_v0_v1_column_vectors() {
+    // V|0⟩ = ((1+i)/2, (1−i)/2)ᵀ and V|1⟩ = ((1−i)/2, (1+i)/2)ᵀ.
+    let v = CMatrix::v_gate();
+    let v0 = v.apply(&[CDyadic::ONE, CDyadic::ZERO]);
+    assert_eq!(v0, vec![CDyadic::new(1, 1, 1), CDyadic::new(1, -1, 1)]);
+    let v1 = v.apply(&[CDyadic::ZERO, CDyadic::ONE]);
+    assert_eq!(v1, vec![CDyadic::new(1, -1, 1), CDyadic::new(1, 1, 1)]);
+    // Measurement probabilities ½ / ½ (the "equal probabilities" remark).
+    assert_eq!(v0[0].norm_sqr(), Dyadic::HALF);
+    assert_eq!(v0[1].norm_sqr(), Dyadic::HALF);
+}
+
+#[test]
+fn all_18_arrangements_are_unitary() {
+    for lg in GateLibrary::standard(3).gates() {
+        let u = lg.gate().unitary(3);
+        assert!(u.is_unitary(), "{} is unitary", lg.gate());
+        assert_eq!(u.rows(), 8);
+    }
+}
+
+#[test]
+fn controlled_v_squares_to_cnot_in_all_arrangements() {
+    for data in 0..3usize {
+        for control in 0..3usize {
+            if data == control {
+                continue;
+            }
+            let v = Gate::v(data, control).unitary(3);
+            let cnot = Gate::feynman(data, control).unitary(3);
+            assert_eq!(&v * &v, cnot, "V²=CNOT for ({data},{control})");
+            let vd = Gate::v_dagger(data, control).unitary(3);
+            assert!((&v * &vd).is_identity());
+        }
+    }
+}
+
+#[test]
+fn mv_semantics_agrees_with_hilbert_space_on_reachable_patterns() {
+    // For every gate and every domain pattern whose control wires are
+    // binary (the reachable situations), pattern semantics == unitary
+    // semantics, exactly.
+    let domain = PatternDomain::permutable(3);
+    for lg in GateLibrary::standard(3).gates() {
+        let g = lg.gate();
+        let u = g.unitary(3);
+        for (_, p) in domain.iter() {
+            let skip = match g {
+                Gate::V { control, .. } | Gate::VDagger { control, .. } => {
+                    p.value(control).is_mixed()
+                }
+                Gate::Feynman { data, control } => {
+                    p.value(data).is_mixed() || p.value(control).is_mixed()
+                }
+                Gate::Not { .. } => false,
+            };
+            if skip {
+                continue;
+            }
+            let mut sv = StateVector::from_pattern(p);
+            sv.apply_unitary(&u);
+            let want = StateVector::from_pattern(&g.apply(p));
+            assert_eq!(sv, want, "{g} on {p}");
+        }
+    }
+}
+
+#[test]
+fn cascade_unitary_is_product_of_gate_unitaries() {
+    let gates = [Gate::v(2, 1), Gate::feynman(1, 0), Gate::v_dagger(0, 2)];
+    let u = circuit_unitary(&gates, 3);
+    let manual = &Gate::v_dagger(0, 2).unitary(3)
+        * &(&Gate::feynman(1, 0).unitary(3) * &Gate::v(2, 1).unitary(3));
+    assert_eq!(u, manual);
+    assert!(u.is_unitary());
+}
+
+#[test]
+fn probabilities_remain_exactly_normalized_through_deep_cascades() {
+    // 20 gates deep, exact arithmetic: probabilities still sum to exactly 1.
+    let mut sv = StateVector::basis(3, 0b111);
+    let cascade = [
+        Gate::v(1, 0),
+        Gate::v_dagger(2, 0),
+        Gate::feynman(0, 2),
+        Gate::v(2, 0),
+    ];
+    for _ in 0..5 {
+        sv.apply_cascade(&cascade);
+    }
+    let total = sv
+        .distribution()
+        .probs()
+        .iter()
+        .fold(Dyadic::ZERO, |acc, &p| acc + p);
+    assert_eq!(total, Dyadic::ONE);
+}

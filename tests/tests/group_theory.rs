@@ -1,0 +1,166 @@
+//! E8: the group-theoretic backbone — Theorem 2's coset decomposition,
+//! |G| = 5040, |S₈| = 40320, and the NOT-group structure.
+
+use std::sync::OnceLock;
+
+use mvq_core::{known, universal};
+use mvq_perm::{Group, Perm, StabilizerChain};
+
+/// S8 materialized once for the whole test binary (40320 elements).
+fn s8() -> &'static Group {
+    static S8: OnceLock<Group> = OnceLock::new();
+    S8.get_or_init(|| Group::symmetric(8))
+}
+
+#[test]
+fn s8_has_order_40320() {
+    assert_eq!(s8().order(), 40320);
+    // Cross-check via Schreier–Sims.
+    let chain = StabilizerChain::new(
+        8,
+        &[
+            "(1,2)".parse::<Perm>().unwrap().extended(8),
+            "(1,2,3,4,5,6,7,8)".parse::<Perm>().unwrap(),
+        ],
+    );
+    assert_eq!(chain.order(), 40320);
+}
+
+#[test]
+fn stabilizer_of_zero_pattern_has_order_5040() {
+    // The set G of circuits realizable without NOT gates fixes pattern 1;
+    // the paper reports |G| = 5040.
+    assert_eq!(s8().point_stabilizer(1).order(), 5040);
+}
+
+#[test]
+fn feynman_and_peres_generate_the_full_stabilizer() {
+    // "G = Groupgeneratedby{FAB, FBA, FBC, FCB, PeAB}, |G| = 5040."
+    let g = universal::feynman_peres_group();
+    assert_eq!(g.order(), 5040);
+    // It is exactly the stabilizer of point 1.
+    let stab = s8().point_stabilizer(1);
+    assert!(stab.has_subgroup(&g));
+    assert_eq!(stab.order(), g.order());
+}
+
+#[test]
+fn not_group_properties() {
+    // N has 2ⁿ elements, every element is an involution, and products of
+    // distinct elements are never the identity (Section 3).
+    let n = Group::not_group(3);
+    assert_eq!(n.order(), 8);
+    let elements: Vec<Perm> = n.iter().cloned().collect();
+    for a in &elements {
+        assert!((a * a).is_identity());
+        for b in &elements {
+            if a != b {
+                assert!(!(a * b).is_identity());
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_2_coset_decomposition() {
+    // H = ∪_{a∈N} a*G with pairwise-disjoint cosets.
+    let g = s8().point_stabilizer(1);
+    let n = Group::not_group(3);
+    let reps: Vec<Perm> = n.iter().cloned().collect();
+    let cosets = s8()
+        .coset_decomposition(&g, &reps)
+        .expect("N gives a clean transversal of G in S8");
+    assert_eq!(cosets.len(), 8);
+    assert!(cosets.iter().all(|c| c.len() == 5040));
+    // Each coset a*G is characterized by the preimage of point 1: with
+    // the paper's apply-left-first product, (a*g)(a(1)) = g(1) = 1.
+    for (rep, coset) in reps.iter().zip(&cosets) {
+        let dest = rep.image(1);
+        assert!(coset.iter().all(|p| p.preimage(1) == dest));
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "canonical-representative scan over all 40320 elements; run with --release")]
+fn coset_count_is_8() {
+    let g = s8().point_stabilizer(1);
+    assert_eq!(s8().count_cosets(&g), 8);
+}
+
+#[test]
+fn every_s8_element_splits_as_not_layer_times_stabilizer() {
+    // Constructive form of Theorem 2: for any h ∈ S8 there is a ∈ N with
+    // (a * h)(1) = 1, so a*h ∈ G and h = a⁻¹ * (a*h) = a * (a*h).
+    let n = Group::not_group(3);
+    let samples: Vec<Perm> = vec![
+        known::toffoli_perm(),
+        known::peres_perm(),
+        "(1,5)(2,6)".parse::<Perm>().unwrap().extended(8),
+        "(1,8,2,7,3,6,4,5)".parse::<Perm>().unwrap(),
+    ];
+    for h in samples {
+        let a = n
+            .iter()
+            .find(|a| (*a * &h).image(1) == 1)
+            .expect("some NOT layer works");
+        let reduced = a * &h;
+        assert_eq!(reduced.image(1), 1);
+        // a is an involution, so h = a * reduced.
+        assert_eq!(a.clone() * reduced, h);
+    }
+}
+
+#[test]
+fn universality_closure_of_each_representative() {
+    // The g1–g4 representatives each generate S8 with NOT and Feynman.
+    for (name, p) in [
+        ("g1", known::peres_perm()),
+        ("g2", known::g2_perm()),
+        ("g3", known::g3_perm()),
+        ("g4", known::g4_perm()),
+    ] {
+        assert!(
+            universal::is_universal_with_not_and_feynman(&p),
+            "{name} must be universal"
+        );
+    }
+}
+
+#[test]
+fn feynman_closure_is_gl32() {
+    // The six CNOT perms generate the linear group GL(3,2), order 168 —
+    // the reason Feynman-only circuits are not universal.
+    let group = Group::closure(8, &universal::feynman_binary_perms());
+    assert_eq!(group.order(), 168);
+    // All its elements fix the zero pattern.
+    assert!(group.iter().all(|p| p.image(1) == 1));
+}
+
+#[test]
+fn gl32_ball_profile_validates_the_corrected_table_2() {
+    // BFS distance profile of GL(3,2) under the 6 CNOT generators:
+    // 1 + 6 + 24 + 51 + 60 + 24 + 2 = 168. This is the independent check
+    // behind EXPECTED_TABLE_2's corrected k = 2, 3 entries.
+    use std::collections::{HashMap, VecDeque};
+    let gens = universal::feynman_binary_perms();
+    let mut dist: HashMap<Perm, usize> = HashMap::new();
+    let id = Perm::identity(8);
+    dist.insert(id.clone(), 0);
+    let mut queue = VecDeque::from([id]);
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[&cur];
+        for g in &gens {
+            let next = &cur * g;
+            if !dist.contains_key(&next) {
+                dist.insert(next.clone(), d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut counts = vec![0usize; 7];
+    for d in dist.values() {
+        counts[*d] += 1;
+    }
+    assert_eq!(counts, vec![1, 6, 24, 51, 60, 24, 2]);
+    assert_eq!(dist.len(), 168);
+}

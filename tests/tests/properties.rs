@@ -1,0 +1,137 @@
+//! Cross-crate property tests: FMCF/MCE invariants on randomly generated
+//! *reasonable* cascades — the search must never report a cost higher
+//! than a constructive witness, and every synthesized circuit must verify
+//! at the unitary level.
+
+use std::sync::{Mutex, OnceLock};
+
+use mvq_core::{Circuit, SynthesisEngine};
+use mvq_logic::{Gate, GateLibrary, Pattern};
+use proptest::prelude::*;
+
+/// One shared engine, pre-expanded lazily: each proptest case reuses the
+/// cached FMCF levels instead of recomputing them.
+fn engine() -> &'static Mutex<SynthesisEngine> {
+    static ENGINE: OnceLock<Mutex<SynthesisEngine>> = OnceLock::new();
+    ENGINE.get_or_init(|| Mutex::new(SynthesisEngine::unit_cost()))
+}
+
+/// Builds a random cascade that respects the reasonable-product
+/// constraint, by walking the library and keeping only gates whose banned
+/// set avoids the current binary-set image.
+fn reasonable_cascade(choices: &[u8]) -> Vec<Gate> {
+    let lib = GateLibrary::standard(3);
+    let domain = lib.domain();
+    let mut patterns: Vec<Pattern> = lib
+        .binary_set()
+        .iter()
+        .map(|&i| domain.pattern(i).clone())
+        .collect();
+    let mut gates = Vec::new();
+    for &c in choices {
+        let image_mask: u64 = patterns
+            .iter()
+            .map(|p| 1u64 << (domain.index(p).expect("in domain") - 1))
+            .sum();
+        let allowed: Vec<Gate> = lib
+            .gates()
+            .iter()
+            .filter(|lg| lg.is_reasonable_after(image_mask))
+            .map(|lg| lg.gate())
+            .collect();
+        if allowed.is_empty() {
+            break;
+        }
+        let gate = allowed[c as usize % allowed.len()];
+        for p in &mut patterns {
+            *p = gate.apply(p);
+        }
+        gates.push(gate);
+    }
+    gates
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn synthesis_never_exceeds_witness_cost(choices in prop::collection::vec(any::<u8>(), 0..6)) {
+        let gates = reasonable_cascade(&choices);
+        let circuit = Circuit::new(3, gates);
+        // Only check cascades that return to binary.
+        if let Some(target) = circuit.binary_perm() {
+            let mut e = engine().lock().expect("no poisoning");
+            let syn = e.synthesize(&target, 6).expect("witness exists within 6");
+            prop_assert!(syn.cost <= circuit.quantum_cost(),
+                "search found {} > witness {}", syn.cost, circuit.quantum_cost());
+            prop_assert!(syn.circuit.verify_against_binary_perm(&target));
+        }
+    }
+
+    #[test]
+    fn mv_perm_restriction_equals_binary_perm(choices in prop::collection::vec(any::<u8>(), 0..7)) {
+        // For reasonable NOT-free cascades, the 38-domain permutation
+        // restricted to S agrees with direct binary evaluation.
+        let gates = reasonable_cascade(&choices);
+        let circuit = Circuit::new(3, gates);
+        let domain = mvq_logic::PatternDomain::permutable(3);
+        let perm = circuit.perm(&domain);
+        let s: Vec<usize> = (1..=8).collect();
+        match (perm.restricted(&s), circuit.binary_perm()) {
+            (Some(restricted), Some(binary)) => prop_assert_eq!(restricted, binary),
+            (None, None) => {}
+            (r, b) => prop_assert!(false, "restriction {r:?} vs binary {b:?} disagree"),
+        }
+    }
+
+    #[test]
+    fn reasonable_cascades_keep_controls_binary(choices in prop::collection::vec(any::<u8>(), 0..8)) {
+        // The defining property of the banned sets: along a reasonable
+        // cascade, every control wire reads a binary value at its moment
+        // of use, for every binary primary input.
+        let gates = reasonable_cascade(&choices);
+        for bits in 0..8usize {
+            let mut p = Pattern::from_bits(bits, 3);
+            for g in &gates {
+                match *g {
+                    Gate::V { control, .. } | Gate::VDagger { control, .. } => {
+                        prop_assert!(p.value(control).is_binary(),
+                            "{g} sees mixed control on input {bits:03b}");
+                    }
+                    Gate::Feynman { data, control } => {
+                        prop_assert!(p.value(data).is_binary());
+                        prop_assert!(p.value(control).is_binary());
+                    }
+                    Gate::Not { .. } => {}
+                }
+                p = g.apply(&p);
+            }
+        }
+    }
+
+    #[test]
+    fn quaternary_synthesis_matches_cascade_images(choices in prop::collection::vec(any::<u8>(), 1..4)) {
+        // Synthesize the exact image tuple of a random reasonable cascade;
+        // the result must reproduce those images (possibly via a cheaper
+        // circuit).
+        let gates = reasonable_cascade(&choices);
+        let circuit = Circuit::new(3, gates);
+        let domain = mvq_logic::PatternDomain::permutable(3);
+        let images: Vec<usize> = (0..8usize)
+            .map(|bits| {
+                let out = circuit.apply(&Pattern::from_bits(bits, 3));
+                domain.index(&out).expect("reachable output is in domain")
+            })
+            .collect();
+        let mut e = engine().lock().expect("no poisoning");
+        let syn = e
+            .synthesize_quaternary(&images, 4)
+            .expect("witness exists within 4");
+        prop_assert!(syn.cost <= circuit.quantum_cost());
+        let found = Circuit::new(3, syn.circuit.gates().to_vec());
+        for (bits, &want) in images.iter().enumerate() {
+            let out = found.apply(&Pattern::from_bits(bits, 3));
+            prop_assert_eq!(domain.index(&out), Some(want));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Serde round-trips for the feature-gated `serde` support (C-SERDE):
+//! circuits, permutations, patterns and census rows survive JSON.
+
+use mvq_arith::{CDyadic, Dyadic};
+use mvq_core::{Census, CensusRow, Circuit, CostModel};
+use mvq_logic::{Gate, Pattern, Value};
+use mvq_perm::Perm;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn dyadic_roundtrip() {
+    for d in [Dyadic::ZERO, Dyadic::HALF, Dyadic::new(-7, 4)] {
+        assert_eq!(roundtrip(&d), d);
+    }
+}
+
+#[test]
+fn cdyadic_roundtrip() {
+    for z in [CDyadic::I, CDyadic::HALF_ONE_PLUS_I, CDyadic::new(-3, 5, 2)] {
+        assert_eq!(roundtrip(&z), z);
+    }
+}
+
+#[test]
+fn perm_roundtrip() {
+    let p: Perm = "(5,17,7,21)(6,18,8,22)".parse().unwrap();
+    assert_eq!(roundtrip(&p), p);
+}
+
+#[test]
+fn value_and_pattern_roundtrip() {
+    for v in Value::ALL {
+        assert_eq!(roundtrip(&v), v);
+    }
+    let pattern = Pattern::new(vec![Value::One, Value::V0, Value::Zero]);
+    assert_eq!(roundtrip(&pattern), pattern);
+}
+
+#[test]
+fn gate_and_circuit_roundtrip() {
+    let circuit: Circuit = "VCB*FBA*VCA*V+CB".parse().unwrap();
+    let back = roundtrip(&circuit);
+    assert_eq!(back, circuit);
+    // Behaviour survives, not just structure.
+    assert_eq!(back.binary_perm(), circuit.binary_perm());
+    let gate = Gate::v_dagger(2, 0);
+    assert_eq!(roundtrip(&gate), gate);
+}
+
+#[test]
+fn cost_model_roundtrip() {
+    let m = CostModel::weighted(2, 3, 1);
+    assert_eq!(roundtrip(&m), m);
+}
+
+#[test]
+fn census_rows_roundtrip() {
+    let census = Census::compute(2);
+    for row in census.rows() {
+        let back: CensusRow = roundtrip(row);
+        assert_eq!(&back, row);
+    }
+}
+
+#[test]
+fn json_is_stable_for_gates() {
+    // Downstream tooling relies on the enum layout; pin it.
+    let json = serde_json::to_string(&Gate::v(1, 0)).expect("serializes");
+    assert_eq!(json, r#"{"V":{"data":1,"control":0}}"#);
+}
