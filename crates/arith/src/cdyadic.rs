@@ -37,15 +37,35 @@ pub struct CDyadic {
 
 impl CDyadic {
     /// The additive identity, `0`.
-    pub const ZERO: CDyadic = CDyadic { re: 0, im: 0, exp: 0 };
+    pub const ZERO: CDyadic = CDyadic {
+        re: 0,
+        im: 0,
+        exp: 0,
+    };
     /// The multiplicative identity, `1`.
-    pub const ONE: CDyadic = CDyadic { re: 1, im: 0, exp: 0 };
+    pub const ONE: CDyadic = CDyadic {
+        re: 1,
+        im: 0,
+        exp: 0,
+    };
     /// The imaginary unit `i`.
-    pub const I: CDyadic = CDyadic { re: 0, im: 1, exp: 0 };
+    pub const I: CDyadic = CDyadic {
+        re: 0,
+        im: 1,
+        exp: 0,
+    };
     /// `(1 + i)/2`, the diagonal entry of V.
-    pub const HALF_ONE_PLUS_I: CDyadic = CDyadic { re: 1, im: 1, exp: 1 };
+    pub const HALF_ONE_PLUS_I: CDyadic = CDyadic {
+        re: 1,
+        im: 1,
+        exp: 1,
+    };
     /// `(1 - i)/2`, the off-diagonal entry of V.
-    pub const HALF_ONE_MINUS_I: CDyadic = CDyadic { re: 1, im: -1, exp: 1 };
+    pub const HALF_ONE_MINUS_I: CDyadic = CDyadic {
+        re: 1,
+        im: -1,
+        exp: 1,
+    };
 
     /// Creates `(re + im·i) / 2^exp`, normalizing the representation.
     ///
@@ -61,7 +81,11 @@ impl CDyadic {
 
     /// Creates a real integer value.
     pub fn from_int(n: i64) -> Self {
-        Self { re: n, im: 0, exp: 0 }
+        Self {
+            re: n,
+            im: 0,
+            exp: 0,
+        }
     }
 
     /// Creates a value from exact real and imaginary dyadic parts.

@@ -187,7 +187,9 @@ impl Mul for Dyadic {
     #[allow(clippy::suspicious_arithmetic_impl)]
     fn mul(self, rhs: Dyadic) -> Dyadic {
         Dyadic::new(
-            self.num.checked_mul(rhs.num).expect("dyadic numerator overflow"),
+            self.num
+                .checked_mul(rhs.num)
+                .expect("dyadic numerator overflow"),
             self.exp + rhs.exp,
         )
     }

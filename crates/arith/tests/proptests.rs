@@ -10,8 +10,7 @@ fn dyadic() -> impl Strategy<Value = Dyadic> {
 }
 
 fn cdyadic() -> impl Strategy<Value = CDyadic> {
-    (-1000i64..=1000, -1000i64..=1000, 0u32..=8)
-        .prop_map(|(re, im, e)| CDyadic::new(re, im, e))
+    (-1000i64..=1000, -1000i64..=1000, 0u32..=8).prop_map(|(re, im, e)| CDyadic::new(re, im, e))
 }
 
 proptest! {

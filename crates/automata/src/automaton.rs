@@ -87,9 +87,7 @@ impl QuantumAutomaton {
     /// `next_state` on `input` (marginalizing over the non-state output
     /// wires).
     pub fn transition_prob(&self, state: usize, input: usize, next_state: usize) -> Dyadic {
-        let dist = self
-            .block
-            .output_distribution(self.compose(state, input));
+        let dist = self.block.output_distribution(self.compose(state, input));
         let shift = self.input_wires();
         dist.probs()
             .iter()
@@ -106,9 +104,7 @@ impl QuantumAutomaton {
     ///
     /// Panics if `input >= 2^input_wires`.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, input: usize) -> usize {
-        let word = self
-            .block
-            .measure(rng, self.compose(self.state, input));
+        let word = self.block.measure(rng, self.compose(self.state, input));
         self.state = word >> self.input_wires();
         word
     }

@@ -49,10 +49,7 @@ impl QuantumHmm {
         // with 1 every step so it acts as the coin enable).
         // Cascade: V(S; O) — coin-flip the hidden state; then F(O; S) —
         // imprint the (new) state onto the observation wire.
-        let circuit = Circuit::new(
-            2,
-            vec![Gate::v(0, 1), Gate::feynman(1, 0)],
-        );
+        let circuit = Circuit::new(2, vec![Gate::v(0, 1), Gate::feynman(1, 0)]);
         let automaton = QuantumAutomaton::new(circuit, 1).expect("valid split");
         Self { automaton }
     }

@@ -93,10 +93,7 @@ mod tests {
 
     fn coin_circuit() -> ProbabilisticCircuit {
         // NOT(A); V(B;A): always outputs A=1, B uniform.
-        ProbabilisticCircuit::new(Circuit::new(
-            2,
-            vec![Gate::not(0), Gate::v(1, 0)],
-        ))
+        ProbabilisticCircuit::new(Circuit::new(2, vec![Gate::not(0), Gate::v(1, 0)]))
     }
 
     #[test]
@@ -110,10 +107,7 @@ mod tests {
     #[test]
     fn determinism_detection() {
         assert!(!coin_circuit().is_deterministic());
-        let det = ProbabilisticCircuit::new(Circuit::new(
-            2,
-            vec![Gate::feynman(1, 0)],
-        ));
+        let det = ProbabilisticCircuit::new(Circuit::new(2, vec![Gate::feynman(1, 0)]));
         assert!(det.is_deterministic());
     }
 

@@ -41,8 +41,7 @@ impl ControlledRng {
     /// library: a single controlled-V meets the spec).
     pub fn synthesize() -> Option<Self> {
         let spec = Self::spec();
-        let mut engine =
-            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let mut engine = SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
         let result = synthesize_spec(&mut engine, &spec, 3)?;
         Some(Self {
             block: ProbabilisticCircuit::new(result.circuit),

@@ -39,10 +39,8 @@ fn print_artifacts_once() {
         assert_eq!(reduced.g_counts(), full.g_counts());
 
         // Cost models.
-        let mut weighted = SynthesisEngine::new(
-            GateLibrary::standard(3),
-            CostModel::weighted(2, 2, 1),
-        );
+        let mut weighted =
+            SynthesisEngine::new(GateLibrary::standard(3), CostModel::weighted(2, 2, 1));
         let syn = weighted
             .synthesize(&known::peres_perm(), 8)
             .expect("reachable");
@@ -54,7 +52,9 @@ fn print_artifacts_once() {
         // Coset factorization.
         let not_a = Perm::from_images(&[5, 6, 7, 8, 1, 2, 3, 4]).expect("valid");
         let mut engine = SynthesisEngine::unit_cost();
-        let plain = engine.synthesize(&known::toffoli_perm(), 6).expect("cost 5");
+        let plain = engine
+            .synthesize(&known::toffoli_perm(), 6)
+            .expect("cost 5");
         let lifted = engine
             .synthesize(&(not_a * known::toffoli_perm()), 6)
             .expect("cost 5");
@@ -106,10 +106,8 @@ fn bench_cost_models(c: &mut Criterion) {
 
     group.bench_function("weighted_peres", |b| {
         b.iter(|| {
-            let mut e = SynthesisEngine::new(
-                GateLibrary::standard(3),
-                CostModel::weighted(2, 2, 1),
-            );
+            let mut e =
+                SynthesisEngine::new(GateLibrary::standard(3), CostModel::weighted(2, 2, 1));
             e.synthesize(&known::peres_perm(), 8).expect("cost 7").cost
         })
     });

@@ -33,7 +33,10 @@ fn print_artifacts_once() {
             .iter()
             .filter(|&&b| b)
             .count();
-        println!("empirical: P(1) ≈ {:.4} over {n} samples", ones as f64 / n as f64);
+        println!(
+            "empirical: P(1) ≈ {:.4} over {n} samples",
+            ones as f64 / n as f64
+        );
 
         let mut hmm = QuantumHmm::new();
         println!(
@@ -53,7 +56,11 @@ fn bench_automata(c: &mut Criterion) {
     let mut group = c.benchmark_group("automata");
 
     group.bench_function("rng_spec_synthesis", |b| {
-        b.iter(|| ControlledRng::synthesize().expect("realizable").quantum_cost())
+        b.iter(|| {
+            ControlledRng::synthesize()
+                .expect("realizable")
+                .quantum_cost()
+        })
     });
 
     let generator = ControlledRng::synthesize().expect("realizable");

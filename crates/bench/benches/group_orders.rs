@@ -17,10 +17,7 @@ fn print_artifacts_once() {
         println!("|S8|                       = {}", s8.order());
         let g = universal::feynman_peres_group();
         println!("|G| = <Feynman, Peres>     = {}", g.order());
-        println!(
-            "index [S8 : G]             = {}",
-            s8.order() / g.order()
-        );
+        println!("index [S8 : G]             = {}", s8.order() / g.order());
         assert_eq!(s8.order(), 40320);
         assert_eq!(g.order(), 5040);
         println!(

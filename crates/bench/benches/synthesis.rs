@@ -23,7 +23,11 @@ fn print_artifacts_once() {
 
         println!("\n=== Figure 9: Toffoli implementations (reproduced) ===");
         let toffoli = engine.synthesize_all(&known::toffoli_perm(), 6);
-        println!("cost {}, {} implementations:", toffoli[0].cost, toffoli.len());
+        println!(
+            "cost {}, {} implementations:",
+            toffoli[0].cost,
+            toffoli.len()
+        );
         for syn in &toffoli {
             println!("  {}", syn.circuit);
             assert!(syn

@@ -1,0 +1,1 @@
+//! Host crate for the workspace's criterion benchmarks (see `benches/`).

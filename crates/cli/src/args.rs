@@ -84,9 +84,9 @@ impl Args {
     ) -> Result<T, ParseArgsError> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v.parse::<T>().map_err(|_| {
-                ParseArgsError::new(format!("invalid value `{v}` for --{name}"))
-            }),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| ParseArgsError::new(format!("invalid value `{v}` for --{name}"))),
         }
     }
 
@@ -140,5 +140,64 @@ mod tests {
     #[test]
     fn short_options_rejected() {
         assert!(Args::parse(&raw(&["-c"]), &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_long_token_consumes_a_value_not_a_flag() {
+        // `--bogus` is not a known flag, so it is treated as a `--key
+        // value` option and must consume the next token.
+        let args = Args::parse(&raw(&["--bogus", "x", "synth"]), &["all"]).unwrap();
+        assert!(!args.flag("bogus"));
+        assert_eq!(args.option("bogus", String::new()).unwrap(), "x");
+        assert_eq!(args.positional(0), Some("synth"));
+    }
+
+    #[test]
+    fn unknown_long_token_at_end_is_a_missing_value_error() {
+        let err = Args::parse(&raw(&["--bogus"]), &["all"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_value_error_names_the_option() {
+        let err = Args::parse(&raw(&["census", "--cb"]), &[]).unwrap_err();
+        assert!(err.to_string().contains("--cb"), "got: {err}");
+        assert!(err.to_string().contains("needs a value"), "got: {err}");
+    }
+
+    #[test]
+    fn repeated_flags_are_idempotent() {
+        let args = Args::parse(&raw(&["--all", "--all", "synth"]), &["all"]).unwrap();
+        assert!(args.flag("all"));
+        assert_eq!(args.positional(0), Some("synth"));
+    }
+
+    #[test]
+    fn repeated_options_last_one_wins() {
+        let args = Args::parse(&raw(&["--cb", "3", "--cb", "6"]), &[]).unwrap();
+        assert_eq!(args.option("cb", 7u32).unwrap(), 6);
+    }
+
+    #[test]
+    fn lone_dash_is_a_positional() {
+        // A single `-` conventionally means stdin; the parser keeps it
+        // positional rather than erroring.
+        let args = Args::parse(&raw(&["-"]), &[]).unwrap();
+        assert_eq!(args.positional(0), Some("-"));
+    }
+
+    #[test]
+    fn empty_input_parses_to_defaults() {
+        let args = Args::parse(&[], &["all"]).unwrap();
+        assert_eq!(args.positional(0), None);
+        assert!(!args.flag("all"));
+        assert_eq!(args.option("cb", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn flag_lookup_distinguishes_flags_from_options() {
+        // `--cb 6` is an option; querying it as a flag must stay false.
+        let args = Args::parse(&raw(&["--cb", "6"]), &["all"]).unwrap();
+        assert!(!args.flag("cb"));
     }
 }

@@ -3,9 +3,7 @@
 use std::error::Error;
 
 use mvq_automata::ControlledRng;
-use mvq_core::{
-    universal, Census, Circuit, SynthesisEngine, EXPECTED_TABLE_2, PAPER_TABLE_2,
-};
+use mvq_core::{universal, Census, Circuit, SynthesisEngine, EXPECTED_TABLE_2, PAPER_TABLE_2};
 use mvq_logic::{Gate, PatternDomain, TruthTable};
 use mvq_perm::Perm;
 use rand::rngs::StdRng;
@@ -69,7 +67,9 @@ fn census(args: &Args) -> CommandResult {
     println!("paper (printed): {PAPER_TABLE_2:?}");
     println!("verified:        {EXPECTED_TABLE_2:?}");
     for (k, mine, paper) in census.diff_vs_paper() {
-        println!("note: k = {k}: measured {mine} vs paper {paper} (paper slip; see EXPERIMENTS.md)");
+        println!(
+            "note: k = {k}: measured {mine} vs paper {paper} (paper slip; see EXPERIMENTS.md)"
+        );
     }
     Ok(())
 }
@@ -158,7 +158,12 @@ fn gate(args: &Args) -> CommandResult {
         .ok_or_else(|| ParseArgsError::new("gate needs a name, e.g. VBA or V+AB"))?;
     let gate: Gate = name.parse()?;
     println!("gate {gate}");
-    let wires = gate.wires().iter().max().map_or(2, |w| (w + 1).max(2)).max(3);
+    let wires = gate
+        .wires()
+        .iter()
+        .max()
+        .map_or(2, |w| (w + 1).max(2))
+        .max(3);
     let domain = PatternDomain::permutable(wires.min(3));
     if gate.wires().iter().all(|&w| w < 3) && !matches!(gate, Gate::Not { .. }) {
         println!("permutation on the {}-pattern domain:", domain.len());

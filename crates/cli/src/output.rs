@@ -9,7 +9,11 @@ pub fn render_synthesis(synthesis: &Synthesis) -> String {
         "cost {} ({} minimal implementation{})\n",
         synthesis.cost,
         synthesis.implementation_count,
-        if synthesis.implementation_count == 1 { "" } else { "s" },
+        if synthesis.implementation_count == 1 {
+            ""
+        } else {
+            "s"
+        },
     ));
     out.push_str(&render_circuit(&synthesis.circuit));
     out

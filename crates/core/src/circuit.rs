@@ -80,9 +80,7 @@ impl Circuit {
     /// Applies the whole cascade to a pattern under the multiple-valued
     /// semantics.
     pub fn apply(&self, pattern: &Pattern) -> Pattern {
-        self.gates
-            .iter()
-            .fold(pattern.clone(), |p, g| g.apply(&p))
+        self.gates.iter().fold(pattern.clone(), |p, g| g.apply(&p))
     }
 
     /// The circuit's permutation of a pattern domain (NOT-free circuits
@@ -178,9 +176,10 @@ impl Circuit {
                 Gate::V { data, control } => {
                     (vec![(data, "V".to_string()), (control, "●".to_string())], 2)
                 }
-                Gate::VDagger { data, control } => {
-                    (vec![(data, "V+".to_string()), (control, "●".to_string())], 3)
-                }
+                Gate::VDagger { data, control } => (
+                    vec![(data, "V+".to_string()), (control, "●".to_string())],
+                    3,
+                ),
                 Gate::Feynman { data, control } => {
                     (vec![(data, "⊕".to_string()), (control, "●".to_string())], 2)
                 }
@@ -200,8 +199,7 @@ impl Circuit {
                     None => {
                         // Vertical connector if the gate spans across this
                         // wire, else plain wire.
-                        let touched: Vec<usize> =
-                            symbols.iter().map(|(sw, _)| *sw).collect();
+                        let touched: Vec<usize> = symbols.iter().map(|(sw, _)| *sw).collect();
                         let min = *touched.iter().min().expect("non-empty");
                         let max = *touched.iter().max().expect("non-empty");
                         let c = if w > min && w < max { "┼" } else { "─" };
@@ -371,14 +369,7 @@ mod tests {
     #[test]
     fn not_layer_conjugates_binary_perm() {
         // NOT(A) * Toffoli-ish circuit still has a binary perm.
-        let c = Circuit::new(
-            3,
-            vec![
-                Gate::not(0),
-                Gate::feynman(2, 0),
-                Gate::not(0),
-            ],
-        );
+        let c = Circuit::new(3, vec![Gate::not(0), Gate::feynman(2, 0), Gate::not(0)]);
         // C ^= !A: patterns with A=0 flip C.
         assert_eq!(c.binary_perm().unwrap().to_string(), "(1,2)(3,4)");
     }

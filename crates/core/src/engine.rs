@@ -106,8 +106,7 @@ impl SynthesisEngine {
             .iter()
             .map(|g| g.perm().inverse().as_images().to_vec())
             .collect();
-        let gate_banned: Vec<u64> =
-            library.gates().iter().map(|g| g.banned_mask()).collect();
+        let gate_banned: Vec<u64> = library.gates().iter().map(|g| g.banned_mask()).collect();
         let gate_costs: Vec<u32> = library
             .gates()
             .iter()
@@ -293,17 +292,10 @@ impl SynthesisEngine {
         debug_assert_eq!(reduced.image(1), 1);
 
         // Search G[k] levels for the reduced permutation.
-        let key: Word = reduced
-            .as_images()
-            .iter()
-            .copied()
-            .collect();
+        let key: Word = reduced.as_images().iter().copied().collect();
         loop {
             if let Some(class) = self.classes.get(&key) {
-                if self
-                    .completed
-                    .is_some_and(|c| c >= class.cost)
-                {
+                if self.completed.is_some_and(|c| c >= class.cost) {
                     let witness = class.witnesses[0].clone();
                     let count = class.witnesses.len();
                     let cost = class.cost;
@@ -399,11 +391,9 @@ impl SynthesisEngine {
             .iter()
             .filter(|(_, class)| class.cost == k)
             .map(|(key, class)| {
-                let images: Vec<usize> =
-                    key.iter().map(|&b| b as usize + 1).collect();
+                let images: Vec<usize> = key.iter().map(|&b| b as usize + 1).collect();
                 let perm = Perm::from_images(&images).expect("valid restriction");
-                let circuit =
-                    Circuit::new(n, self.reconstruct(&class.witnesses[0]));
+                let circuit = Circuit::new(n, self.reconstruct(&class.witnesses[0]));
                 (perm, circuit)
             })
             .collect();
@@ -591,13 +581,10 @@ mod tests {
         assert!(!all.is_empty());
         for syn in &all {
             assert_eq!(syn.cost, 4);
-            assert!(syn
-                .circuit
-                .verify_against_binary_perm(&known::peres_perm()));
+            assert!(syn.circuit.verify_against_binary_perm(&known::peres_perm()));
         }
         // Distinct circuits.
-        let mut circuits: Vec<String> =
-            all.iter().map(|s| s.circuit.to_string()).collect();
+        let mut circuits: Vec<String> = all.iter().map(|s| s.circuit.to_string()).collect();
         circuits.sort();
         circuits.dedup();
         assert_eq!(circuits.len(), all.len());

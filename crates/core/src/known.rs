@@ -42,13 +42,19 @@ pub fn g2_perm() -> Perm {
 /// The g3 permutation `(3,4)(5,7)(6,8)`: `P = A`, `Q = B⊕A`, `R = C⊕A'B`
 /// (Figure 6).
 pub fn g3_perm() -> Perm {
-    "(3,4)(5,7)(6,8)".parse::<Perm>().expect("valid").extended(8)
+    "(3,4)(5,7)(6,8)"
+        .parse::<Perm>()
+        .expect("valid")
+        .extended(8)
 }
 
 /// The g4 permutation `(3,4)(5,8)(6,7)`: `P = A`, `Q = B⊕A`,
 /// `R = C'⊕A'B'` (Figure 7).
 pub fn g4_perm() -> Perm {
-    "(3,4)(5,8)(6,7)".parse::<Perm>().expect("valid").extended(8)
+    "(3,4)(5,8)(6,7)"
+        .parse::<Perm>()
+        .expect("valid")
+        .extended(8)
 }
 
 /// Figure 4: `g1 = VCB * FBA * VCA * V⁺CB` — the Peres circuit.

@@ -187,10 +187,8 @@ mod tests {
 
     #[test]
     fn controlled_rng_synthesizes_to_single_v() {
-        let mut engine =
-            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
-        let result =
-            synthesize_spec(&mut engine, &controlled_rng_spec(), 3).expect("reachable");
+        let mut engine = SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let result = synthesize_spec(&mut engine, &controlled_rng_spec(), 3).expect("reachable");
         assert_eq!(result.cost, 1);
         assert_eq!(result.circuit.gates().len(), 1);
     }
@@ -198,8 +196,7 @@ mod tests {
     #[test]
     fn synthesized_circuit_realizes_the_spec_on_states() {
         let spec = controlled_rng_spec();
-        let mut engine =
-            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let mut engine = SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
         let result = synthesize_spec(&mut engine, &spec, 3).expect("reachable");
         for bits in 0..4usize {
             let mut sv = StateVector::basis(2, bits);
@@ -212,11 +209,8 @@ mod tests {
     #[test]
     fn deterministic_spec_detection() {
         assert!(!controlled_rng_spec().is_deterministic());
-        let det = QuaternarySpec::new(
-            1,
-            vec![Pattern::from_bits(0, 1), Pattern::from_bits(1, 1)],
-        )
-        .unwrap();
+        let det = QuaternarySpec::new(1, vec![Pattern::from_bits(0, 1), Pattern::from_bits(1, 1)])
+            .unwrap();
         assert!(det.is_deterministic());
     }
 
@@ -234,26 +228,18 @@ mod tests {
         // Wrong count.
         assert!(QuaternarySpec::new(2, vec![Pattern::zeros(2)]).is_err());
         // Duplicate targets.
-        assert!(QuaternarySpec::new(
-            1,
-            vec![Pattern::from_bits(0, 1), Pattern::from_bits(0, 1)]
-        )
-        .is_err());
+        assert!(
+            QuaternarySpec::new(1, vec![Pattern::from_bits(0, 1), Pattern::from_bits(0, 1)])
+                .is_err()
+        );
         // Unreachable no-1 target.
         assert!(QuaternarySpec::new(
             1,
-            vec![
-                Pattern::new(vec![Value::V0]),
-                Pattern::from_bits(1, 1),
-            ]
+            vec![Pattern::new(vec![Value::V0]), Pattern::from_bits(1, 1),]
         )
         .is_err());
         // Wrong width.
-        assert!(QuaternarySpec::new(
-            1,
-            vec![Pattern::zeros(2), Pattern::from_bits(1, 1)]
-        )
-        .is_err());
+        assert!(QuaternarySpec::new(1, vec![Pattern::zeros(2), Pattern::from_bits(1, 1)]).is_err());
     }
 
     #[test]
@@ -261,8 +247,7 @@ mod tests {
         // Demand B = V0 for *both* values of A with A preserved: the
         // all-zero input cannot move, so this is invalid at validation…
         // use instead a reachable-looking but over-tight bound.
-        let mut engine =
-            SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let mut engine = SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
         let spec = controlled_rng_spec();
         assert!(synthesize_spec(&mut engine, &spec, 0).is_none());
     }

@@ -226,10 +226,7 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(codes, sorted);
         // First mixed pattern is [0,1,V0] (code 6), per the hand encoding.
-        assert_eq!(
-            d.pattern(9).values(),
-            &[Value::Zero, Value::One, Value::V0]
-        );
+        assert_eq!(d.pattern(9).values(), &[Value::Zero, Value::One, Value::V0]);
     }
 
     #[test]
@@ -256,16 +253,16 @@ mod tests {
         assert_eq!(
             d.banned_for_pair(0, 1),
             vec![
-                11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31,
-                32, 33, 34, 35, 36, 37, 38
+                11, 12, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35,
+                36, 37, 38
             ]
         );
         // N_BC (paper, Section 3).
         assert_eq!(
             d.banned_for_pair(1, 2),
             vec![
-                9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 28,
-                29, 30, 31, 35, 36, 37, 38
+                9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 28, 29, 30, 31, 35,
+                36, 37, 38
             ]
         );
     }

@@ -144,9 +144,7 @@ impl Gate {
                 _ => pattern.clone(),
             },
             Gate::VDagger { data, control } => match pattern.value(control) {
-                Value::One => {
-                    pattern.with_value(data, pattern.value(data).apply_v_dagger())
-                }
+                Value::One => pattern.with_value(data, pattern.value(data).apply_v_dagger()),
                 _ => pattern.clone(),
             },
             Gate::Feynman { data, control } => {
@@ -416,11 +414,7 @@ mod tests {
         // "Every pattern must contain a 1. Otherwise, this pattern will not
         // change after any quantum gate."
         let d = PatternDomain::full(3);
-        let gates = [
-            Gate::v(1, 0),
-            Gate::v_dagger(2, 1),
-            Gate::feynman(0, 2),
-        ];
+        let gates = [Gate::v(1, 0), Gate::v_dagger(2, 1), Gate::feynman(0, 2)];
         for (_, p) in d.iter() {
             if !p.contains_one() {
                 for g in gates {
@@ -562,7 +556,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_gates() {
-        for bad in ["", "V", "VA", "VAA", "XAB", "NOT()", "NOT(AB)", "vba", "V+A"] {
+        for bad in [
+            "", "V", "VA", "VAA", "XAB", "NOT()", "NOT(AB)", "vba", "V+A",
+        ] {
             assert!(bad.parse::<Gate>().is_err(), "should reject `{bad}`");
         }
     }

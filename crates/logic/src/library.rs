@@ -116,19 +116,14 @@ impl GateLibrary {
     pub fn with_domain(domain: PatternDomain) -> Self {
         assert!(domain.len() <= 64, "domain exceeds 64-bit masks");
         let n = domain.wires();
-        let mask_of = |indices: &[usize]| -> u64 {
-            indices.iter().map(|&i| 1u64 << (i - 1)).sum()
-        };
+        let mask_of = |indices: &[usize]| -> u64 { indices.iter().map(|&i| 1u64 << (i - 1)).sum() };
         let mut gates = Vec::new();
         for data in 0..n {
             for control in 0..n {
                 if data == control {
                     continue;
                 }
-                for gate in [
-                    Gate::v(data, control),
-                    Gate::v_dagger(data, control),
-                ] {
+                for gate in [Gate::v(data, control), Gate::v_dagger(data, control)] {
                     gates.push(LibraryGate {
                         gate,
                         perm: gate.perm(&domain),
@@ -285,14 +280,20 @@ mod tests {
             .map(|&p| 1u64 << (vba.perm().image(p) - 1))
             .sum();
         // V controlled by B: banned.
-        assert!(!lib.find(Gate::v(0, 1)).unwrap().is_reasonable_after(image_mask));
+        assert!(!lib
+            .find(Gate::v(0, 1))
+            .unwrap()
+            .is_reasonable_after(image_mask));
         // Feynman touching B: banned.
         assert!(!lib
             .find(Gate::feynman(1, 2))
             .unwrap()
             .is_reasonable_after(image_mask));
         // V *on data* B controlled by A: allowed (control A stays binary).
-        assert!(lib.find(Gate::v(1, 0)).unwrap().is_reasonable_after(image_mask));
+        assert!(lib
+            .find(Gate::v(1, 0))
+            .unwrap()
+            .is_reasonable_after(image_mask));
         // Feynman on A and C: allowed.
         assert!(lib
             .find(Gate::feynman(2, 0))

@@ -118,9 +118,7 @@ impl Pattern {
 
     /// The base-4 code of the pattern (paper sort key).
     pub fn code(&self) -> usize {
-        self.values
-            .iter()
-            .fold(0, |acc, v| (acc << 2) | v.rank())
+        self.values.iter().fold(0, |acc, v| (acc << 2) | v.rank())
     }
 
     /// `true` iff every wire is binary.

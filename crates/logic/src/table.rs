@@ -91,7 +91,12 @@ impl fmt::Display for TruthTable {
     /// Renders in the paper's Table 1 layout.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let n = self.domain.wires();
-        writeln!(f, "Truth table of {} ({} patterns)", self.gate, self.rows.len())?;
+        writeln!(
+            f,
+            "Truth table of {} ({} patterns)",
+            self.gate,
+            self.rows.len()
+        )?;
         write!(f, "{:>5} ", "Label")?;
         for w in 0..n {
             write!(f, "{:>3} ", wire_name(w))?;

@@ -329,7 +329,11 @@ impl Add for &CMatrix {
     ///
     /// Panics on dimension mismatch.
     fn add(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -352,7 +356,11 @@ impl Sub for &CMatrix {
     ///
     /// Panics on dimension mismatch.
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -405,8 +413,8 @@ mod tests {
     fn v_times_v_dagger_is_identity() {
         let v = CMatrix::v_gate();
         let vd = CMatrix::v_dagger_gate();
-        assert!( (&v * &vd).is_identity());
-        assert!( (&vd * &v).is_identity());
+        assert!((&v * &vd).is_identity());
+        assert!((&vd * &v).is_identity());
     }
 
     #[test]
@@ -459,10 +467,7 @@ mod tests {
         assert_eq!(out[0], CDyadic::HALF_ONE_PLUS_I);
         assert_eq!(out[1], CDyadic::HALF_ONE_MINUS_I);
         // Probabilities sum to one exactly.
-        assert_eq!(
-            out[0].norm_sqr() + out[1].norm_sqr(),
-            Dyadic::ONE
-        );
+        assert_eq!(out[0].norm_sqr() + out[1].norm_sqr(), Dyadic::ONE);
     }
 
     #[test]

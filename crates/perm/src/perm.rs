@@ -145,7 +145,10 @@ impl Perm {
 
     /// `true` iff this is the identity mapping `( )`.
     pub fn is_identity(&self) -> bool {
-        self.images.iter().enumerate().all(|(p, &img)| p as u8 == img)
+        self.images
+            .iter()
+            .enumerate()
+            .all(|(p, &img)| p as u8 == img)
     }
 
     /// `true` iff `self` maps the set `S` onto itself.
@@ -216,10 +219,7 @@ impl Perm {
     /// # Ok::<(), mvq_perm::ParsePermError>(())
     /// ```
     pub fn order(&self) -> u64 {
-        self.cycles()
-            .iter()
-            .map(|c| c.len() as u64)
-            .fold(1, lcm)
+        self.cycles().iter().map(|c| c.len() as u64).fold(1, lcm)
     }
 
     /// The disjoint cycles of length ≥ 2 (1-based, each starting at its
@@ -304,8 +304,16 @@ impl Mul for Perm {
     /// fixing the extra points, matching GAP semantics.
     fn mul(self, rhs: Perm) -> Perm {
         let degree = self.degree().max(rhs.degree());
-        let lhs = if self.degree() < degree { self.extended(degree) } else { self };
-        let rhs = if rhs.degree() < degree { rhs.extended(degree) } else { rhs };
+        let lhs = if self.degree() < degree {
+            self.extended(degree)
+        } else {
+            self
+        };
+        let rhs = if rhs.degree() < degree {
+            rhs.extended(degree)
+        } else {
+            rhs
+        };
         let images = lhs
             .images
             .iter()
@@ -382,12 +390,8 @@ impl FromStr for Perm {
         let mut cycles: Vec<Vec<usize>> = Vec::new();
         let mut rest = compact.as_str();
         while !rest.is_empty() {
-            let body_and_rest = rest
-                .strip_prefix('(')
-                .ok_or_else(|| err("expected `(`"))?;
-            let close = body_and_rest
-                .find(')')
-                .ok_or_else(|| err("missing `)`"))?;
+            let body_and_rest = rest.strip_prefix('(').ok_or_else(|| err("expected `(`"))?;
+            let close = body_and_rest.find(')').ok_or_else(|| err("missing `)`"))?;
             let body = &body_and_rest[..close];
             rest = &body_and_rest[close + 1..];
             if body.is_empty() {
@@ -409,8 +413,7 @@ impl FromStr for Perm {
             .flat_map(|c| c.iter().copied())
             .max()
             .unwrap_or(1);
-        Perm::from_cycles(degree, &cycles)
-            .ok_or_else(|| err("repeated point across cycles"))
+        Perm::from_cycles(degree, &cycles).ok_or_else(|| err("repeated point across cycles"))
     }
 }
 

@@ -101,12 +101,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn half_half() -> Distribution {
-        Distribution::new(vec![
-            Dyadic::HALF,
-            Dyadic::ZERO,
-            Dyadic::ZERO,
-            Dyadic::HALF,
-        ])
+        Distribution::new(vec![Dyadic::HALF, Dyadic::ZERO, Dyadic::ZERO, Dyadic::HALF])
     }
 
     #[test]

@@ -138,9 +138,7 @@ impl StateVector {
 
     /// The exact measurement distribution over all basis states.
     pub fn distribution(&self) -> Distribution {
-        Distribution::new(
-            self.amps.iter().map(|a| a.norm_sqr()).collect(),
-        )
+        Distribution::new(self.amps.iter().map(|a| a.norm_sqr()).collect())
     }
 
     /// The exact probability of measuring `1` on `wire` (marginal).
@@ -248,12 +246,10 @@ mod tests {
         // Not normalized.
         assert!(StateVector::from_amplitudes(vec![CDyadic::ONE, CDyadic::ONE]).is_none());
         // Not a power of two.
-        assert!(StateVector::from_amplitudes(vec![
-            CDyadic::ONE,
-            CDyadic::ZERO,
-            CDyadic::ZERO
-        ])
-        .is_none());
+        assert!(
+            StateVector::from_amplitudes(vec![CDyadic::ONE, CDyadic::ZERO, CDyadic::ZERO])
+                .is_none()
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ fn main() {
             );
         }
     }
-    assert!(census.matches_expected(), "census must match verified counts");
+    assert!(
+        census.matches_expected(),
+        "census must match verified counts"
+    );
     println!("\ncensus matches the independently verified counts ✓");
 }

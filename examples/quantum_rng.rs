@@ -32,7 +32,10 @@ fn main() {
         enabled.prob_of(0b11)
     );
     let disabled = generator.block().output_distribution(0b00);
-    println!("disabled: deterministic = {}\n", disabled.is_deterministic());
+    println!(
+        "disabled: deterministic = {}\n",
+        disabled.is_deterministic()
+    );
 
     // Empirical check.
     const N: usize = 100_000;

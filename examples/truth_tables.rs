@@ -31,7 +31,11 @@ fn main() {
         ("FeCA", Gate::feynman(2, 0), "(5,6)(7,8)(17,18)(21,22)"),
     ] {
         let perm = gate.perm(&domain);
-        let status = if perm.to_string() == paper { "✓" } else { "✗" };
+        let status = if perm.to_string() == paper {
+            "✓"
+        } else {
+            "✗"
+        };
         println!("{name} = {perm} {status}");
         assert_eq!(perm.to_string(), paper);
     }

@@ -41,7 +41,10 @@ fn main() {
 
     // The 4 orbits under wire relabeling.
     let orbits = analysis.wire_permutation_orbits();
-    println!("\nwire-relabeling orbits: {} (paper: 4 representatives × 6)", orbits.len());
+    println!(
+        "\nwire-relabeling orbits: {} (paper: 4 representatives × 6)",
+        orbits.len()
+    );
     for (i, orbit) in orbits.iter().enumerate() {
         println!("  orbit {}: {} members", i + 1, orbit.len());
     }

@@ -1,0 +1,134 @@
+//! Deterministic case generation and the test runner.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Deterministic SplitMix64 word source driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// A uniform value in the inclusive range `[lo, hi]`.
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u128;
+        let word = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (word % span) as i128
+    }
+}
+
+/// Test configuration; only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A single test-case failure (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold; the message explains why.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => f.write_str(message),
+        }
+    }
+}
+
+/// What a property-test body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A whole-run failure, reported with the offending input.
+#[derive(Debug)]
+pub struct TestError(String);
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Generates inputs and checks the property against each.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed, deterministic seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x00C0_FFEE_5EED_CAFE),
+        }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs; stops at the
+    /// first failure and reports the input that triggered it.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let rendered = format!("{value:?}");
+            if let Err(err) = test(value) {
+                return Err(TestError(format!(
+                    "property failed at case {case}/{}: {err}\n  input: {rendered}",
+                    self.config.cases
+                )));
+            }
+        }
+        Ok(())
+    }
+}

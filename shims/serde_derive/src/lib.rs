@@ -1,0 +1,452 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits for
+//! the shapes the workspace actually uses: non-generic structs with named
+//! fields, tuple structs, and enums with unit / named-field / tuple
+//! variants. The generated encoding follows serde's conventions (structs
+//! as maps, enums externally tagged, unit variants as bare strings,
+//! newtype variants as their inner value) so JSON produced through the
+//! shim matches what the real stack would emit for these types.
+//!
+//! The input item is parsed directly from the token stream — no `syn` /
+//! `quote`, since the build environment has no registry access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = generate_serialize(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = generate_deserialize(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility; find `struct` or `enum`.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracketed group.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let text = ident.to_string();
+                if text == "pub" {
+                    // Possible `pub(crate)` &c.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                } else if text == "struct" || text == "enum" {
+                    break text;
+                }
+                // Other modifiers (e.g. nothing else expected) — skip.
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no `struct` or `enum` found in input"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim does not support generic types ({name})");
+        }
+    }
+
+    let kind = if keyword == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        }
+    };
+
+    Item { name, kind }
+}
+
+/// Parses `name: Type, …` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                    let _ = tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    let _ = tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        let _ = tokens.next();
+                        break;
+                    }
+                    let _ = tokens.next();
+                }
+                Some(_) => {
+                    let _ = tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments, `#[default]`, …).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                    let _ = tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                let _ = tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                let _ = tokens.next();
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("serde_derive: expected `,` between variants, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => named_fields_to_map(fields, "self."),
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        Shape::Named(fields) => {
+                            let bindings = fields.join(", ");
+                            let inner = named_fields_to_map(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})])"
+                            )
+                        }
+                        Shape::Tuple(arity) => {
+                            let bindings: Vec<String> =
+                                (0..*arity).map(|i| format!("__t{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize(__t0)".to_string()
+                            } else {
+                                let items: Vec<String> = bindings
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})])",
+                                bindings.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_map(fields: &[String], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::deserialize(::serde::field({map_var}, \"{f}\")?)?,")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let build = named_fields_from_map(fields, "__map");
+            format!(
+                "let __map = __content.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {build} }})"
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__content)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __content.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected sequence for struct {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Named(fields) => {
+                            let build = named_fields_from_map(fields, "__fields");
+                            Some(format!(
+                                "\"{vname}\" => {{ let __fields = __inner.as_map()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected map for variant {name}::{vname}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {build} }}) }}"
+                            ))
+                        }
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(__inner)?))"
+                        )),
+                        Shape::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __items = __inner.as_seq()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected sequence for variant {name}::{vname}\"))?; \
+                                 if __items.len() != {arity} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple length for {name}::{vname}\")); }} \
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     _ => {{\n\
+                         let __map = __content.as_map().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected string or map for enum {name}\"))?;\n\
+                         if __map.len() != 1 {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"expected single-key map for enum {name}\")); }}\n\
+                         let (__tag, __inner) = &__map[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join(",\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize(__content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -3,9 +3,7 @@
 
 use mvq_arith::Dyadic;
 use mvq_automata::{ControlledRng, ProbabilisticCircuit, QuantumAutomaton, QuantumHmm};
-use mvq_core::{
-    known, synthesize_spec, QuaternarySpec, SynthesisEngine,
-};
+use mvq_core::{known, synthesize_spec, QuaternarySpec, SynthesisEngine};
 use mvq_logic::{Gate, Pattern, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,7 +49,11 @@ fn three_wire_probabilistic_spec_synthesis() {
             let (a, b, c) = (bits >> 2 & 1, bits >> 1 & 1, bits & 1);
             let b2 = b ^ a;
             let c_val = if b2 == 1 {
-                if c == 0 { Value::V0 } else { Value::V1 }
+                if c == 0 {
+                    Value::V0
+                } else {
+                    Value::V1
+                }
             } else if c == 0 {
                 Value::Zero
             } else {
@@ -87,19 +89,16 @@ fn deterministic_spec_agrees_with_mce() {
     // A purely binary spec synthesizes to the same cost as MCE on the
     // corresponding permutation.
     let targets: Vec<Pattern> = (0..8)
-        .map(|b| {
-            Pattern::from_bits(
-                known::peres_perm().image(b + 1) - 1,
-                3,
-            )
-        })
+        .map(|b| Pattern::from_bits(known::peres_perm().image(b + 1) - 1, 3))
         .collect();
     let spec = QuaternarySpec::new(3, targets).expect("valid");
     assert!(spec.is_deterministic());
     let mut engine = SynthesisEngine::unit_cost();
     let via_spec = synthesize_spec(&mut engine, &spec, 5).expect("reachable");
     let mut engine2 = SynthesisEngine::unit_cost();
-    let via_mce = engine2.synthesize(&known::peres_perm(), 5).expect("reachable");
+    let via_mce = engine2
+        .synthesize(&known::peres_perm(), 5)
+        .expect("reachable");
     assert_eq!(via_spec.cost, via_mce.cost);
 }
 

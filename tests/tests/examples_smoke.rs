@@ -1,0 +1,60 @@
+//! Smoke test: every example in `examples/` must build and exit 0, so the
+//! examples crate can't silently rot. The example list is discovered from
+//! the directory (not hardcoded), so a newly added example is covered
+//! automatically. Examples run in release mode (the synthesis workloads
+//! are painfully slow unoptimized) via the same cargo that is running
+//! this test; `census` is pinned to a small cost bound to keep the smoke
+//! run quick.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // CARGO_MANIFEST_DIR is `<root>/tests`.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives in the workspace root")
+}
+
+/// Extra CLI arguments to keep long-running examples short in a smoke run.
+fn smoke_args(example: &str) -> &'static [&'static str] {
+    match example {
+        "census" => &["4"],
+        _ => &[],
+    }
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    let examples_dir = workspace_root().join("examples");
+    let mut examples: Vec<String> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            let stem = path.file_stem()?.to_str()?.to_string();
+            (path.extension()? == "rs" && stem != "lib").then_some(stem)
+        })
+        .collect();
+    examples.sort();
+    assert!(
+        examples.len() >= 6,
+        "expected the six seed examples, found {examples:?}"
+    );
+
+    for example in &examples {
+        let output = Command::new(env!("CARGO"))
+            .current_dir(workspace_root())
+            .args(["run", "--release", "-q", "-p", "mvq-examples", "--example"])
+            .arg(example)
+            .args(smoke_args(example))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` failed with {:?}\nstdout:\n{}\nstderr:\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

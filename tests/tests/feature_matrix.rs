@@ -1,0 +1,70 @@
+//! Feature-matrix guard: the workspace's key types must compile and work
+//! both **with** and **without** the `serde` feature. CI runs this suite
+//! twice — default features (serde on) and `--no-default-features`
+//! (serde off) — so the `#[cfg_attr(feature = "serde", …)]` gates in
+//! arith/logic/perm/core can't silently break in either direction.
+
+use mvq_arith::{CDyadic, Dyadic};
+use mvq_core::{Census, Circuit, CostModel};
+use mvq_logic::{Gate, Pattern, PatternDomain, Value};
+use mvq_perm::Perm;
+
+/// Exercises every serde-gated type through its plain (feature-free) API.
+/// This test is identical in both feature configurations.
+#[test]
+fn gated_types_work_without_serde_specific_api() {
+    assert_eq!(Dyadic::new(1, 1) + Dyadic::new(1, 1), Dyadic::ONE);
+    assert_eq!(CDyadic::I * CDyadic::I, -CDyadic::ONE);
+
+    let perm: Perm = "(5,7,6,8)".parse().expect("cycle notation parses");
+    assert_eq!(perm.image(5), 7);
+
+    assert_eq!(Value::ALL.len(), 4);
+    let pattern = Pattern::new(vec![Value::One, Value::V0, Value::Zero]);
+    assert_eq!(pattern.len(), 3);
+    assert_eq!(PatternDomain::permutable(3).len(), 38);
+
+    let gate = Gate::v(1, 0);
+    assert_eq!(gate, Gate::v(1, 0));
+
+    let circuit: Circuit = "VCB*FBA".parse().expect("circuit notation parses");
+    assert_eq!(circuit.cost_under(&CostModel::unit()), 2);
+
+    let census = Census::compute(1);
+    assert_eq!(census.rows().len(), 2);
+}
+
+#[cfg(feature = "serde")]
+mod with_serde {
+    use super::*;
+    use std::fmt::Debug;
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+    {
+        let json = serde_json::to_string(value).expect("serializes");
+        serde_json::from_str(&json).expect("deserializes")
+    }
+
+    fn assert_roundtrips<T>(value: T)
+    where
+        T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + Debug,
+    {
+        assert_eq!(roundtrip(&value), value);
+    }
+
+    /// With the feature on, every gated type must satisfy the serde
+    /// bounds and survive a JSON round-trip.
+    #[test]
+    fn gated_types_roundtrip_when_serde_is_enabled() {
+        assert_roundtrips(Dyadic::new(-7, 4));
+        assert_roundtrips(CDyadic::new(-3, 5, 2));
+        assert_roundtrips("(5,7,6,8)".parse::<Perm>().expect("parses"));
+        assert_roundtrips(Value::V1);
+        assert_roundtrips(Pattern::new(vec![Value::Zero, Value::V0]));
+        assert_roundtrips(Gate::v_dagger(2, 0));
+        assert_roundtrips("VCB*FBA".parse::<Circuit>().expect("parses"));
+        assert_roundtrips(CostModel::weighted(2, 3, 1));
+    }
+}

@@ -81,7 +81,10 @@ fn theorem_2_coset_decomposition() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "canonical-representative scan over all 40320 elements; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "canonical-representative scan over all 40320 elements; run with --release"
+)]
 fn coset_count_is_8() {
     let g = s8().point_stabilizer(1);
     assert_eq!(s8().count_cosets(&g), 8);

@@ -70,8 +70,8 @@ fn banned_sets_match_section_3() {
     assert_eq!(
         banned.n_bc,
         vec![
-            9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 28,
-            29, 30, 31, 35, 36, 37, 38
+            9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 28, 29, 30, 31, 35, 36,
+            37, 38
         ]
     );
 }

@@ -1,6 +1,10 @@
 //! Serde round-trips for the feature-gated `serde` support (C-SERDE):
 //! circuits, permutations, patterns and census rows survive JSON.
 
+// The whole suite needs the `serde` feature (on by default; CI's
+// `--no-default-features` job compiles the workspace without it).
+#![cfg(feature = "serde")]
+
 use mvq_arith::{CDyadic, Dyadic};
 use mvq_core::{Census, CensusRow, Circuit, CostModel};
 use mvq_logic::{Gate, Pattern, Value};

@@ -52,7 +52,10 @@ fn g2_g3_g4_all_cost_4() {
     ] {
         let syn = e.synthesize(&p, 5).unwrap_or_else(|| panic!("{name}"));
         assert_eq!(syn.cost, 4, "{name} cost");
-        assert!(syn.circuit.verify_against_binary_perm(&p), "{name} verifies");
+        assert!(
+            syn.circuit.verify_against_binary_perm(&p),
+            "{name} verifies"
+        );
     }
 }
 
