@@ -75,6 +75,45 @@ fn bench_synthesis(c: &mut Criterion) {
         })
     });
 
+    // Bidirectional (meet-in-the-middle) cold syntheses: the forward
+    // frontier only reaches about half the target cost, so the dominant
+    // last level is never built.
+    group.bench_function("peres_cold_bidi", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost();
+            let syn = engine
+                .synthesize_bidirectional(&known::peres_perm(), 5)
+                .expect("cost 4");
+            assert_eq!(syn.cost, 4);
+            syn.cost
+        })
+    });
+
+    group.bench_function("toffoli_cold_bidi", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost();
+            let syn = engine
+                .synthesize_bidirectional(&known::toffoli_perm(), 6)
+                .expect("cost 5");
+            assert_eq!(syn.cost, 5);
+            syn.cost
+        })
+    });
+
+    // Fredkin is the deep target (cost 7 under the binary-control
+    // constraint): unidirectionally it needs the ~3M-state cost-7 level
+    // set; bidirectionally both frontiers stop at cost 4.
+    group.bench_function("fredkin_cold_bidi", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost();
+            let syn = engine
+                .synthesize_bidirectional(&known::fredkin_perm(), 7)
+                .expect("cost 7");
+            assert_eq!(syn.cost, 7);
+            syn.cost
+        })
+    });
+
     // Warm synthesis: levels cached, only the lookup + reconstruction.
     let mut warm = SynthesisEngine::unit_cost();
     warm.expand_to_cost(5);

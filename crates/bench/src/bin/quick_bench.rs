@@ -1,0 +1,136 @@
+//! Quick perf snapshot for CI: times the headline synthesis paths and
+//! writes `BENCH_synthesis.json` so successive PRs have a comparable
+//! trajectory. Much faster than the full criterion suite — a handful of
+//! samples per case, no statistics beyond mean/min/max.
+//!
+//! Usage: `cargo run --release -p mvq_bench --bin quick_bench [-- out.json]`
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use mvq_core::{known, SynthesisEngine};
+
+struct Sample {
+    name: &'static str,
+    samples: u32,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+fn time<F: FnMut() -> u32>(name: &'static str, samples: u32, mut f: F) -> Sample {
+    // One warm-up run outside the timed window.
+    let sink = f();
+    std::hint::black_box(sink);
+    let mut total = 0u128;
+    let mut min = u128::MAX;
+    let mut max = 0u128;
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let ns = start.elapsed().as_nanos();
+        total += ns;
+        min = min.min(ns);
+        max = max.max(ns);
+    }
+    let mean_ns = total / u128::from(samples);
+    println!(
+        "{name:<32} mean {:>12.3} ms ({samples} samples)",
+        mean_ns as f64 / 1e6
+    );
+    Sample {
+        name,
+        samples,
+        mean_ns,
+        min_ns: min,
+        max_ns: max,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_synthesis.json".to_string());
+    let mut rows = Vec::new();
+
+    rows.push(time("peres_cold_unidirectional", 10, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.synthesize(&known::peres_perm(), 5).expect("cost 4").cost
+    }));
+    rows.push(time("peres_cold_bidirectional", 10, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.synthesize_bidirectional(&known::peres_perm(), 5)
+            .expect("cost 4")
+            .cost
+    }));
+    rows.push(time("toffoli_cold_unidirectional", 10, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.synthesize(&known::toffoli_perm(), 6)
+            .expect("cost 5")
+            .cost
+    }));
+    rows.push(time("toffoli_cold_bidirectional", 10, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.synthesize_bidirectional(&known::toffoli_perm(), 6)
+            .expect("cost 5")
+            .cost
+    }));
+    rows.push(time("fredkin_cold_unidirectional", 2, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.synthesize(&known::fredkin_perm(), 7)
+            .expect("cost 7")
+            .cost
+    }));
+    rows.push(time("fredkin_cold_bidirectional", 10, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.synthesize_bidirectional(&known::fredkin_perm(), 7)
+            .expect("cost 7")
+            .cost
+    }));
+    let mut warm = SynthesisEngine::unit_cost();
+    warm.expand_to_cost(5);
+    rows.push(time("toffoli_warm_unidirectional", 100, || {
+        warm.synthesize(&known::toffoli_perm(), 6)
+            .expect("cost 5")
+            .cost
+    }));
+    rows.push(time("census_cb5", 5, || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(5);
+        e.g_counts().len() as u32
+    }));
+
+    let speedup = |uni: &str, bidi: &str| {
+        let find = |n: &str| rows.iter().find(|r| r.name == n).map(|r| r.mean_ns);
+        if let (Some(u), Some(b)) = (find(uni), find(bidi)) {
+            if b > 0 {
+                println!("{uni} / {bidi}: {:.2}x", u as f64 / b as f64);
+            }
+        }
+    };
+    println!();
+    speedup("peres_cold_unidirectional", "peres_cold_bidirectional");
+    speedup("toffoli_cold_unidirectional", "toffoli_cold_bidirectional");
+    speedup("fredkin_cold_unidirectional", "fredkin_cold_bidirectional");
+
+    let generated = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"generated_unix\": {generated},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+            row.name,
+            row.samples,
+            row.mean_ns,
+            row.min_ns,
+            row.max_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write perf snapshot");
+    println!("\nwrote {out_path}");
+}

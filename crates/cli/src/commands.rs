@@ -3,7 +3,9 @@
 use std::error::Error;
 
 use mvq_automata::ControlledRng;
-use mvq_core::{universal, Census, Circuit, SynthesisEngine, EXPECTED_TABLE_2, PAPER_TABLE_2};
+use mvq_core::{
+    universal, Census, Circuit, SynthesisEngine, SynthesisStrategy, EXPECTED_TABLE_2, PAPER_TABLE_2,
+};
 use mvq_logic::{Gate, PatternDomain, TruthTable};
 use mvq_perm::Perm;
 use rand::rngs::StdRng;
@@ -23,8 +25,10 @@ USAGE:
 COMMANDS:
     census [--cb N]                 reproduce Table 2 up to cost N (default 6)
     synth <perm> [--cb N] [--all]   minimal-cost synthesis of a reversible
-                                    function given in cycle notation on the
-                                    8 binary patterns, e.g. \"(7,8)\"
+          [--strategy uni|bidi]     function given in cycle notation on the
+                                    8 binary patterns, e.g. \"(7,8)\";
+                                    `bidi` meets in the middle from the
+                                    target side (faster for deep targets)
     verify <circuit> <perm>         check a cascade (e.g. VCB*FBA*VCA*V+CB)
                                     against a target permutation, exactly
     gate <name>                     show a gate's domain permutation and
@@ -89,9 +93,16 @@ fn synth(args: &Args) -> CommandResult {
         .positional(1)
         .ok_or_else(|| ParseArgsError::new("synth needs a permutation, e.g. \"(7,8)\""))?;
     let cb: u32 = args.option("cb", 7)?;
+    let strategy: SynthesisStrategy = args.option("strategy", SynthesisStrategy::default())?;
     let target = parse_target(text)?;
     let mut engine = SynthesisEngine::unit_cost();
     if args.flag("all") {
+        if strategy != SynthesisStrategy::Unidirectional {
+            return Err(Box::new(ParseArgsError::new(
+                "--all enumerates the unidirectional level sets; \
+                 drop --strategy or use --strategy uni",
+            )));
+        }
         let all = engine.synthesize_all(&target, cb);
         if all.is_empty() {
             println!("no implementation within cost {cb}");
@@ -108,10 +119,10 @@ fn synth(args: &Args) -> CommandResult {
             debug_assert!(syn.circuit.verify_against_binary_perm(&target));
         }
     } else {
-        match engine.synthesize(&target, cb) {
+        match engine.synthesize_with(strategy, &target, cb) {
             None => println!("no implementation within cost {cb}"),
             Some(syn) => {
-                println!("target {target}:");
+                println!("target {target} (strategy: {strategy}):");
                 print!("{}", output::render_synthesis(&syn));
                 assert!(
                     syn.circuit.verify_against_binary_perm(&target),
@@ -290,6 +301,20 @@ mod tests {
         assert!(run(&["synth", "(1,x)"]).is_err());
         assert!(run(&["synth"]).is_err());
         assert!(run(&["synth", "(1,9)"]).is_err());
+    }
+
+    #[test]
+    fn synth_bidirectional_strategy() {
+        assert!(run(&["synth", "(7,8)", "--cb", "6", "--strategy", "bidi"]).is_ok());
+        assert!(run(&["synth", "(7,8)", "--cb", "6", "--strategy", "bidirectional"]).is_ok());
+        assert!(run(&["synth", "(7,8)", "--cb", "6", "--strategy", "uni"]).is_ok());
+    }
+
+    #[test]
+    fn synth_rejects_bad_strategy() {
+        assert!(run(&["synth", "(7,8)", "--strategy", "sideways"]).is_err());
+        // --all enumerates unidirectional level sets only.
+        assert!(run(&["synth", "(7,8)", "--all", "--strategy", "bidi"]).is_err());
     }
 
     #[test]

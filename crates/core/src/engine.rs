@@ -1,28 +1,35 @@
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::str::FromStr;
 
 use mvq_logic::{Gate, GateLibrary};
 use mvq_perm::Perm;
 
+use crate::word::{FnvBuildHasher, PackedWord};
 use crate::{Circuit, CostModel};
 
-/// A compact circuit-permutation: 0-based image table over the domain.
-type Word = Box<[u8]>;
+/// A compact circuit-permutation: 0-based image table over the domain,
+/// stored inline (no per-element heap allocation).
+pub(crate) type Word = PackedWord;
 
-/// Per-element search metadata: discovery cost and the library-gate index
-/// that produced it (`u8::MAX` for the identity seed).
+/// Per-element search metadata: the word's best-known cost (final once
+/// its level is processed — Dijkstra with positive gate costs) and the
+/// library-gate index that produced it along the cheapest path so far
+/// (`u8::MAX` for the identity seed).
 #[derive(Debug, Clone, Copy)]
-struct Meta {
-    cost: u32,
-    last_gate: u8,
+pub(crate) struct Meta {
+    pub(crate) cost: u32,
+    pub(crate) last_gate: u8,
 }
 
 /// A reversible-circuit equivalence class discovered by FMCF: the
 /// restriction to binary patterns, its minimal cost, and every witness
 /// (full domain permutation) found *at that minimal cost*.
 #[derive(Debug, Clone)]
-struct GClass {
-    cost: u32,
-    witnesses: Vec<Word>,
+pub(crate) struct GClass {
+    pub(crate) cost: u32,
+    pub(crate) witnesses: Vec<Word>,
 }
 
 /// The result of a successful MCE synthesis.
@@ -42,13 +49,59 @@ pub struct Synthesis {
     pub implementation_count: usize,
 }
 
+/// Which MCE front-end a query should use.
+///
+/// [`Unidirectional`](SynthesisStrategy::Unidirectional) is the paper's
+/// original formulation: expand FMCF levels from the identity until the
+/// target's class appears. [`Bidirectional`](SynthesisStrategy::Bidirectional)
+/// meets in the middle: a second frontier grows from the target side, so a
+/// cost-`2t` target is reached with two cost-`t` level sets instead of one
+/// cost-`2t` set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthesisStrategy {
+    /// Single frontier from the identity (the paper's MCE).
+    #[default]
+    Unidirectional,
+    /// Meet-in-the-middle: identity frontier joined against a frontier
+    /// expanded backward from the target.
+    Bidirectional,
+}
+
+impl FromStr for SynthesisStrategy {
+    type Err = String;
+
+    /// Accepts `unidirectional`/`uni` and `bidirectional`/`bidi`
+    /// (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "unidirectional" | "uni" => Ok(Self::Unidirectional),
+            "bidirectional" | "bidi" => Ok(Self::Bidirectional),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected `unidirectional` or `bidirectional`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SynthesisStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unidirectional => write!(f, "unidirectional"),
+            Self::Bidirectional => write!(f, "bidirectional"),
+        }
+    }
+}
+
 /// The paper's FMCF + MCE engines over one gate library and cost model.
 ///
 /// [`SynthesisEngine::expand_to_cost`] materializes the sets `A[k]`,
 /// `B[k]`, `G[k]` level by level (Section 3's
-/// Finding_Minimum_Cost_Circuits); the level data is cached, so repeated
-/// syntheses reuse it. [`SynthesisEngine::synthesize`] runs
-/// Minimum_Cost_Expressing on top.
+/// Finding_Minimum_Cost_Circuits); the level data is cached **and
+/// indexed by cost**, so repeated syntheses reuse it and per-level scans
+/// touch one level instead of the whole search history.
+/// [`SynthesisEngine::synthesize`] runs Minimum_Cost_Expressing on top;
+/// [`SynthesisEngine::synthesize_bidirectional`] is the meet-in-the-middle
+/// variant.
 ///
 /// # Examples
 ///
@@ -63,24 +116,41 @@ pub struct Synthesis {
 /// ```
 #[derive(Debug)]
 pub struct SynthesisEngine {
-    library: GateLibrary,
+    pub(crate) library: GateLibrary,
     model: CostModel,
     /// Per-library-gate 0-based image tables.
-    gate_images: Vec<Vec<u8>>,
-    /// Per-library-gate inverse image tables (for path reconstruction).
-    gate_inverse_images: Vec<Vec<u8>>,
+    pub(crate) gate_images: Vec<Vec<u8>>,
+    /// Per-library-gate inverse image tables (for path reconstruction and
+    /// the backward frontier).
+    pub(crate) gate_inverse_images: Vec<Vec<u8>>,
     /// Per-library-gate banned masks.
-    gate_banned: Vec<u64>,
+    pub(crate) gate_banned: Vec<u64>,
     /// Per-library-gate costs.
-    gate_costs: Vec<u32>,
+    pub(crate) gate_costs: Vec<u32>,
+    /// 0-based domain indices of the binary set `S`, in order.
+    pub(crate) binary0: Vec<u8>,
+    /// Domain index (0-based) → rank in the binary set, `u8::MAX` if the
+    /// pattern is not binary.
+    binary_rank: Vec<u8>,
     /// Every discovered element of `A[∞]` with its metadata.
-    seen: HashMap<Word, Meta>,
+    seen: HashMap<Word, Meta, FnvBuildHasher>,
     /// Pending frontier elements keyed by their (exact) cost.
     pending: BTreeMap<u32, Vec<Word>>,
     /// Highest cost whose level has been fully expanded.
-    completed: Option<u32>,
+    pub(crate) completed: Option<u32>,
+    /// `B[k]` for each completed level: the words first reached at exact
+    /// cost `k` (gap levels hold empty vectors, so indices equal costs).
+    pub(crate) levels: Vec<Vec<Word>>,
+    /// Per-level S-traces, parallel to `levels` (see [`Self::trace_of`]).
+    pub(crate) level_traces: Vec<Vec<u64>>,
+    /// Lazily built per-level join index: S-trace → indices into the
+    /// level's word vector.
+    trace_index: Vec<Option<HashMap<u64, Vec<u32>, FnvBuildHasher>>>,
     /// Reversible classes: binary restriction → minimal cost + witnesses.
-    classes: HashMap<Word, GClass>,
+    pub(crate) classes: HashMap<Word, GClass, FnvBuildHasher>,
+    /// Per-level index of class keys: the restrictions first realized at
+    /// exact cost `k` (gap-filled like `levels`).
+    class_levels: Vec<Vec<Word>>,
     /// `|G[k]|` for each completed cost level `k`.
     g_counts: Vec<usize>,
     /// `|B[k]|` for each completed cost level `k`.
@@ -95,7 +165,34 @@ impl SynthesisEngine {
     }
 
     /// Engine over an explicit library and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library exceeds the engine's packed representations:
+    /// more than 255 gates (path metadata stores gate indices in a `u8`),
+    /// more than [`PackedWord::CAPACITY`] domain patterns (banned masks
+    /// are `u64` bitmasks), or more than 8 binary patterns (S-traces pack
+    /// one byte per binary pattern into a `u64`).
     pub fn new(library: GateLibrary, model: CostModel) -> Self {
+        assert!(
+            library.gates().len() <= usize::from(u8::MAX),
+            "library has {} gates, but path reconstruction stores gate indices \
+             in a u8 (at most 255 gates; index 255 is the identity sentinel)",
+            library.gates().len()
+        );
+        assert!(
+            library.domain().len() <= PackedWord::CAPACITY,
+            "domain has {} patterns, but banned masks and packed words support \
+             at most {} (u64 bitmasks)",
+            library.domain().len(),
+            PackedWord::CAPACITY
+        );
+        assert!(
+            library.binary_set().len() <= 8,
+            "binary set has {} patterns, but S-traces pack at most 8 \
+             (one byte per binary pattern in a u64)",
+            library.binary_set().len()
+        );
         let gate_images: Vec<Vec<u8>> = library
             .gates()
             .iter()
@@ -112,10 +209,19 @@ impl SynthesisEngine {
             .iter()
             .map(|g| model.cost(g.gate()))
             .collect();
-        let identity: Word = (0..library.domain().len() as u8).collect();
-        let mut seen = HashMap::new();
+        let binary0: Vec<u8> = library
+            .binary_set()
+            .iter()
+            .map(|&p| (p - 1) as u8)
+            .collect();
+        let mut binary_rank = vec![u8::MAX; library.domain().len()];
+        for (rank, &idx) in binary0.iter().enumerate() {
+            binary_rank[idx as usize] = rank as u8;
+        }
+        let identity = PackedWord::identity(library.domain().len());
+        let mut seen: HashMap<Word, Meta, FnvBuildHasher> = HashMap::default();
         seen.insert(
-            identity.clone(),
+            identity,
             Meta {
                 cost: 0,
                 last_gate: u8::MAX,
@@ -130,10 +236,16 @@ impl SynthesisEngine {
             gate_inverse_images,
             gate_banned,
             gate_costs,
+            binary0,
+            binary_rank,
             seen,
             pending,
             completed: None,
-            classes: HashMap::new(),
+            levels: Vec::new(),
+            level_traces: Vec::new(),
+            trace_index: Vec::new(),
+            classes: HashMap::default(),
+            class_levels: Vec::new(),
             g_counts: Vec::new(),
             b_counts: Vec::new(),
         }
@@ -174,6 +286,31 @@ impl SynthesisEngine {
         self.classes.len()
     }
 
+    /// The S-trace of a word: the 0-based domain indices the binary set
+    /// maps to, packed one byte per binary pattern into a `u64`.
+    ///
+    /// Two words agree on every binary pattern iff their traces are
+    /// equal, which turns the Section 4 level scan and the
+    /// meet-in-the-middle join into `u64` comparisons.
+    pub(crate) fn trace_of(&self, word: &Word) -> u64 {
+        let mut trace = 0u64;
+        for (i, &idx) in self.binary0.iter().enumerate() {
+            trace |= u64::from(word[idx as usize]) << (8 * i);
+        }
+        trace
+    }
+
+    /// The largest single-gate cost in the library (used to bound the
+    /// forward side of a meet-in-the-middle split).
+    pub(crate) fn max_gate_cost(&self) -> u32 {
+        self.gate_costs.iter().copied().max().unwrap_or(1)
+    }
+
+    /// `true` once the reachable search space is fully enumerated.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+
     /// Expands FMCF levels until cost `cb` is fully processed.
     ///
     /// Levels already expanded are reused; the search is cumulative.
@@ -187,35 +324,42 @@ impl SynthesisEngine {
 
     /// Expands exactly one cost level. Returns `false` when the reachable
     /// space is exhausted.
-    fn expand_next_level(&mut self) -> bool {
+    pub(crate) fn expand_next_level(&mut self) -> bool {
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
-        let bucket = self.pending.remove(&cost).expect("bucket exists");
-        // Defensive: levels complete in ascending order, and every element
-        // of the bucket was discovered at minimal cost (positive gate
-        // costs make this Dijkstra-like expansion exact).
+        let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
+        // Lazy decrease-key: with non-uniform gate costs a word can be
+        // re-admitted to a cheaper bucket after its first discovery; the
+        // superseded copy stays behind in its original bucket and is
+        // dropped here. Buckets are processed cost-ascending and all gate
+        // costs are positive, so a word whose recorded cost still equals
+        // this bucket's cost is final (Dijkstra).
+        let bucket: Vec<Word> = raw_bucket
+            .into_iter()
+            .filter(|w| self.seen[w].cost == cost)
+            .collect();
+        // Defensive: levels complete in ascending order.
         debug_assert!(self.completed.map_or(cost == 0, |c| cost > c));
 
         // 1. Register reversible classes (pre_G[cost] − earlier G's: the
         //    subtraction is implicit in first-seen-wins).
-        let binary = self.library.binary_set();
-        let mut g_new = 0usize;
+        let mut g_new: Vec<Word> = Vec::new();
         for word in &bucket {
-            if let Some(restriction) = restrict(word, binary) {
+            if let Some(restriction) = self.restrict(word) {
                 match self.classes.get_mut(&restriction) {
                     None => {
                         self.classes.insert(
                             restriction,
                             GClass {
                                 cost,
-                                witnesses: vec![word.clone()],
+                                witnesses: vec![*word],
                             },
                         );
-                        g_new += 1;
+                        g_new.push(restriction);
                     }
                     Some(class) if class.cost == cost => {
-                        class.witnesses.push(word.clone());
+                        class.witnesses.push(*word);
                     }
                     Some(_) => {} // already realizable at lower cost
                 }
@@ -223,41 +367,75 @@ impl SynthesisEngine {
         }
 
         // 2. Expand reasonable products into later buckets.
+        let mut traces = Vec::with_capacity(bucket.len());
         for word in &bucket {
-            let image_mask = binary_image_mask(word, binary);
+            let trace = self.trace_of(word);
+            traces.push(trace);
+            let image_mask = trace_mask(trace, self.binary0.len());
             for gate_idx in 0..self.gate_images.len() {
                 if image_mask & self.gate_banned[gate_idx] != 0 {
                     continue; // not a reasonable product
                 }
-                let next: Word = word
-                    .iter()
-                    .map(|&mid| self.gate_images[gate_idx][mid as usize])
-                    .collect();
+                let next = word.map_through(&self.gate_images[gate_idx]);
                 let next_cost = cost + self.gate_costs[gate_idx];
-                if !self.seen.contains_key(&next) {
-                    self.seen.insert(
-                        next.clone(),
-                        Meta {
-                            cost: next_cost,
-                            last_gate: gate_idx as u8,
-                        },
-                    );
-                    self.pending.entry(next_cost).or_default().push(next);
+                let meta = Meta {
+                    cost: next_cost,
+                    last_gate: gate_idx as u8,
+                };
+                match self.seen.entry(next) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(meta);
+                        self.pending.entry(next_cost).or_default().push(next);
+                    }
+                    Entry::Occupied(mut slot) if slot.get().cost > next_cost => {
+                        // Cheaper path found while the word is still
+                        // pending: re-admit it (the old copy goes stale).
+                        slot.insert(meta);
+                        self.pending.entry(next_cost).or_default().push(next);
+                    }
+                    Entry::Occupied(_) => {}
                 }
             }
         }
 
-        // 3. Record level statistics. With non-unit costs some levels are
-        //    empty; fill the gap so indices equal costs.
-        let prev = self.completed.map_or(-1i64, |c| c as i64);
-        for _ in prev + 1..cost as i64 {
+        // 3. Record the level and its statistics. With non-unit costs some
+        //    levels are empty; fill the gap so indices equal costs.
+        while self.levels.len() < cost as usize {
+            self.levels.push(Vec::new());
+            self.level_traces.push(Vec::new());
+            self.trace_index.push(None);
+            self.class_levels.push(Vec::new());
             self.b_counts.push(0);
             self.g_counts.push(0);
         }
         self.b_counts.push(bucket.len());
-        self.g_counts.push(g_new);
+        self.g_counts.push(g_new.len());
+        self.levels.push(bucket);
+        self.level_traces.push(traces);
+        self.trace_index.push(None);
+        self.class_levels.push(g_new);
         self.completed = Some(cost);
         true
+    }
+
+    /// Builds (once) the S-trace join index for level `f`.
+    pub(crate) fn ensure_trace_index(&mut self, f: u32) {
+        let f = f as usize;
+        if self.trace_index[f].is_none() {
+            let mut index: HashMap<u64, Vec<u32>, FnvBuildHasher> = HashMap::default();
+            for (i, &trace) in self.level_traces[f].iter().enumerate() {
+                index.entry(trace).or_default().push(i as u32);
+            }
+            self.trace_index[f] = Some(index);
+        }
+    }
+
+    /// The S-trace join index for level `f` (built by
+    /// [`Self::ensure_trace_index`]).
+    pub(crate) fn trace_index_ref(&self, f: u32) -> &HashMap<u64, Vec<u32>, FnvBuildHasher> {
+        self.trace_index[f as usize]
+            .as_ref()
+            .expect("ensure_trace_index was called for this level")
     }
 
     /// The paper's MCE (Minimum_Cost_Expressing) algorithm: synthesizes a
@@ -265,12 +443,66 @@ impl SynthesisEngine {
     /// (a permutation of `{1, …, 2^n}`), searching up to cost `cb`.
     ///
     /// Returns `None` if the target's minimal cost exceeds `cb`
-    /// (the paper's `flag = 0` case).
+    /// (the paper's `flag = 0` case) — including on a *warm* engine whose
+    /// cached levels already extend past `cb`.
     ///
     /// # Panics
     ///
     /// Panics if `target.degree() != 2^n` for the library's wire count.
     pub fn synthesize(&mut self, target: &Perm, cb: u32) -> Option<Synthesis> {
+        let (key, not_layer) = self.reduce_target(target);
+        let n = self.library.domain().wires();
+        loop {
+            if let Some(class) = self.classes.get(&key) {
+                debug_assert!(self.completed.is_some_and(|c| c >= class.cost));
+                // The class cost is minimal by construction; on a warm
+                // engine it may exceed the caller's bound, in which case
+                // no further expansion can ever help.
+                if class.cost > cb {
+                    return None;
+                }
+                let witness = class.witnesses[0];
+                let count = class.witnesses.len();
+                let cost = class.cost;
+                let mut gates = not_layer.clone();
+                gates.extend(self.reconstruct(&witness));
+                return Some(Synthesis {
+                    circuit: Circuit::new(n, gates),
+                    cost,
+                    not_layer,
+                    implementation_count: count,
+                });
+            }
+            let done = self.completed.map_or(0, |c| c + 1);
+            if done > cb {
+                return None;
+            }
+            if !self.expand_next_level() {
+                return None;
+            }
+        }
+    }
+
+    /// Runs MCE with an explicit [`SynthesisStrategy`].
+    pub fn synthesize_with(
+        &mut self,
+        strategy: SynthesisStrategy,
+        target: &Perm,
+        cb: u32,
+    ) -> Option<Synthesis> {
+        match strategy {
+            SynthesisStrategy::Unidirectional => self.synthesize(target, cb),
+            SynthesisStrategy::Bidirectional => self.synthesize_bidirectional(target, cb),
+        }
+    }
+
+    /// Strips the Theorem 2 NOT layer from `target` and returns the
+    /// remaining stabilizer part as a class key, plus the layer's gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.degree() != 2^n` for the library's wire count.
+    pub(crate) fn reduce_target(&self, target: &Perm) -> (Word, Vec<Gate>) {
         let n = self.library.domain().wires();
         let patterns = 1usize << n;
         assert_eq!(
@@ -288,35 +520,9 @@ impl SynthesisEngine {
             .map(Gate::not)
             .collect();
         let d0 = not_layer_perm(bits, n);
-        let reduced = d0.inverse() * target.clone();
+        let reduced = d0.left_div(target);
         debug_assert_eq!(reduced.image(1), 1);
-
-        // Search G[k] levels for the reduced permutation.
-        let key: Word = reduced.as_images().iter().copied().collect();
-        loop {
-            if let Some(class) = self.classes.get(&key) {
-                if self.completed.is_some_and(|c| c >= class.cost) {
-                    let witness = class.witnesses[0].clone();
-                    let count = class.witnesses.len();
-                    let cost = class.cost;
-                    let mut gates = not_layer.clone();
-                    gates.extend(self.reconstruct(&witness));
-                    return Some(Synthesis {
-                        circuit: Circuit::new(n, gates),
-                        cost,
-                        not_layer: not_layer.clone(),
-                        implementation_count: count,
-                    });
-                }
-            }
-            let done = self.completed.map_or(0, |c| c + 1);
-            if done > cb {
-                return None;
-            }
-            if !self.expand_next_level() {
-                return None;
-            }
-        }
+        (PackedWord::from_slice(reduced.as_images()), not_layer)
     }
 
     /// Returns every distinct minimal-cost implementation of `target`
@@ -330,10 +536,7 @@ impl SynthesisEngine {
             return Vec::new();
         };
         let n = self.library.domain().wires();
-        let bits = target.preimage(1) - 1;
-        let d0 = not_layer_perm(bits, n);
-        let reduced = d0.inverse() * target.clone();
-        let key: Word = reduced.as_images().iter().copied().collect();
+        let (key, _) = self.reduce_target(target);
         let class = self.classes.get(&key).expect("synthesize found the class");
         let witnesses = class.witnesses.clone();
         witnesses
@@ -353,9 +556,9 @@ impl SynthesisEngine {
 
     /// Reconstructs the gate cascade that produced `word`, walking the
     /// `last_gate` chain back to the identity.
-    fn reconstruct(&self, word: &Word) -> Vec<Gate> {
+    pub(crate) fn reconstruct(&self, word: &Word) -> Vec<Gate> {
         let mut gates = Vec::new();
-        let mut current = word.clone();
+        let mut current = *word;
         loop {
             let meta = self.seen.get(&current).expect("witness is in A");
             if meta.last_gate == u8::MAX {
@@ -364,16 +567,16 @@ impl SynthesisEngine {
             let gate_idx = meta.last_gate as usize;
             gates.push(self.library.gates()[gate_idx].gate());
             // parent = current * gate⁻¹.
-            current = current
-                .iter()
-                .map(|&mid| self.gate_inverse_images[gate_idx][mid as usize])
-                .collect();
+            current = current.map_through(&self.gate_inverse_images[gate_idx]);
         }
         gates.reverse();
         gates
     }
 
     /// The minimal quantum cost of `target`, if within `cb`.
+    ///
+    /// Like [`Self::synthesize`], a warm engine returns `None` whenever
+    /// the minimal cost exceeds `cb`, regardless of prior expansion.
     pub fn minimal_cost(&mut self, target: &Perm, cb: u32) -> Option<u32> {
         self.synthesize(target, cb).map(|s| s.cost)
     }
@@ -381,16 +584,21 @@ impl SynthesisEngine {
     /// All reversible circuits of minimal cost exactly `k` — the paper's
     /// set `G[k]` — as `(binary permutation, witness circuit)` pairs.
     ///
-    /// Expands levels up to `k` if necessary. Pairs are sorted by the
+    /// Expands levels up to `k` if necessary, then reads the per-level
+    /// class index (no scan over other levels). Pairs are sorted by the
     /// binary permutation for determinism.
     pub fn reversible_circuits_at_cost(&mut self, k: u32) -> Vec<(Perm, Circuit)> {
         self.expand_to_cost(k);
         let n = self.library.domain().wires();
-        let mut out: Vec<(Perm, Circuit)> = self
-            .classes
+        let keys = match self.class_levels.get(k as usize) {
+            Some(keys) => keys.clone(),
+            None => return Vec::new(), // search space exhausted below k
+        };
+        let mut out: Vec<(Perm, Circuit)> = keys
             .iter()
-            .filter(|(_, class)| class.cost == k)
-            .map(|(key, class)| {
+            .map(|key| {
+                let class = &self.classes[key];
+                debug_assert_eq!(class.cost, k);
                 let images: Vec<usize> = key.iter().map(|&b| b as usize + 1).collect();
                 let perm = Perm::from_images(&images).expect("valid restriction");
                 let circuit = Circuit::new(n, self.reconstruct(&class.witnesses[0]));
@@ -408,7 +616,12 @@ impl SynthesisEngine {
     /// quantum random generators and probabilistic machines.
     ///
     /// Returns the first (minimal-cost) matching cascade within cost `cb`,
-    /// or `None`.
+    /// or `None`. [`Synthesis::implementation_count`] reports how many
+    /// distinct cascades the minimal level contains for the images
+    /// (mirroring the paper's Peres = 2 / Toffoli = 4 counts).
+    ///
+    /// Each level is scanned through its packed trace index — one `u64`
+    /// comparison per member — instead of rescanning the whole `A` set.
     ///
     /// # Panics
     ///
@@ -416,73 +629,73 @@ impl SynthesisEngine {
     /// mentions an index outside the domain.
     pub fn synthesize_quaternary(&mut self, images: &[usize], cb: u32) -> Option<Synthesis> {
         let n = self.library.domain().wires();
-        let binary = self.library.binary_set().to_vec();
-        assert_eq!(images.len(), binary.len(), "one target per binary pattern");
+        assert_eq!(
+            images.len(),
+            self.binary0.len(),
+            "one target per binary pattern"
+        );
         for &img in images {
             assert!(
                 img >= 1 && img <= self.library.domain().len(),
                 "target index {img} outside the domain"
             );
         }
-        let matches = |word: &Word| -> bool {
-            binary
-                .iter()
-                .zip(images)
-                .all(|(&p, &img)| word[p - 1] as usize + 1 == img)
-        };
-        let mut level = 0u32;
-        loop {
-            if self.completed.is_none_or(|c| c < level) && !self.expand_next_level() {
-                return None;
+        let target_trace = images
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &img)| acc | ((img as u64 - 1) << (8 * i)));
+        for level in 0..=cb {
+            self.expand_to_cost(level);
+            if self.levels.len() <= level as usize {
+                return None; // search space exhausted below `level`
             }
-            let completed = self.completed.expect("at least one level done");
-            while level <= completed {
-                // Scan the elements discovered at exactly `level`.
-                let hit: Option<Word> = self
-                    .seen
-                    .iter()
-                    .find(|(w, m)| m.cost == level && matches(w))
-                    .map(|(w, _)| w.clone());
-                if let Some(word) = hit {
-                    let gates = self.reconstruct(&word);
-                    return Some(Synthesis {
-                        circuit: Circuit::new(n, gates),
-                        cost: level,
-                        not_layer: Vec::new(),
-                        implementation_count: 1,
-                    });
-                }
-                level += 1;
-                if level > cb {
-                    return None;
-                }
+            let hits: Vec<u32> = self.level_traces[level as usize]
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == target_trace)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if let Some(&first) = hits.first() {
+                let word = self.levels[level as usize][first as usize];
+                let gates = self.reconstruct(&word);
+                return Some(Synthesis {
+                    circuit: Circuit::new(n, gates),
+                    cost: level,
+                    not_layer: Vec::new(),
+                    implementation_count: hits.len(),
+                });
             }
         }
+        None
+    }
+
+    /// Restriction of a word to the binary index set, if closed.
+    fn restrict(&self, word: &Word) -> Option<Word> {
+        let mut out = [0u8; 8];
+        let k = self.binary0.len();
+        for (slot, &idx) in out.iter_mut().zip(&self.binary0) {
+            let rank = self.binary_rank[word[idx as usize] as usize];
+            if rank == u8::MAX {
+                return None;
+            }
+            *slot = rank;
+        }
+        Some(PackedWord::from_slice(&out[..k]))
     }
 }
 
-/// Restriction of a 0-based image word to the binary index set, if closed.
-fn restrict(word: &Word, binary: &[usize]) -> Option<Word> {
-    let mut out = Vec::with_capacity(binary.len());
-    for &p in binary {
-        let img = word[p - 1] as usize + 1;
-        let pos = binary.binary_search(&img).ok()?;
-        out.push(pos as u8);
+/// Bitmask of the domain indices packed in an S-trace of `k` entries.
+pub(crate) fn trace_mask(trace: u64, k: usize) -> u64 {
+    let mut mask = 0u64;
+    for i in 0..k {
+        mask |= 1u64 << ((trace >> (8 * i)) as u8);
     }
-    Some(out.into_boxed_slice())
-}
-
-/// Bitmask of the images of the binary set under a word.
-fn binary_image_mask(word: &Word, binary: &[usize]) -> u64 {
-    binary
-        .iter()
-        .map(|&p| 1u64 << word[p - 1])
-        .fold(0, |acc, bit| acc | bit)
+    mask
 }
 
 /// The permutation of `{1, …, 2^n}` realized by NOT gates on the wires
 /// whose bit is set in `bits` (wire A = most significant).
-fn not_layer_perm(bits: usize, n: usize) -> Perm {
+pub(crate) fn not_layer_perm(bits: usize, n: usize) -> Perm {
     let images: Vec<usize> = (0..1usize << n).map(|p| (p ^ bits) + 1).collect();
     Perm::from_images(&images).expect("xor is a bijection")
 }
@@ -518,6 +731,17 @@ mod tests {
         let mut e = SynthesisEngine::unit_cost();
         e.expand_to_cost(1);
         assert_eq!(e.g_counts()[1], 6);
+    }
+
+    #[test]
+    fn level_index_matches_counts() {
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(3);
+        for k in 0..=3usize {
+            assert_eq!(e.levels[k].len(), e.b_counts()[k], "level {k}");
+            assert_eq!(e.level_traces[k].len(), e.b_counts()[k], "traces {k}");
+            assert_eq!(e.class_levels[k].len(), e.g_counts()[k], "classes {k}");
+        }
     }
 
     #[test]
@@ -575,6 +799,54 @@ mod tests {
     }
 
     #[test]
+    fn warm_engine_honors_cost_bound() {
+        // Regression: once the levels were expanded past `cb`, the class
+        // lookup used to return a circuit above the caller's bound.
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(5);
+        assert!(e.synthesize(&known::toffoli_perm(), 4).is_none());
+        assert!(e.synthesize_all(&known::toffoli_perm(), 4).is_empty());
+        assert_eq!(e.minimal_cost(&known::toffoli_perm(), 4), None);
+        assert_eq!(e.minimal_cost(&known::toffoli_perm(), 0), None);
+        // The bound admits the class once it covers the minimal cost.
+        assert_eq!(e.minimal_cost(&known::toffoli_perm(), 5), Some(5));
+    }
+
+    #[test]
+    fn warm_engine_agrees_with_cold_engine() {
+        let mut warm = SynthesisEngine::unit_cost();
+        warm.expand_to_cost(5);
+        for cb in 0..=5u32 {
+            let mut cold = SynthesisEngine::unit_cost();
+            assert_eq!(
+                warm.minimal_cost(&known::peres_perm(), cb),
+                cold.minimal_cost(&known::peres_perm(), cb),
+                "cb = {cb}"
+            );
+        }
+    }
+
+    #[test]
+    fn quaternary_counts_minimal_implementations() {
+        // The paper reports 2 implementations for Peres at cost 4.
+        let mut e = SynthesisEngine::unit_cost();
+        let images: Vec<usize> = (1..=8).map(|p| known::peres_perm().image(p)).collect();
+        let syn = e.synthesize_quaternary(&images, 5).expect("reachable");
+        assert_eq!(syn.cost, 4);
+        assert_eq!(syn.implementation_count, 2);
+    }
+
+    #[test]
+    fn quaternary_counts_toffoli_implementations() {
+        // …and 4 for Toffoli at cost 5.
+        let mut e = SynthesisEngine::unit_cost();
+        let images: Vec<usize> = (1..=8).map(|p| known::toffoli_perm().image(p)).collect();
+        let syn = e.synthesize_quaternary(&images, 6).expect("reachable");
+        assert_eq!(syn.cost, 5);
+        assert_eq!(syn.implementation_count, 4);
+    }
+
+    #[test]
     fn synthesize_all_returns_distinct_verified_circuits() {
         let mut e = SynthesisEngine::unit_cost();
         let all = e.synthesize_all(&known::peres_perm(), 5);
@@ -611,5 +883,33 @@ mod tests {
         let target: Perm = "(3,4)".parse::<Perm>().unwrap().extended(4);
         let syn = e.synthesize(&target, 3).expect("single CNOT");
         assert_eq!(syn.cost, 1);
+    }
+
+    #[test]
+    fn strategy_parses_and_displays() {
+        assert_eq!(
+            "bidirectional".parse::<SynthesisStrategy>().unwrap(),
+            SynthesisStrategy::Bidirectional
+        );
+        assert_eq!(
+            "UNI".parse::<SynthesisStrategy>().unwrap(),
+            SynthesisStrategy::Unidirectional
+        );
+        assert!("sideways".parse::<SynthesisStrategy>().is_err());
+        assert_eq!(
+            SynthesisStrategy::Bidirectional.to_string(),
+            "bidirectional"
+        );
+        assert_eq!(
+            SynthesisStrategy::default(),
+            SynthesisStrategy::Unidirectional
+        );
+    }
+
+    #[test]
+    fn trace_mask_collects_packed_indices() {
+        // Trace bytes 1, 3, 5 → mask bits 1, 3, 5.
+        let trace: u64 = 1 | (3 << 8) | (5 << 16);
+        assert_eq!(trace_mask(trace, 3), 0b101010);
     }
 }

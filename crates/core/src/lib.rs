@@ -42,13 +42,16 @@ mod circuit;
 mod cost;
 mod engine;
 pub mod known;
+mod mitm;
 mod spec;
 mod spectrum;
 pub mod universal;
+mod word;
 
 pub use census::{Census, CensusRow, EXPECTED_TABLE_2, PAPER_TABLE_2};
 pub use circuit::{Circuit, ParseCircuitError};
 pub use cost::CostModel;
-pub use engine::{Synthesis, SynthesisEngine};
+pub use engine::{Synthesis, SynthesisEngine, SynthesisStrategy};
 pub use spec::{synthesize_spec, QuaternarySpec, SpecError, SpecSynthesis};
 pub use spectrum::CostSpectrum;
+pub use word::{FnvBuildHasher, FnvHasher, PackedWord};

@@ -1,0 +1,519 @@
+//! Bidirectional (meet-in-the-middle) Minimum_Cost_Expressing.
+//!
+//! The unidirectional MCE must expand FMCF levels all the way to the
+//! target's cost `t` — and the level sets grow geometrically (roughly
+//! 4.5× per level for the paper's 18-gate library), so the last level
+//! dominates the whole search. The bidirectional variant expands a
+//! *second* frontier backward from the target and joins the two at half
+//! cost: a cost-`2t` target is reached with two cost-`t` level sets.
+//!
+//! The backward frontier does not need full domain words. A cascade
+//! suffix is *reasonable after* a prefix exactly when, at each of its
+//! gates, the current image of the binary set `S` avoids the gate's
+//! banned set — and that image is fully described by the prefix's
+//! S-trace (the 8 domain indices `S` maps to, packed into a `u64`).
+//! The backward search therefore runs Dijkstra over `u64` traces,
+//! starting from the target's trace and applying inverse gate images,
+//! admitting an edge for gate `g` from trace `T` to `g⁻¹(T)` iff
+//! `g⁻¹(T)` avoids `banned(g)` — the forward reasonability condition at
+//! the point where `g` would fire. Joining a forward word `u` (cost `f`)
+//! with a backward trace `T = trace(u)` (cost `b`) therefore yields, by
+//! construction, a *reasonable* cascade of cost `f + b` realizing the
+//! target: no post-hoc validation is needed.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mvq_logic::Gate;
+use mvq_perm::Perm;
+
+use crate::engine::{trace_mask, Word};
+use crate::word::FnvBuildHasher;
+use crate::{Circuit, Synthesis, SynthesisEngine};
+
+/// Backward-frontier metadata: the trace's best-known cost and the
+/// library gate whose *forward* application moves it one step toward the
+/// target along the cheapest path so far (`u8::MAX` for the target trace
+/// itself).
+#[derive(Debug, Clone, Copy)]
+struct BackMeta {
+    cost: u32,
+    gate: u8,
+}
+
+/// Dijkstra frontier over S-traces, grown backward from a target trace.
+struct BackwardFrontier {
+    /// Binary-set size: how many bytes of each trace are populated.
+    k: usize,
+    seen: HashMap<u64, BackMeta, FnvBuildHasher>,
+    pending: BTreeMap<u32, Vec<u64>>,
+    completed: Option<u32>,
+    /// Traces first reached at exact cost `b` (gap levels are empty).
+    levels: Vec<Vec<u64>>,
+}
+
+impl BackwardFrontier {
+    fn new(target_trace: u64, k: usize) -> Self {
+        let mut seen: HashMap<u64, BackMeta, FnvBuildHasher> = HashMap::default();
+        seen.insert(
+            target_trace,
+            BackMeta {
+                cost: 0,
+                gate: u8::MAX,
+            },
+        );
+        let mut pending = BTreeMap::new();
+        pending.insert(0u32, vec![target_trace]);
+        Self {
+            k,
+            seen,
+            pending,
+            completed: None,
+            levels: Vec::new(),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn expand_to_cost(&mut self, cb: u32, engine: &SynthesisEngine) {
+        while self.completed.is_none_or(|c| c < cb) {
+            if !self.expand_next_level(engine) {
+                break;
+            }
+        }
+    }
+
+    /// Expands one backward cost level. Returns `false` on exhaustion.
+    fn expand_next_level(&mut self, engine: &SynthesisEngine) -> bool {
+        let Some((&cost, _)) = self.pending.first_key_value() else {
+            return false;
+        };
+        let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
+        // Lazy decrease-key, mirroring the forward engine: drop copies
+        // superseded by a cheaper rediscovery.
+        let bucket: Vec<u64> = raw_bucket
+            .into_iter()
+            .filter(|t| self.seen[t].cost == cost)
+            .collect();
+        for &trace in &bucket {
+            for gate_idx in 0..engine.gate_images.len() {
+                let prev = apply_to_trace(trace, &engine.gate_inverse_images[gate_idx], self.k);
+                // Forward reasonability of `gate_idx` at the moment it
+                // would fire: the pre-image of S must avoid the banned set.
+                if trace_mask(prev, self.k) & engine.gate_banned[gate_idx] != 0 {
+                    continue;
+                }
+                let prev_cost = cost + engine.gate_costs[gate_idx];
+                let meta = BackMeta {
+                    cost: prev_cost,
+                    gate: gate_idx as u8,
+                };
+                match self.seen.entry(prev) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(meta);
+                        self.pending.entry(prev_cost).or_default().push(prev);
+                    }
+                    Entry::Occupied(mut slot) if slot.get().cost > prev_cost => {
+                        slot.insert(meta);
+                        self.pending.entry(prev_cost).or_default().push(prev);
+                    }
+                    Entry::Occupied(_) => {}
+                }
+            }
+        }
+        while self.levels.len() < cost as usize {
+            self.levels.push(Vec::new());
+        }
+        self.levels.push(bucket);
+        self.completed = Some(cost);
+        true
+    }
+
+    /// The forward gate cascade leading from `start` to the target trace.
+    fn suffix_gates(&self, start: u64, engine: &SynthesisEngine) -> Vec<Gate> {
+        self.suffix_gate_indices(start, engine)
+            .into_iter()
+            .map(|gate_idx| engine.library.gates()[gate_idx].gate())
+            .collect()
+    }
+
+    /// The gate-index chain leading from `start` to the target trace.
+    fn suffix_gate_indices(&self, start: u64, engine: &SynthesisEngine) -> Vec<usize> {
+        let mut indices = Vec::new();
+        let mut current = start;
+        loop {
+            let meta = self.seen.get(&current).expect("trace was discovered");
+            if meta.gate == u8::MAX {
+                break;
+            }
+            indices.push(meta.gate as usize);
+            current = apply_to_trace(current, &engine.gate_images[meta.gate as usize], self.k);
+        }
+        indices
+    }
+
+    /// *Every* minimal gate chain leading from `start` to the target
+    /// trace, found by walking the dist-consistent edges of the Dijkstra
+    /// DAG (a trace may admit several minimal suffixes; distinct
+    /// cascades that share the trace path can still differ on non-binary
+    /// domain points, so witness counting needs them all).
+    fn minimal_suffix_chains(&self, start: u64, engine: &SynthesisEngine) -> Vec<Vec<u8>> {
+        let mut chains = Vec::new();
+        let mut stack = Vec::new();
+        self.enumerate_chains(start, engine, &mut stack, &mut chains);
+        chains
+    }
+
+    fn enumerate_chains(
+        &self,
+        trace: u64,
+        engine: &SynthesisEngine,
+        stack: &mut Vec<u8>,
+        out: &mut Vec<Vec<u8>>,
+    ) {
+        let dist = self.seen[&trace].cost;
+        if dist == 0 {
+            // Only the target trace has cost 0 (gate costs are positive).
+            out.push(stack.clone());
+            return;
+        }
+        let mask = trace_mask(trace, self.k);
+        for gate_idx in 0..engine.gate_images.len() {
+            if mask & engine.gate_banned[gate_idx] != 0 {
+                continue; // gate not reasonable at this point
+            }
+            let gate_cost = engine.gate_costs[gate_idx];
+            if gate_cost > dist {
+                continue;
+            }
+            let next = apply_to_trace(trace, &engine.gate_images[gate_idx], self.k);
+            // Edge is on a minimal suffix iff it is dist-consistent.
+            if self
+                .seen
+                .get(&next)
+                .is_some_and(|meta| meta.cost == dist - gate_cost)
+            {
+                stack.push(gate_idx as u8);
+                self.enumerate_chains(next, engine, stack, out);
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Applies a gate image table to each packed byte of a trace.
+fn apply_to_trace(trace: u64, table: &[u8], k: usize) -> u64 {
+    let mut out = 0u64;
+    for i in 0..k {
+        let point = (trace >> (8 * i)) as u8;
+        out |= u64::from(table[point as usize]) << (8 * i);
+    }
+    out
+}
+
+impl SynthesisEngine {
+    /// Meet-in-the-middle MCE: synthesizes a minimal-cost implementation
+    /// of `target` by joining the cached forward levels against a
+    /// backward frontier expanded from the target side.
+    ///
+    /// Produces cost-identical results to [`Self::synthesize`] (including
+    /// [`Synthesis::implementation_count`]), but only ever expands
+    /// forward levels to about *half* the target cost, which is
+    /// decisively cheaper for deep targets (the level sets grow
+    /// geometrically). The forward levels remain shared with the
+    /// unidirectional path, so mixed workloads reuse one cache.
+    ///
+    /// Returns `None` if the target's minimal cost exceeds `cb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.degree() != 2^n` for the library's wire count.
+    pub fn synthesize_bidirectional(&mut self, target: &Perm, cb: u32) -> Option<Synthesis> {
+        let n = self.library.domain().wires();
+        let (key, not_layer) = self.reduce_target(target);
+        let k = self.binary0.len();
+        // The target's trace: the 0-based domain index each binary
+        // pattern must map to.
+        let binary = self.library.binary_set();
+        let target_trace = key.iter().enumerate().fold(0u64, |acc, (i, &rank)| {
+            acc | ((binary[rank as usize] as u64 - 1) << (8 * i))
+        });
+        let mut back = BackwardFrontier::new(target_trace, k);
+        let max_gate = self.max_gate_cost();
+
+        for c in 0..=cb {
+            // Completeness: every cost-c witness splits at the longest
+            // suffix of cost ≤ ⌈c/2⌉, leaving a prefix of cost at most
+            // ⌈c/2⌉ + max_gate − 1.
+            let half = c.div_ceil(2);
+            let hi = (half + (max_gate - 1)).min(c);
+            self.expand_to_cost(hi);
+            back.expand_to_cost(half, self);
+
+            let fwd_done = self.completed.map_or(0, |v| v);
+            let back_done = back.completed.map_or(0, |v| v);
+            let mut first: Option<(Word, u64)> = None;
+            let mut distinct: HashSet<Word, FnvBuildHasher> = HashSet::default();
+            for b in 0..=half.min(back_done) {
+                let f = c - b;
+                if f > fwd_done {
+                    continue;
+                }
+                if back.levels[b as usize].is_empty() {
+                    continue;
+                }
+                self.ensure_trace_index(f);
+                let index = self.trace_index_ref(f);
+                for &trace in &back.levels[b as usize] {
+                    let Some(matches) = index.get(&trace) else {
+                        continue;
+                    };
+                    // All minimal suffixes, not just the canonical one:
+                    // cascades sharing a trace path can differ on
+                    // non-binary points, and each yields its own witness.
+                    let chains = back.minimal_suffix_chains(trace, self);
+                    for &word_idx in matches {
+                        let u = self.levels[f as usize][word_idx as usize];
+                        for chain in &chains {
+                            let joined = chain
+                                .iter()
+                                .fold(u, |w, &g| w.map_through(&self.gate_images[g as usize]));
+                            distinct.insert(joined);
+                        }
+                        if first.is_none() {
+                            first = Some((u, trace));
+                        }
+                    }
+                }
+            }
+            if let Some((u, trace)) = first {
+                let mut gates = not_layer.clone();
+                gates.extend(self.reconstruct(&u));
+                gates.extend(back.suffix_gates(trace, self));
+                debug_assert_eq!(self.cost_model().cascade_cost(&gates), c);
+                return Some(Synthesis {
+                    circuit: Circuit::new(n, gates),
+                    cost: c,
+                    not_layer,
+                    implementation_count: distinct.len(),
+                });
+            }
+            // Both frontiers exhausted and out of joinable range: the
+            // target is unreachable, stop early.
+            if self.exhausted() && back.exhausted() && c >= fwd_done + back_done {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{known, CostModel, SynthesisStrategy};
+    use mvq_logic::GateLibrary;
+
+    #[test]
+    fn peres_bidirectional_matches_unidirectional() {
+        let mut e = SynthesisEngine::unit_cost();
+        let bidi = e
+            .synthesize_bidirectional(&known::peres_perm(), 5)
+            .expect("reachable");
+        assert_eq!(bidi.cost, 4);
+        assert_eq!(bidi.implementation_count, 2);
+        assert!(bidi
+            .circuit
+            .verify_against_binary_perm(&known::peres_perm()));
+        // Forward levels stopped at half cost.
+        assert!(e.completed.is_some_and(|c| c <= 2));
+    }
+
+    #[test]
+    fn toffoli_bidirectional_cost_5_four_implementations() {
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e
+            .synthesize_bidirectional(&known::toffoli_perm(), 6)
+            .expect("reachable");
+        assert_eq!(syn.cost, 5);
+        assert_eq!(syn.implementation_count, 4);
+        assert!(syn
+            .circuit
+            .verify_against_binary_perm(&known::toffoli_perm()));
+    }
+
+    #[test]
+    fn fredkin_costs_7_bidirectionally() {
+        // The unidirectional search needs the full cost-7 level set
+        // (millions of words) for this; meeting in the middle keeps both
+        // frontiers at cost ≤ 4.
+        let mut e = SynthesisEngine::unit_cost();
+        assert!(e
+            .synthesize_bidirectional(&known::fredkin_perm(), 6)
+            .is_none());
+        let syn = e
+            .synthesize_bidirectional(&known::fredkin_perm(), 7)
+            .expect("cost 7");
+        assert_eq!(syn.cost, 7);
+        // Ground truth from the unidirectional engine: 16 witnesses.
+        assert_eq!(syn.implementation_count, 16);
+        assert!(syn
+            .circuit
+            .verify_against_binary_perm(&known::fredkin_perm()));
+        assert!(e.completed.is_some_and(|c| c <= 4));
+    }
+
+    #[test]
+    fn cost_7_witness_count_needs_all_minimal_suffixes() {
+        // Regression: reconstructing only the canonical suffix per
+        // backward trace undercounted this cost-7 class as 14; the
+        // unidirectional ground truth is 16 (distinct minimal cascades
+        // can share a trace path yet differ on non-binary points).
+        let target: Perm = "(3,5)(4,6,8)".parse::<Perm>().unwrap().extended(8);
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e.synthesize_bidirectional(&target, 7).expect("cost 7");
+        assert_eq!(syn.cost, 7);
+        assert_eq!(syn.implementation_count, 16);
+        assert!(syn.circuit.verify_against_binary_perm(&target));
+    }
+
+    #[test]
+    fn identity_and_not_layer_targets() {
+        let mut e = SynthesisEngine::unit_cost();
+        let id = e
+            .synthesize_bidirectional(&Perm::identity(8), 2)
+            .expect("trivial");
+        assert_eq!(id.cost, 0);
+        assert!(id.circuit.gates().is_empty());
+        // NOT(C) target: coset layer only.
+        let target: Perm = "(1,2)(3,4)(5,6)(7,8)".parse().unwrap();
+        let syn = e.synthesize_bidirectional(&target, 2).expect("not layer");
+        assert_eq!(syn.cost, 0);
+        assert!(!syn.not_layer.is_empty());
+        assert!(syn.circuit.verify_against_binary_perm(&target));
+    }
+
+    #[test]
+    fn bidirectional_honors_cost_bound_warm_and_cold() {
+        let mut e = SynthesisEngine::unit_cost();
+        assert!(e
+            .synthesize_bidirectional(&known::toffoli_perm(), 4)
+            .is_none());
+        // Warm in both frontier caches.
+        e.expand_to_cost(5);
+        assert!(e
+            .synthesize_bidirectional(&known::toffoli_perm(), 4)
+            .is_none());
+    }
+
+    #[test]
+    fn low_cost_levels_agree_between_strategies() {
+        // Every class of cost ≤ 3 must synthesize to the same cost and
+        // implementation count under both strategies (warm engines:
+        // level caches are shared across the queries).
+        let mut e = SynthesisEngine::unit_cost();
+        let mut uni = SynthesisEngine::unit_cost();
+        let mut bidi = SynthesisEngine::unit_cost();
+        for kk in 0..=3u32 {
+            for (perm, _) in e.reversible_circuits_at_cost(kk) {
+                let a = uni.synthesize(&perm, 4).expect("reachable");
+                let b = bidi.synthesize_bidirectional(&perm, 4).expect("reachable");
+                assert_eq!(a.cost, b.cost, "class {perm}");
+                assert_eq!(
+                    a.implementation_count, b.implementation_count,
+                    "class {perm}"
+                );
+                assert!(b.circuit.verify_against_binary_perm(&perm));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_model_splits_correctly() {
+        // Max gate cost 2 exercises the `hi` bound on the forward side.
+        let lib = GateLibrary::standard(3);
+        let mut e = SynthesisEngine::new(lib, CostModel::weighted(2, 2, 1));
+        let syn = e
+            .synthesize_bidirectional(&known::peres_perm(), 8)
+            .expect("reachable");
+        assert_eq!(syn.cost, 7);
+        assert!(syn.circuit.verify_against_binary_perm(&known::peres_perm()));
+    }
+
+    #[test]
+    fn weighted_model_is_dijkstra_exact_across_strategies() {
+        // Regression: first-seen-wins frontier insertion pinned words at
+        // the cost of their first (possibly expensive) discovery, so
+        // under asymmetric gate costs `synthesize` reported cost 7 for
+        // this class while a reasonable all-V cost-6 cascade exists.
+        let target: Perm = "(3,5)(4,6)".parse::<Perm>().unwrap().extended(8);
+        let model = CostModel::weighted(1, 2, 3);
+        let mut uni = SynthesisEngine::new(GateLibrary::standard(3), model);
+        let mut bidi = SynthesisEngine::new(GateLibrary::standard(3), model);
+        let a = uni.synthesize(&target, 8).expect("reachable");
+        let b = bidi
+            .synthesize_bidirectional(&target, 8)
+            .expect("reachable");
+        assert_eq!(a.cost, 6, "all-V witness: VCB*VCB*VBA*VBA*VCB*VCB");
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.implementation_count, b.implementation_count);
+        assert_eq!(model.cascade_cost(a.circuit.gates()), a.cost);
+        assert!(a.circuit.verify_against_binary_perm(&target));
+        assert!(b.circuit.verify_against_binary_perm(&target));
+    }
+
+    #[test]
+    fn weighted_classes_agree_across_strategies() {
+        // Every class within weighted cost 5 must report the same cost
+        // under both strategies, and its witness cascade must price out
+        // at exactly the class cost.
+        let model = CostModel::weighted(1, 2, 3);
+        let mut enumerator = SynthesisEngine::new(GateLibrary::standard(3), model);
+        let mut uni = SynthesisEngine::new(GateLibrary::standard(3), model);
+        let mut bidi = SynthesisEngine::new(GateLibrary::standard(3), model);
+        for k in 0..=5u32 {
+            for (perm, circuit) in enumerator.reversible_circuits_at_cost(k) {
+                assert_eq!(model.cascade_cost(circuit.gates()), k, "witness of {perm}");
+                let a = uni.synthesize(&perm, 5).expect("reachable");
+                let b = bidi.synthesize_bidirectional(&perm, 5).expect("reachable");
+                assert_eq!(a.cost, k, "unidirectional {perm}");
+                assert_eq!(b.cost, k, "bidirectional {perm}");
+                assert_eq!(a.implementation_count, b.implementation_count, "{perm}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_wire_bidirectional() {
+        let lib = GateLibrary::standard(2);
+        let mut e = SynthesisEngine::new(lib, CostModel::unit());
+        let target: Perm = "(3,4)".parse::<Perm>().unwrap().extended(4);
+        let syn = e.synthesize_bidirectional(&target, 3).expect("single CNOT");
+        assert_eq!(syn.cost, 1);
+    }
+
+    #[test]
+    fn two_wire_swap_agrees_across_strategies() {
+        // The wire swap needs three Feynman gates; a deliberately huge
+        // bound must still terminate promptly on the tiny 2-wire space.
+        let target: Perm = "(2,3)".parse::<Perm>().unwrap().extended(4);
+        let mut bidi = SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let mut uni = SynthesisEngine::new(GateLibrary::standard(2), CostModel::unit());
+        let b = bidi.synthesize_bidirectional(&target, 30).expect("swap");
+        let u = uni.synthesize(&target, 30).expect("swap");
+        assert_eq!(b.cost, u.cost);
+        assert_eq!(b.implementation_count, u.implementation_count);
+        assert!(b.circuit.verify_against_binary_perm(&target));
+    }
+
+    #[test]
+    fn strategy_dispatch_reaches_bidirectional() {
+        let mut e = SynthesisEngine::unit_cost();
+        let syn = e
+            .synthesize_with(SynthesisStrategy::Bidirectional, &known::peres_perm(), 5)
+            .expect("reachable");
+        assert_eq!(syn.cost, 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Packed fixed-width words for the FMCF level search.
+//!
+//! The search explores millions of circuit-permutations; representing each
+//! as a `Box<[u8]>` costs one heap allocation (plus a pointer chase on
+//! every hash/compare) per discovered element. [`PackedWord`] stores the
+//! 0-based image table inline in a fixed `[u8; 64]` — sized to the
+//! 64-index ceiling the library's `u64` banned masks already impose — so
+//! words are `Copy`, hash without indirection, and pack contiguously in
+//! the per-cost level vectors.
+
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::ops::Index;
+
+/// A compact circuit-permutation: a 0-based image table over at most
+/// [`PackedWord::CAPACITY`] domain indices, stored inline.
+///
+/// Unused tail bytes are always zero, so derived equality and ordering
+/// agree with slice semantics for words of equal length (the engine only
+/// ever mixes words over one fixed domain).
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::PackedWord;
+///
+/// let id = PackedWord::identity(38);
+/// assert_eq!(id.len(), 38);
+/// assert_eq!(id[37], 37);
+/// let w = id.map_through(id.as_slice());
+/// assert_eq!(w, id);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PackedWord {
+    data: [u8; Self::CAPACITY],
+    len: u8,
+}
+
+impl PackedWord {
+    /// Maximum domain size a word can cover (matches the `u64` banned-mask
+    /// limit of the gate library).
+    pub const CAPACITY: usize = 64;
+
+    /// The identity word on `len` indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > PackedWord::CAPACITY`.
+    pub fn identity(len: usize) -> Self {
+        assert!(
+            len <= Self::CAPACITY,
+            "word length {len} exceeds the packed capacity of {}",
+            Self::CAPACITY
+        );
+        let mut data = [0u8; Self::CAPACITY];
+        for (i, slot) in data.iter_mut().take(len).enumerate() {
+            *slot = i as u8;
+        }
+        Self {
+            data,
+            len: len as u8,
+        }
+    }
+
+    /// Packs a 0-based image table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is longer than [`PackedWord::CAPACITY`].
+    pub fn from_slice(images: &[u8]) -> Self {
+        assert!(
+            images.len() <= Self::CAPACITY,
+            "word length {} exceeds the packed capacity of {}",
+            images.len(),
+            Self::CAPACITY
+        );
+        let mut data = [0u8; Self::CAPACITY];
+        data[..images.len()].copy_from_slice(images);
+        Self {
+            data,
+            len: images.len() as u8,
+        }
+    }
+
+    /// The number of domain indices the word covers.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The active image table.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[..self.len as usize]
+    }
+
+    /// Post-composes through `table`: `out[i] = table[self[i]]` — the word
+    /// for "this cascade, then the gate whose image table is `table`".
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if an image falls outside `table`.
+    pub fn map_through(&self, table: &[u8]) -> Self {
+        let mut data = [0u8; Self::CAPACITY];
+        for (slot, &mid) in data.iter_mut().zip(self.as_slice()) {
+            *slot = table[mid as usize];
+        }
+        Self {
+            data,
+            len: self.len,
+        }
+    }
+
+    /// Iterates over the active images.
+    pub fn iter(&self) -> std::slice::Iter<'_, u8> {
+        self.as_slice().iter()
+    }
+}
+
+impl Index<usize> for PackedWord {
+    type Output = u8;
+
+    fn index(&self, index: usize) -> &u8 {
+        &self.as_slice()[index]
+    }
+}
+
+impl Hash for PackedWord {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // One write over the active prefix; the length disambiguates
+        // prefix-equal words of different degrees.
+        state.write(self.as_slice());
+        state.write_u8(self.len);
+    }
+}
+
+impl fmt::Debug for PackedWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedWord({:?})", self.as_slice())
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedWord {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// FNV-1a, specialized for the short fixed-width keys of the level search
+/// (packed words and `u64` traces). The default SipHash is DoS-resistant
+/// but measurably slower on the engine's hot maps, whose keys are
+/// program-generated and need no such resistance.
+#[derive(Debug, Clone)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut state = self.state;
+        for &b in bytes {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        self.state = state;
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.write(&[value]);
+    }
+}
+
+/// `BuildHasher` plumbing for [`FnvHasher`]-keyed maps.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+
+    #[test]
+    fn identity_is_identity() {
+        let w = PackedWord::identity(38);
+        assert_eq!(w.len(), 38);
+        for i in 0..38 {
+            assert_eq!(w[i], i as u8);
+        }
+    }
+
+    #[test]
+    fn from_slice_roundtrips() {
+        let images = [3u8, 1, 0, 2];
+        let w = PackedWord::from_slice(&images);
+        assert_eq!(w.as_slice(), &images);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn map_through_composes() {
+        // w = (0 1 2) cycle as table, composed with itself.
+        let w = PackedWord::from_slice(&[1, 2, 0]);
+        let ww = w.map_through(w.as_slice());
+        assert_eq!(ww.as_slice(), &[2, 0, 1]);
+        let www = ww.map_through(w.as_slice());
+        assert_eq!(www, PackedWord::identity(3));
+    }
+
+    #[test]
+    fn equality_ignores_capacity_tail() {
+        let a = PackedWord::from_slice(&[1, 0]);
+        let b = PackedWord::from_slice(&[1, 0]);
+        assert_eq!(a, b);
+        let c = PackedWord::from_slice(&[1, 0, 2]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_agrees_with_equality() {
+        let hash = |w: &PackedWord| {
+            let mut h = DefaultHasher::new();
+            w.hash(&mut h);
+            h.finish()
+        };
+        let a = PackedWord::from_slice(&[2, 0, 1]);
+        let b = PackedWord::from_slice(&[2, 0, 1]);
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn works_as_fnv_map_key() {
+        let mut map: HashMap<PackedWord, u32, FnvBuildHasher> = HashMap::default();
+        map.insert(PackedWord::identity(8), 7);
+        map.insert(PackedWord::from_slice(&[1, 0]), 9);
+        assert_eq!(map.get(&PackedWord::identity(8)), Some(&7));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the packed capacity")]
+    fn oversized_word_panics() {
+        let images = vec![0u8; PackedWord::CAPACITY + 1];
+        let _ = PackedWord::from_slice(&images);
+    }
+
+    #[test]
+    fn fnv_distinguishes_write_lengths() {
+        let mut a = FnvHasher::default();
+        a.write(&[0, 0]);
+        let mut b = FnvHasher::default();
+        b.write(&[0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

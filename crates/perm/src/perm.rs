@@ -274,6 +274,48 @@ impl Perm {
         &self.images
     }
 
+    /// Left quotient `self⁻¹ * other`: the unique `x` with
+    /// `self * x = other` (paper/GAP product convention).
+    ///
+    /// This is the coset-reduction step of the paper's Theorem 2: given a
+    /// NOT-layer permutation `d0`, `d0.left_div(target)` is the remainder
+    /// the level search must express.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let a: Perm = "(1,2,3)".parse()?;
+    /// let b: Perm = "(1,3)".parse()?;
+    /// let x = a.left_div(&b);
+    /// assert_eq!(a * x, b);
+    /// # Ok::<(), mvq_perm::ParsePermError>(())
+    /// ```
+    pub fn left_div(&self, other: &Perm) -> Perm {
+        self.inverse() * other.clone()
+    }
+
+    /// Right quotient `self * other⁻¹`: the unique `x` with
+    /// `x * other = self` (paper/GAP product convention).
+    ///
+    /// The meet-in-the-middle search uses this to peel a known suffix off
+    /// a target: if a frontier realizes `other` as a tail, the remaining
+    /// head is `self.right_div(&other)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_perm::Perm;
+    /// let a: Perm = "(1,2,3)".parse()?;
+    /// let b: Perm = "(1,3)".parse()?;
+    /// let x = a.right_div(&b);
+    /// assert_eq!(x * b, a);
+    /// # Ok::<(), mvq_perm::ParsePermError>(())
+    /// ```
+    pub fn right_div(&self, other: &Perm) -> Perm {
+        self.clone() * other.inverse()
+    }
+
     /// Conjugate of `self` by `g`: `g⁻¹ * self * g` (paper convention).
     ///
     /// Used to derive the "other five similar circuits with different
@@ -523,6 +565,38 @@ mod tests {
         for point in 1..=7 {
             assert_eq!(a.preimage(a.image(point)), point);
         }
+    }
+
+    #[test]
+    fn left_div_solves_left_multiplication() {
+        let a = p("(1,2,3,4)");
+        let b = p("(2,4)(1,3)");
+        let x = a.left_div(&b);
+        assert_eq!(a * x, b);
+    }
+
+    #[test]
+    fn right_div_solves_right_multiplication() {
+        let a = p("(1,2,3,4)");
+        let b = p("(2,4)(1,3)");
+        let x = a.right_div(&b);
+        assert_eq!(x * b, a);
+    }
+
+    #[test]
+    fn quotients_of_self_are_identity() {
+        let a = p("(1,5)(2,6,3)");
+        assert!(a.left_div(&a).is_identity());
+        assert!(a.right_div(&a).is_identity());
+    }
+
+    #[test]
+    fn quotients_extend_mismatched_degrees() {
+        // Mixed degrees follow the Mul convention: extend by fixing.
+        let a = p("(1,2)");
+        let b = p("(3,4)");
+        assert_eq!(a.left_div(&b), a.clone() * b.clone());
+        assert_eq!(a.right_div(&b), a * b);
     }
 
     #[test]

@@ -99,6 +99,24 @@ macro_rules! prop_assert_eq {
             }
         }
     };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                            __r,
+                            ::std::format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
 }
 
 /// Fails the enclosing property test when the two values are equal.
