@@ -132,6 +132,26 @@ fn bench_synthesis(c: &mut Criterion) {
         })
     });
 
+    // Cold level expansion (the census workload), serial vs the default
+    // degree of parallelism — the sharded rendezvous expansion must win
+    // on multicore hardware and stay bit-identical everywhere.
+    group.bench_function("census_cb5_serial", |b| {
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost_with_threads(1);
+            engine.expand_to_cost(5);
+            engine.a_size()
+        })
+    });
+
+    group.bench_function("census_cb5_parallel", |b| {
+        let threads = mvq_core::resolve_threads(None);
+        b.iter(|| {
+            let mut engine = SynthesisEngine::unit_cost_with_threads(threads);
+            engine.expand_to_cost(5);
+            engine.a_size()
+        })
+    });
+
     group.finish();
 }
 

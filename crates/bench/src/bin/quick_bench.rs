@@ -3,42 +3,72 @@
 //! trajectory. Much faster than the full criterion suite — a handful of
 //! samples per case, no statistics beyond mean/min/max.
 //!
+//! The headline entries (`census_cb5`, `fredkin_cold_unidirectional`, …)
+//! run at the default degree of parallelism (`MVQ_THREADS` or the
+//! machine's available parallelism); explicit `*_serial` entries pin one
+//! thread so the parallel speedup is measurable from the artifact alone.
+//! Every row records the thread count it ran with, and the snapshot
+//! records the runner's available parallelism — numbers from a 1-core
+//! runner and a 16-core runner are distinguishable after the fact.
+//!
 //! Usage: `cargo run --release -p mvq_bench --bin quick_bench [-- out.json]`
 
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use mvq_core::{known, SynthesisEngine};
+use mvq_core::{known, resolve_threads, SynthesisEngine};
 
 struct Sample {
     name: &'static str,
+    threads: usize,
     samples: u32,
     mean_ns: u128,
     min_ns: u128,
     max_ns: u128,
 }
 
-fn time<F: FnMut() -> u32>(name: &'static str, samples: u32, mut f: F) -> Sample {
+/// Times `f` for a fixed number of samples (after one untimed warm-up).
+fn time<F: FnMut() -> u32>(name: &'static str, threads: usize, samples: u32, f: F) -> Sample {
+    time_boxed(name, threads, samples, samples, Duration::MAX, f)
+}
+
+/// Times `f` for at least `min_samples` and then keeps sampling until
+/// `budget` wall-clock is spent or `max_samples` is reached — so slow
+/// cases get as many samples as a time box affords instead of a noisy
+/// fixed pair.
+fn time_boxed<F: FnMut() -> u32>(
+    name: &'static str,
+    threads: usize,
+    min_samples: u32,
+    max_samples: u32,
+    budget: Duration,
+    mut f: F,
+) -> Sample {
     // One warm-up run outside the timed window.
     let sink = f();
     std::hint::black_box(sink);
     let mut total = 0u128;
     let mut min = u128::MAX;
     let mut max = 0u128;
-    for _ in 0..samples {
+    let mut samples = 0u32;
+    let box_start = Instant::now();
+    while samples < min_samples || (samples < max_samples && box_start.elapsed() < budget) {
         let start = Instant::now();
         std::hint::black_box(f());
         let ns = start.elapsed().as_nanos();
         total += ns;
         min = min.min(ns);
         max = max.max(ns);
+        samples += 1;
     }
     let mean_ns = total / u128::from(samples);
     println!(
-        "{name:<32} mean {:>12.3} ms ({samples} samples)",
-        mean_ns as f64 / 1e6
+        "{name:<36} mean {:>12.3} ms ({samples} samples, {threads} thread{})",
+        mean_ns as f64 / 1e6,
+        if threads == 1 { "" } else { "s" }
     );
     Sample {
         name,
+        threads,
         samples,
         mean_ns,
         min_ns: min,
@@ -50,37 +80,48 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_synthesis.json".to_string());
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let auto = resolve_threads(None);
+    println!("available parallelism: {available}; default threads: {auto}\n");
     let mut rows = Vec::new();
 
-    rows.push(time("peres_cold_unidirectional", 10, || {
+    // Headline entries at the default degree of parallelism.
+    rows.push(time("peres_cold_unidirectional", auto, 10, || {
         let mut e = SynthesisEngine::unit_cost();
         e.synthesize(&known::peres_perm(), 5).expect("cost 4").cost
     }));
-    rows.push(time("peres_cold_bidirectional", 10, || {
+    rows.push(time("peres_cold_bidirectional", auto, 10, || {
         let mut e = SynthesisEngine::unit_cost();
         e.synthesize_bidirectional(&known::peres_perm(), 5)
             .expect("cost 4")
             .cost
     }));
-    rows.push(time("toffoli_cold_unidirectional", 10, || {
+    rows.push(time("toffoli_cold_unidirectional", auto, 10, || {
         let mut e = SynthesisEngine::unit_cost();
         e.synthesize(&known::toffoli_perm(), 6)
             .expect("cost 5")
             .cost
     }));
-    rows.push(time("toffoli_cold_bidirectional", 10, || {
+    rows.push(time("toffoli_cold_bidirectional", auto, 10, || {
         let mut e = SynthesisEngine::unit_cost();
         e.synthesize_bidirectional(&known::toffoli_perm(), 6)
             .expect("cost 5")
             .cost
     }));
-    rows.push(time("fredkin_cold_unidirectional", 2, || {
-        let mut e = SynthesisEngine::unit_cost();
-        e.synthesize(&known::fredkin_perm(), 7)
-            .expect("cost 7")
-            .cost
-    }));
-    rows.push(time("fredkin_cold_bidirectional", 10, || {
+    rows.push(time_boxed(
+        "fredkin_cold_unidirectional",
+        auto,
+        2,
+        10,
+        Duration::from_secs(15),
+        || {
+            let mut e = SynthesisEngine::unit_cost();
+            e.synthesize(&known::fredkin_perm(), 7)
+                .expect("cost 7")
+                .cost
+        },
+    ));
+    rows.push(time("fredkin_cold_bidirectional", auto, 10, || {
         let mut e = SynthesisEngine::unit_cost();
         e.synthesize_bidirectional(&known::fredkin_perm(), 7)
             .expect("cost 7")
@@ -88,22 +129,45 @@ fn main() {
     }));
     let mut warm = SynthesisEngine::unit_cost();
     warm.expand_to_cost(5);
-    rows.push(time("toffoli_warm_unidirectional", 100, || {
+    // Warm lookups are ~1 µs; a large sample count keeps the mean from
+    // being swamped by scheduler noise on loaded runners.
+    rows.push(time("toffoli_warm_unidirectional", auto, 2000, || {
         warm.synthesize(&known::toffoli_perm(), 6)
             .expect("cost 5")
             .cost
     }));
-    rows.push(time("census_cb5", 5, || {
+    rows.push(time("census_cb5", auto, 5, || {
         let mut e = SynthesisEngine::unit_cost();
         e.expand_to_cost(5);
         e.g_counts().len() as u32
     }));
 
-    let speedup = |uni: &str, bidi: &str| {
-        let find = |n: &str| rows.iter().find(|r| r.name == n).map(|r| r.mean_ns);
-        if let (Some(u), Some(b)) = (find(uni), find(bidi)) {
-            if b > 0 {
-                println!("{uni} / {bidi}: {:.2}x", u as f64 / b as f64);
+    // Pinned-serial counterparts: the parallel-vs-serial comparison for
+    // the expansion-dominated workloads.
+    rows.push(time("census_cb5_serial", 1, 5, || {
+        let mut e = SynthesisEngine::unit_cost_with_threads(1);
+        e.expand_to_cost(5);
+        e.g_counts().len() as u32
+    }));
+    rows.push(time_boxed(
+        "fredkin_cold_unidirectional_serial",
+        1,
+        2,
+        10,
+        Duration::from_secs(15),
+        || {
+            let mut e = SynthesisEngine::unit_cost_with_threads(1);
+            e.synthesize(&known::fredkin_perm(), 7)
+                .expect("cost 7")
+                .cost
+        },
+    ));
+
+    let find = |n: &str| rows.iter().find(|r| r.name == n).map(|r| r.mean_ns);
+    let speedup = |slow: &str, fast: &str| {
+        if let (Some(s), Some(f)) = (find(slow), find(fast)) {
+            if f > 0 {
+                println!("{slow} / {fast}: {:.2}x", s as f64 / f as f64);
             }
         }
     };
@@ -111,6 +175,11 @@ fn main() {
     speedup("peres_cold_unidirectional", "peres_cold_bidirectional");
     speedup("toffoli_cold_unidirectional", "toffoli_cold_bidirectional");
     speedup("fredkin_cold_unidirectional", "fredkin_cold_bidirectional");
+    speedup("census_cb5_serial", "census_cb5");
+    speedup(
+        "fredkin_cold_unidirectional_serial",
+        "fredkin_cold_unidirectional",
+    );
 
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -118,11 +187,14 @@ fn main() {
         .unwrap_or(0);
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"generated_unix\": {generated},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    json.push_str(&format!("  \"default_threads\": {auto},\n"));
     json.push_str("  \"benches\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"threads\": {}, \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
             row.name,
+            row.threads,
             row.samples,
             row.mean_ns,
             row.min_ns,

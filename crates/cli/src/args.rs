@@ -195,6 +195,18 @@ mod tests {
     }
 
     #[test]
+    fn threads_option_parses_as_usize() {
+        let args = Args::parse(&raw(&["census", "--threads", "8"]), &[]).unwrap();
+        assert_eq!(args.option("threads", 0usize).unwrap(), 8);
+        // Absent → default (0 = auto-detect downstream).
+        let args = Args::parse(&raw(&["census"]), &[]).unwrap();
+        assert_eq!(args.option("threads", 0usize).unwrap(), 0);
+        // Negative values are not a usize.
+        let args = Args::parse(&raw(&["census", "--threads", "-2"]), &[]).unwrap();
+        assert!(args.option("threads", 0usize).is_err());
+    }
+
+    #[test]
     fn flag_lookup_distinguishes_flags_from_options() {
         // `--cb 6` is an option; querying it as a flag must stay false.
         let args = Args::parse(&raw(&["--cb", "6"]), &["all"]).unwrap();

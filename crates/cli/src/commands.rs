@@ -23,12 +23,14 @@ USAGE:
     mvq <command> [options]
 
 COMMANDS:
-    census [--cb N]                 reproduce Table 2 up to cost N (default 6)
+    census [--cb N] [--threads T]   reproduce Table 2 up to cost N (default 6)
     synth <perm> [--cb N] [--all]   minimal-cost synthesis of a reversible
           [--strategy uni|bidi]     function given in cycle notation on the
-                                    8 binary patterns, e.g. \"(7,8)\";
+          [--threads T]             8 binary patterns, e.g. \"(7,8)\";
                                     `bidi` meets in the middle from the
-                                    target side (faster for deep targets)
+                                    target side (faster for deep targets);
+                                    T defaults to MVQ_THREADS or the
+                                    available parallelism (0 = auto)
     verify <circuit> <perm>         check a cascade (e.g. VCB*FBA*VCA*V+CB)
                                     against a target permutation, exactly
     gate <name>                     show a gate's domain permutation and
@@ -63,10 +65,22 @@ pub fn dispatch(argv: &[String]) -> CommandResult {
     }
 }
 
+/// Resolves `--threads` (0 or absent = auto: `MVQ_THREADS`, then the
+/// machine's available parallelism).
+fn thread_count(args: &Args) -> Result<usize, ParseArgsError> {
+    let requested: usize = args.option("threads", 0)?;
+    Ok(mvq_core::resolve_threads(
+        (requested > 0).then_some(requested),
+    ))
+}
+
 fn census(args: &Args) -> CommandResult {
     let cb: u32 = args.option("cb", 6)?;
-    let census = Census::compute(cb);
+    let threads = thread_count(args)?;
+    let mut engine = SynthesisEngine::unit_cost_with_threads(threads);
+    let census = Census::compute_with(&mut engine, cb);
     println!("{census}");
+    println!("(threads: {threads})");
     println!();
     println!("paper (printed): {PAPER_TABLE_2:?}");
     println!("verified:        {EXPECTED_TABLE_2:?}");
@@ -94,8 +108,9 @@ fn synth(args: &Args) -> CommandResult {
         .ok_or_else(|| ParseArgsError::new("synth needs a permutation, e.g. \"(7,8)\""))?;
     let cb: u32 = args.option("cb", 7)?;
     let strategy: SynthesisStrategy = args.option("strategy", SynthesisStrategy::default())?;
+    let threads = thread_count(args)?;
     let target = parse_target(text)?;
-    let mut engine = SynthesisEngine::unit_cost();
+    let mut engine = SynthesisEngine::unit_cost_with_threads(threads);
     if args.flag("all") {
         if strategy != SynthesisStrategy::Unidirectional {
             return Err(Box::new(ParseArgsError::new(
@@ -315,6 +330,15 @@ mod tests {
         assert!(run(&["synth", "(7,8)", "--strategy", "sideways"]).is_err());
         // --all enumerates unidirectional level sets only.
         assert!(run(&["synth", "(7,8)", "--all", "--strategy", "bidi"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_accepted() {
+        assert!(run(&["census", "--cb", "2", "--threads", "4"]).is_ok());
+        assert!(run(&["synth", "(7,8)", "--cb", "6", "--threads", "2"]).is_ok());
+        // 0 = auto-detect.
+        assert!(run(&["census", "--cb", "2", "--threads", "0"]).is_ok());
+        assert!(run(&["synth", "(7,8)", "--cb", "6", "--threads", "x"]).is_err());
     }
 
     #[test]

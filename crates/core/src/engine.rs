@@ -1,4 +1,3 @@
-use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::str::FromStr;
@@ -6,6 +5,7 @@ use std::str::FromStr;
 use mvq_logic::{Gate, GateLibrary};
 use mvq_perm::Perm;
 
+use crate::par::{self, FrontierMeta, ShardedSeen};
 use crate::word::{FnvBuildHasher, PackedWord};
 use crate::{Circuit, CostModel};
 
@@ -21,6 +21,19 @@ pub(crate) type Word = PackedWord;
 pub(crate) struct Meta {
     pub(crate) cost: u32,
     pub(crate) last_gate: u8,
+}
+
+impl FrontierMeta for Meta {
+    fn cost(&self) -> u32 {
+        self.cost
+    }
+
+    fn with(cost: u32, gate: u8) -> Self {
+        Self {
+            cost,
+            last_gate: gate,
+        }
+    }
 }
 
 /// A reversible-circuit equivalence class discovered by FMCF: the
@@ -132,8 +145,11 @@ pub struct SynthesisEngine {
     /// Domain index (0-based) → rank in the binary set, `u8::MAX` if the
     /// pattern is not binary.
     binary_rank: Vec<u8>,
-    /// Every discovered element of `A[∞]` with its metadata.
-    seen: HashMap<Word, Meta, FnvBuildHasher>,
+    /// Degree of parallelism for level expansion (1 = serial).
+    threads: usize,
+    /// Every discovered element of `A[∞]` with its metadata, sharded by
+    /// word hash so parallel expansion can insert without locks.
+    seen: ShardedSeen<Word, Meta>,
     /// Pending frontier elements keyed by their (exact) cost.
     pending: BTreeMap<u32, Vec<Word>>,
     /// Highest cost whose level has been fully expanded.
@@ -164,7 +180,14 @@ impl SynthesisEngine {
         Self::new(GateLibrary::standard(3), CostModel::unit())
     }
 
-    /// Engine over an explicit library and cost model.
+    /// [`Self::unit_cost`] with an explicit degree of parallelism.
+    pub fn unit_cost_with_threads(threads: usize) -> Self {
+        Self::with_threads(GateLibrary::standard(3), CostModel::unit(), threads)
+    }
+
+    /// Engine over an explicit library and cost model, with the degree of
+    /// parallelism resolved from `MVQ_THREADS` / the available
+    /// parallelism (see [`crate::resolve_threads`]).
     ///
     /// # Panics
     ///
@@ -174,6 +197,17 @@ impl SynthesisEngine {
     /// are `u64` bitmasks), or more than 8 binary patterns (S-traces pack
     /// one byte per binary pattern into a `u64`).
     pub fn new(library: GateLibrary, model: CostModel) -> Self {
+        Self::with_threads(library, model, par::resolve_threads(None))
+    }
+
+    /// Engine over an explicit library, cost model, and thread count
+    /// (`threads = 1` is the serial engine; results are bit-identical
+    /// for every thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same library limits as [`Self::new`].
+    pub fn with_threads(library: GateLibrary, model: CostModel, threads: usize) -> Self {
         assert!(
             library.gates().len() <= usize::from(u8::MAX),
             "library has {} gates, but path reconstruction stores gate indices \
@@ -218,8 +252,9 @@ impl SynthesisEngine {
         for (rank, &idx) in binary0.iter().enumerate() {
             binary_rank[idx as usize] = rank as u8;
         }
+        let threads = threads.max(1);
         let identity = PackedWord::identity(library.domain().len());
-        let mut seen: HashMap<Word, Meta, FnvBuildHasher> = HashMap::default();
+        let mut seen: ShardedSeen<Word, Meta> = ShardedSeen::for_threads(threads);
         seen.insert(
             identity,
             Meta {
@@ -238,6 +273,7 @@ impl SynthesisEngine {
             gate_costs,
             binary0,
             binary_rank,
+            threads,
             seen,
             pending,
             completed: None,
@@ -261,6 +297,20 @@ impl SynthesisEngine {
         &self.model
     }
 
+    /// The degree of parallelism used for level expansion.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Re-configures the degree of parallelism. Safe on a warm engine:
+    /// the sharded `seen` map is re-bucketed in place and cached levels
+    /// are untouched (results stay bit-identical for any thread count).
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        self.threads = threads;
+        self.seen.reshard_for_threads(threads);
+    }
+
     /// `|G[k]|` for every fully expanded level `k = 0, 1, …`.
     pub fn g_counts(&self) -> &[usize] {
         &self.g_counts
@@ -276,6 +326,14 @@ impl SynthesisEngine {
     /// (`|A[completed]|`).
     pub fn a_size(&self) -> usize {
         self.seen.len()
+    }
+
+    /// The words of level `B[cost]`, in discovery order, if that level
+    /// has been expanded — the raw material for determinism audits
+    /// across thread counts (gap levels under non-unit cost models are
+    /// empty slices).
+    pub fn level_words(&self, cost: u32) -> Option<&[PackedWord]> {
+        self.levels.get(cost as usize).map(Vec::as_slice)
     }
 
     /// The number of distinct reversible classes discovered so far —
@@ -324,76 +382,117 @@ impl SynthesisEngine {
 
     /// Expands exactly one cost level. Returns `false` when the reachable
     /// space is exhausted.
+    ///
+    /// On a multi-threaded engine, buckets past a small threshold run
+    /// through the sharded rendezvous pipeline in [`crate::par`]; the
+    /// results are bit-identical to this method's serial path (same
+    /// levels, same bucket order, same lazy decrease-key outcomes).
     pub(crate) fn expand_next_level(&mut self) -> bool {
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
         let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
+        let parallel = self.threads > 1 && raw_bucket.len() >= par::PAR_MIN_BUCKET;
         // Lazy decrease-key: with non-uniform gate costs a word can be
         // re-admitted to a cheaper bucket after its first discovery; the
         // superseded copy stays behind in its original bucket and is
         // dropped here. Buckets are processed cost-ascending and all gate
         // costs are positive, so a word whose recorded cost still equals
         // this bucket's cost is final (Dijkstra).
-        let bucket: Vec<Word> = raw_bucket
-            .into_iter()
-            .filter(|w| self.seen[w].cost == cost)
-            .collect();
+        let bucket: Vec<Word> = if parallel {
+            let seen = &self.seen;
+            par::par_filter(self.threads, raw_bucket, |w| {
+                seen.get(w).expect("pending word is seen").cost == cost
+            })
+        } else {
+            raw_bucket
+                .into_iter()
+                .filter(|w| self.seen.get(w).expect("pending word is seen").cost == cost)
+                .collect()
+        };
         // Defensive: levels complete in ascending order.
         debug_assert!(self.completed.map_or(cost == 0, |c| cost > c));
 
         // 1. Register reversible classes (pre_G[cost] − earlier G's: the
-        //    subtraction is implicit in first-seen-wins).
+        //    subtraction is implicit in first-seen-wins), and collect the
+        //    per-word S-traces for the level index. One fused pass: the
+        //    parallel path computes (trace, restriction) pairs across
+        //    threads, registration stays serial so the class-discovery
+        //    and witness order match the bucket order.
         let mut g_new: Vec<Word> = Vec::new();
-        for word in &bucket {
-            if let Some(restriction) = self.restrict(word) {
-                match self.classes.get_mut(&restriction) {
-                    None => {
-                        self.classes.insert(
-                            restriction,
-                            GClass {
-                                cost,
-                                witnesses: vec![*word],
-                            },
-                        );
-                        g_new.push(restriction);
-                    }
-                    Some(class) if class.cost == cost => {
-                        class.witnesses.push(*word);
-                    }
-                    Some(_) => {} // already realizable at lower cost
+        let traces: Vec<u64> = if parallel {
+            let engine = &*self;
+            let prepared: Vec<(u64, Option<Word>)> = par::par_map(self.threads, &bucket, |_, w| {
+                (engine.trace_of(w), engine.restrict(w))
+            });
+            for (word, &(_, restriction)) in bucket.iter().zip(&prepared) {
+                if let Some(restriction) = restriction {
+                    self.register_class(cost, *word, restriction, &mut g_new);
                 }
             }
-        }
-
-        // 2. Expand reasonable products into later buckets.
-        let mut traces = Vec::with_capacity(bucket.len());
-        for word in &bucket {
-            let trace = self.trace_of(word);
-            traces.push(trace);
-            let image_mask = trace_mask(trace, self.binary0.len());
-            for gate_idx in 0..self.gate_images.len() {
-                if image_mask & self.gate_banned[gate_idx] != 0 {
-                    continue; // not a reasonable product
+            prepared.into_iter().map(|(trace, _)| trace).collect()
+        } else {
+            let mut traces = Vec::with_capacity(bucket.len());
+            for word in &bucket {
+                traces.push(self.trace_of(word));
+                if let Some(restriction) = self.restrict(word) {
+                    self.register_class(cost, *word, restriction, &mut g_new);
                 }
-                let next = word.map_through(&self.gate_images[gate_idx]);
-                let next_cost = cost + self.gate_costs[gate_idx];
-                let meta = Meta {
-                    cost: next_cost,
-                    last_gate: gate_idx as u8,
-                };
-                match self.seen.entry(next) {
-                    Entry::Vacant(slot) => {
-                        slot.insert(meta);
+            }
+            traces
+        };
+
+        // 2. Expand reasonable products into later buckets. The `seen`
+        //    reservation is sized from the frontier's measured growth
+        //    factor so deep levels don't rehash their way up.
+        let expected_new = par::growth_hint(
+            bucket.len(),
+            self.b_counts.last().copied().unwrap_or(0),
+            self.gate_images.len(),
+        );
+        if parallel {
+            let gate_images = &self.gate_images;
+            let gate_banned = &self.gate_banned;
+            let gate_costs = &self.gate_costs;
+            let binary_len = self.binary0.len();
+            let traces = &traces;
+            let pushes = par::expand_bucket(
+                self.threads,
+                &bucket,
+                &mut self.seen,
+                expected_new,
+                |idx, word, emit| {
+                    let image_mask = trace_mask(traces[idx], binary_len);
+                    for gate_idx in 0..gate_images.len() {
+                        if image_mask & gate_banned[gate_idx] != 0 {
+                            continue; // not a reasonable product
+                        }
+                        emit(
+                            word.map_through(&gate_images[gate_idx]),
+                            cost + gate_costs[gate_idx],
+                            gate_idx as u8,
+                        );
+                    }
+                },
+            );
+            for (next_cost, words) in pushes {
+                self.pending.entry(next_cost).or_default().extend(words);
+            }
+        } else {
+            self.seen.reserve(expected_new);
+            for (word, &trace) in bucket.iter().zip(&traces) {
+                let image_mask = trace_mask(trace, self.binary0.len());
+                for gate_idx in 0..self.gate_images.len() {
+                    if image_mask & self.gate_banned[gate_idx] != 0 {
+                        continue; // not a reasonable product
+                    }
+                    let next = word.map_through(&self.gate_images[gate_idx]);
+                    let next_cost = cost + self.gate_costs[gate_idx];
+                    // New word, or a cheaper path found while the word is
+                    // still pending (the old copy goes stale).
+                    if par::admit(self.seen.entry(next), next_cost, gate_idx as u8) {
                         self.pending.entry(next_cost).or_default().push(next);
                     }
-                    Entry::Occupied(mut slot) if slot.get().cost > next_cost => {
-                        // Cheaper path found while the word is still
-                        // pending: re-admit it (the old copy goes stale).
-                        slot.insert(meta);
-                        self.pending.entry(next_cost).or_default().push(next);
-                    }
-                    Entry::Occupied(_) => {}
                 }
             }
         }
@@ -418,11 +517,34 @@ impl SynthesisEngine {
         true
     }
 
+    /// Folds one reversible word of the current level into the class
+    /// table: first realization founds the class (and joins `g_new`),
+    /// same-cost realizations extend its witness list.
+    fn register_class(&mut self, cost: u32, word: Word, restriction: Word, g_new: &mut Vec<Word>) {
+        match self.classes.get_mut(&restriction) {
+            None => {
+                self.classes.insert(
+                    restriction,
+                    GClass {
+                        cost,
+                        witnesses: vec![word],
+                    },
+                );
+                g_new.push(restriction);
+            }
+            Some(class) if class.cost == cost => {
+                class.witnesses.push(word);
+            }
+            Some(_) => {} // already realizable at lower cost
+        }
+    }
+
     /// Builds (once) the S-trace join index for level `f`.
     pub(crate) fn ensure_trace_index(&mut self, f: u32) {
         let f = f as usize;
         if self.trace_index[f].is_none() {
-            let mut index: HashMap<u64, Vec<u32>, FnvBuildHasher> = HashMap::default();
+            let mut index: HashMap<u64, Vec<u32>, FnvBuildHasher> =
+                HashMap::with_capacity_and_hasher(self.level_traces[f].len(), Default::default());
             for (i, &trace) in self.level_traces[f].iter().enumerate() {
                 index.entry(trace).or_default().push(i as u32);
             }

@@ -43,6 +43,7 @@ mod cost;
 mod engine;
 pub mod known;
 mod mitm;
+mod par;
 mod spec;
 mod spectrum;
 pub mod universal;
@@ -52,6 +53,7 @@ pub use census::{Census, CensusRow, EXPECTED_TABLE_2, PAPER_TABLE_2};
 pub use circuit::{Circuit, ParseCircuitError};
 pub use cost::CostModel;
 pub use engine::{Synthesis, SynthesisEngine, SynthesisStrategy};
+pub use par::resolve_threads;
 pub use spec::{synthesize_spec, QuaternarySpec, SpecError, SpecSynthesis};
 pub use spectrum::CostSpectrum;
 pub use word::{FnvBuildHasher, FnvHasher, PackedWord};

@@ -4,8 +4,11 @@
 //! target's cost `t` — and the level sets grow geometrically (roughly
 //! 4.5× per level for the paper's 18-gate library), so the last level
 //! dominates the whole search. The bidirectional variant expands a
-//! *second* frontier backward from the target and joins the two at half
-//! cost: a cost-`2t` target is reached with two cost-`t` level sets.
+//! *second* frontier backward from the target and joins the two partway:
+//! the split is adaptive, growing whichever frontier currently holds
+//! fewer elements (see [`SynthesisEngine::synthesize_bidirectional`]),
+//! so the dominant forward word levels stay as shallow as the coverage
+//! invariant allows.
 //!
 //! The backward frontier does not need full domain words. A cascade
 //! suffix is *reasonable after* a prefix exactly when, at each of its
@@ -21,13 +24,13 @@
 //! construction, a *reasonable* cascade of cost `f + b` realizing the
 //! target: no post-hoc validation is needed.
 
-use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use mvq_logic::Gate;
 use mvq_perm::Perm;
 
 use crate::engine::{trace_mask, Word};
+use crate::par::{self, FrontierMeta, ShardedSeen};
 use crate::word::FnvBuildHasher;
 use crate::{Circuit, Synthesis, SynthesisEngine};
 
@@ -41,11 +44,23 @@ struct BackMeta {
     gate: u8,
 }
 
+impl FrontierMeta for BackMeta {
+    fn cost(&self) -> u32 {
+        self.cost
+    }
+
+    fn with(cost: u32, gate: u8) -> Self {
+        Self { cost, gate }
+    }
+}
+
 /// Dijkstra frontier over S-traces, grown backward from a target trace.
 struct BackwardFrontier {
     /// Binary-set size: how many bytes of each trace are populated.
     k: usize,
-    seen: HashMap<u64, BackMeta, FnvBuildHasher>,
+    /// Degree of parallelism (mirrors the owning engine's).
+    threads: usize,
+    seen: ShardedSeen<u64, BackMeta>,
     pending: BTreeMap<u32, Vec<u64>>,
     completed: Option<u32>,
     /// Traces first reached at exact cost `b` (gap levels are empty).
@@ -53,8 +68,8 @@ struct BackwardFrontier {
 }
 
 impl BackwardFrontier {
-    fn new(target_trace: u64, k: usize) -> Self {
-        let mut seen: HashMap<u64, BackMeta, FnvBuildHasher> = HashMap::default();
+    fn new(target_trace: u64, k: usize, threads: usize) -> Self {
+        let mut seen: ShardedSeen<u64, BackMeta> = ShardedSeen::for_threads(threads);
         seen.insert(
             target_trace,
             BackMeta {
@@ -66,6 +81,7 @@ impl BackwardFrontier {
         pending.insert(0u32, vec![target_trace]);
         Self {
             k,
+            threads,
             seen,
             pending,
             completed: None,
@@ -86,40 +102,70 @@ impl BackwardFrontier {
     }
 
     /// Expands one backward cost level. Returns `false` on exhaustion.
+    ///
+    /// Shares the sharded rendezvous pipeline with the forward engine:
+    /// large trace buckets expand across threads with bit-identical
+    /// results to the serial loop.
     fn expand_next_level(&mut self, engine: &SynthesisEngine) -> bool {
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
         let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
+        let parallel = self.threads > 1 && raw_bucket.len() >= par::PAR_MIN_BUCKET;
         // Lazy decrease-key, mirroring the forward engine: drop copies
         // superseded by a cheaper rediscovery.
-        let bucket: Vec<u64> = raw_bucket
-            .into_iter()
-            .filter(|t| self.seen[t].cost == cost)
-            .collect();
-        for &trace in &bucket {
-            for gate_idx in 0..engine.gate_images.len() {
-                let prev = apply_to_trace(trace, &engine.gate_inverse_images[gate_idx], self.k);
-                // Forward reasonability of `gate_idx` at the moment it
-                // would fire: the pre-image of S must avoid the banned set.
-                if trace_mask(prev, self.k) & engine.gate_banned[gate_idx] != 0 {
-                    continue;
-                }
-                let prev_cost = cost + engine.gate_costs[gate_idx];
-                let meta = BackMeta {
-                    cost: prev_cost,
-                    gate: gate_idx as u8,
-                };
-                match self.seen.entry(prev) {
-                    Entry::Vacant(slot) => {
-                        slot.insert(meta);
+        let bucket: Vec<u64> = if parallel {
+            let seen = &self.seen;
+            par::par_filter(self.threads, raw_bucket, |t| {
+                seen.get(t).expect("pending trace is seen").cost == cost
+            })
+        } else {
+            raw_bucket
+                .into_iter()
+                .filter(|t| self.seen.get(t).expect("pending trace is seen").cost == cost)
+                .collect()
+        };
+        if parallel {
+            let k = self.k;
+            let expected_new = par::growth_hint(
+                bucket.len(),
+                self.levels.last().map_or(0, Vec::len),
+                engine.gate_images.len(),
+            );
+            let pushes = par::expand_bucket(
+                self.threads,
+                &bucket,
+                &mut self.seen,
+                expected_new,
+                |_, &trace, emit| {
+                    for gate_idx in 0..engine.gate_images.len() {
+                        let prev = apply_to_trace(trace, &engine.gate_inverse_images[gate_idx], k);
+                        // Forward reasonability of `gate_idx` at the
+                        // moment it would fire: the pre-image of S must
+                        // avoid the banned set.
+                        if trace_mask(prev, k) & engine.gate_banned[gate_idx] != 0 {
+                            continue;
+                        }
+                        emit(prev, cost + engine.gate_costs[gate_idx], gate_idx as u8);
+                    }
+                },
+            );
+            for (prev_cost, traces) in pushes {
+                self.pending.entry(prev_cost).or_default().extend(traces);
+            }
+        } else {
+            for &trace in &bucket {
+                for gate_idx in 0..engine.gate_images.len() {
+                    let prev = apply_to_trace(trace, &engine.gate_inverse_images[gate_idx], self.k);
+                    // Forward reasonability of `gate_idx` at the moment it
+                    // would fire: the pre-image of S must avoid the banned set.
+                    if trace_mask(prev, self.k) & engine.gate_banned[gate_idx] != 0 {
+                        continue;
+                    }
+                    let prev_cost = cost + engine.gate_costs[gate_idx];
+                    if par::admit(self.seen.entry(prev), prev_cost, gate_idx as u8) {
                         self.pending.entry(prev_cost).or_default().push(prev);
                     }
-                    Entry::Occupied(mut slot) if slot.get().cost > prev_cost => {
-                        slot.insert(meta);
-                        self.pending.entry(prev_cost).or_default().push(prev);
-                    }
-                    Entry::Occupied(_) => {}
                 }
             }
         }
@@ -173,7 +219,7 @@ impl BackwardFrontier {
         stack: &mut Vec<u8>,
         out: &mut Vec<Vec<u8>>,
     ) {
-        let dist = self.seen[&trace].cost;
+        let dist = self.seen.get(&trace).expect("trace was discovered").cost;
         if dist == 0 {
             // Only the target trace has cost 0 (gate costs are positive).
             out.push(stack.clone());
@@ -220,10 +266,21 @@ impl SynthesisEngine {
     ///
     /// Produces cost-identical results to [`Self::synthesize`] (including
     /// [`Synthesis::implementation_count`]), but only ever expands
-    /// forward levels to about *half* the target cost, which is
-    /// decisively cheaper for deep targets (the level sets grow
-    /// geometrically). The forward levels remain shared with the
-    /// unidirectional path, so mixed workloads reuse one cache.
+    /// forward levels partway to the target cost, which is decisively
+    /// cheaper for deep targets (the level sets grow geometrically). The
+    /// forward levels remain shared with the unidirectional path, so
+    /// mixed workloads reuse one cache.
+    ///
+    /// The split is *adaptive*: instead of always meeting at `⌈c/2⌉`,
+    /// each step grows whichever frontier currently holds fewer elements
+    /// (forward words vs backward traces), until the two depths jointly
+    /// cover cost `c`. Coverage invariant: every cost-`c` cascade splits
+    /// at its longest suffix of cost ≤ `back_done`, leaving a prefix of
+    /// cost at most `c − back_done + max_gate − 1` — so
+    /// `fwd_done + back_done ≥ c + max_gate − 1` (or either side alone
+    /// reaching `c`) guarantees every minimal witness is joined. The
+    /// choice of split never changes costs or witness counts, only how
+    /// the work divides between the frontiers.
     ///
     /// Returns `None` if the target's minimal cost exceeds `cb`.
     ///
@@ -240,23 +297,48 @@ impl SynthesisEngine {
         let target_trace = key.iter().enumerate().fold(0u64, |acc, (i, &rank)| {
             acc | ((binary[rank as usize] as u64 - 1) << (8 * i))
         });
-        let mut back = BackwardFrontier::new(target_trace, k);
+        let mut back = BackwardFrontier::new(target_trace, k, self.threads());
         let max_gate = self.max_gate_cost();
 
+        // Materialize both cost-0 levels before any join.
+        self.expand_to_cost(0);
+        back.expand_to_cost(0, self);
+
         for c in 0..=cb {
-            // Completeness: every cost-c witness splits at the longest
-            // suffix of cost ≤ ⌈c/2⌉, leaving a prefix of cost at most
-            // ⌈c/2⌉ + max_gate − 1.
-            let half = c.div_ceil(2);
-            let hi = (half + (max_gate - 1)).min(c);
-            self.expand_to_cost(hi);
-            back.expand_to_cost(half, self);
+            // Adaptive split: grow the currently-smaller frontier until
+            // the coverage invariant holds for cost c.
+            loop {
+                let fwd_done = self.completed.map_or(0, |v| v);
+                let back_done = back.completed.map_or(0, |v| v);
+                if fwd_done + back_done >= c + (max_gate - 1) || fwd_done >= c || back_done >= c {
+                    break;
+                }
+                let fwd_exhausted = self.exhausted();
+                let back_exhausted = back.exhausted();
+                if fwd_exhausted && back_exhausted {
+                    break;
+                }
+                let grow_forward = if fwd_exhausted {
+                    false
+                } else if back_exhausted {
+                    true
+                } else {
+                    let fwd_size = self.levels.get(fwd_done as usize).map_or(0, Vec::len);
+                    let back_size = back.levels.get(back_done as usize).map_or(0, Vec::len);
+                    fwd_size <= back_size
+                };
+                if grow_forward {
+                    self.expand_next_level();
+                } else {
+                    back.expand_next_level(self);
+                }
+            }
 
             let fwd_done = self.completed.map_or(0, |v| v);
             let back_done = back.completed.map_or(0, |v| v);
             let mut first: Option<(Word, u64)> = None;
             let mut distinct: HashSet<Word, FnvBuildHasher> = HashSet::default();
-            for b in 0..=half.min(back_done) {
+            for b in 0..=back_done.min(c) {
                 let f = c - b;
                 if f > fwd_done {
                     continue;
@@ -432,7 +514,9 @@ mod tests {
 
     #[test]
     fn weighted_model_splits_correctly() {
-        // Max gate cost 2 exercises the `hi` bound on the forward side.
+        // Max gate cost 2 exercises the `max_gate − 1` slack in the
+        // adaptive coverage invariant (a cost-c witness may leave a
+        // prefix up to `c − back_done + max_gate − 1`).
         let lib = GateLibrary::standard(3);
         let mut e = SynthesisEngine::new(lib, CostModel::weighted(2, 2, 1));
         let syn = e

@@ -1,0 +1,619 @@
+//! Parallel sharded level expansion for the FMCF frontiers.
+//!
+//! Each Dijkstra level of the search — the forward word frontier of
+//! [`crate::SynthesisEngine`] and the backward S-trace frontier of the
+//! meet-in-the-middle join — expands its bucket of frontier elements
+//! through the gate library. Successor *generation* is embarrassingly
+//! parallel per element; successor *insertion* into the `seen` map is
+//! where naive parallelism dies: one shared map means one lock.
+//!
+//! The machinery here keeps the insert phase parallel **and** the
+//! results bit-identical to the serial engine:
+//!
+//! 1. the `seen` map is split into `S` shards by FNV hash of the key
+//!    ([`ShardedSeen`]);
+//! 2. workers generate successors for disjoint contiguous chunks of the
+//!    bucket, tagging each with a global sequence number and routing it
+//!    into a per-worker, per-shard local buffer (rendezvous by hash; no
+//!    locks, no contention);
+//! 3. workers then swap roles — each owns a contiguous shard range and
+//!    drains every chunk's buffer for its shards *in sequence order*,
+//!    applying exactly the serial insert-or-decrease-key rule;
+//! 4. accepted pushes are merged back across shards by sequence number,
+//!    so the pending cost buckets end up in precisely the order the
+//!    serial loop would have produced.
+//!
+//! Because a key always hashes to the same shard, every discovery of a
+//! word is adjudicated in one shard, in serial order; because the merge
+//! restores the global sequence, every downstream structure (levels,
+//! traces, class witnesses, Dijkstra's lazy decrease-key buckets) is
+//! byte-for-byte identical for any thread count.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::hash::Hash;
+
+use crate::word::{fnv1a, FnvBuildHasher, PackedWord};
+
+/// Buckets smaller than this are expanded serially even on a
+/// multi-threaded engine: thread spawn latency would dominate.
+pub(crate) const PAR_MIN_BUCKET: usize = 128;
+
+/// Smallest number of items worth handing to an extra worker.
+const MIN_ITEMS_PER_WORKER: usize = 64;
+
+/// Bucket elements processed per rendezvous block. Successor records are
+/// materialized one block at a time, keeping peak memory flat even for
+/// multi-million-word levels (a block holds at most
+/// `BLOCK_ITEMS × |library|` records).
+const BLOCK_ITEMS: usize = 1 << 16;
+
+/// Resolves the degree of parallelism for level expansion.
+///
+/// Priority: an explicit `requested` value, then the `MVQ_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`].
+/// The result is always at least 1.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::resolve_threads;
+///
+/// assert_eq!(resolve_threads(Some(4)), 4);
+/// assert!(resolve_threads(None) >= 1);
+/// ```
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(text) = std::env::var("MVQ_THREADS") {
+        if let Ok(n) = text.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Keys routable to shards: hashed once for shard selection (the inner
+/// maps hash independently).
+pub(crate) trait ShardKey: Copy + Eq + Hash + Send + Sync {
+    /// A stable 64-bit hash used for shard routing only.
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for PackedWord {
+    fn shard_hash(&self) -> u64 {
+        self.fnv_hash()
+    }
+}
+
+impl ShardKey for u64 {
+    fn shard_hash(&self) -> u64 {
+        fnv1a(&self.to_le_bytes())
+    }
+}
+
+/// Frontier metadata common to both search directions: an exact cost and
+/// the library gate that produced the element along the cheapest path.
+pub(crate) trait FrontierMeta: Copy + Send + Sync {
+    /// The element's best-known cost.
+    fn cost(&self) -> u32;
+    /// Metadata for a discovery at `cost` via `gate`.
+    fn with(cost: u32, gate: u8) -> Self;
+}
+
+/// A `seen` map split into `2^bits` shards by key hash, so disjoint
+/// workers can insert concurrently without any lock.
+///
+/// With a single shard (serial engines) every operation degenerates to a
+/// plain `HashMap` access — the shard hash is never computed.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedSeen<K, M> {
+    shards: Vec<HashMap<K, M, FnvBuildHasher>>,
+    /// log2 of the shard count; the shard index is the top `bits` bits
+    /// of the shard hash (FNV's best-mixed bits).
+    bits: u32,
+}
+
+impl<K: ShardKey, M> ShardedSeen<K, M> {
+    /// A map sharded appropriately for `threads` workers.
+    pub(crate) fn for_threads(threads: usize) -> Self {
+        Self::with_shards(shard_count_for(threads))
+    }
+
+    fn with_shards(count: usize) -> Self {
+        debug_assert!(count.is_power_of_two());
+        Self {
+            shards: (0..count).map(|_| HashMap::default()).collect(),
+            bits: count.trailing_zeros(),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`.
+    #[inline]
+    pub(crate) fn shard_index(&self, key: &K) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (key.shard_hash() >> (64 - self.bits)) as usize
+        }
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<&M> {
+        self.shards[self.shard_index(key)].get(key)
+    }
+
+    pub(crate) fn insert(&mut self, key: K, meta: M) {
+        let shard = self.shard_index(&key);
+        self.shards[shard].insert(key, meta);
+    }
+
+    /// The owning shard's entry for `key` (the serial insert path).
+    pub(crate) fn entry(&mut self, key: K) -> Entry<'_, K, M> {
+        let shard = self.shard_index(&key);
+        self.shards[shard].entry(key)
+    }
+
+    /// Total number of elements across shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Reserves capacity for `additional` elements, spread over shards.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        let per_shard = additional / self.shards.len() + 1;
+        for shard in &mut self.shards {
+            shard.reserve(per_shard);
+        }
+    }
+
+    /// Re-buckets the map for a new thread count (used when the degree of
+    /// parallelism changes on a warm engine). Contents are preserved.
+    pub(crate) fn reshard_for_threads(&mut self, threads: usize) {
+        let count = shard_count_for(threads);
+        if count == self.shards.len() {
+            return;
+        }
+        let mut next = Self::with_shards(count);
+        next.reserve(self.len());
+        for shard in self.shards.drain(..) {
+            for (key, meta) in shard {
+                next.insert(key, meta);
+            }
+        }
+        *self = next;
+    }
+}
+
+/// Shard count for a worker count: 1 for serial engines (no shard-hash
+/// overhead), otherwise a few shards per worker so the contiguous
+/// phase-2 ranges stay balanced, capped at 64.
+fn shard_count_for(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        (threads * 4).next_power_of_two().min(64)
+    }
+}
+
+/// Contiguous near-equal partition of `0..len` into at most `parts`
+/// non-empty ranges.
+fn chunk_ranges(len: usize, parts: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..parts)
+        .map(move |w| (len * w / parts, len * (w + 1) / parts))
+        .filter(|(start, end)| end > start)
+}
+
+fn workers_for(threads: usize, items: usize) -> usize {
+    threads.min(items / MIN_ITEMS_PER_WORKER).max(1)
+}
+
+/// Order-preserving parallel map over contiguous chunks: the output is
+/// identical to `items.iter().enumerate().map(f)` for any thread count.
+pub(crate) fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers_for(threads, items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(items.len(), workers)
+            .map(|(start, end)| {
+                let chunk = &items[start..end];
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(start + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("map worker panicked"));
+        }
+        out
+    })
+}
+
+/// Order-preserving parallel filter (used for the lazy decrease-key
+/// stale-copy drop at the head of every level).
+pub(crate) fn par_filter<T, P>(threads: usize, items: Vec<T>, keep: P) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    P: Fn(&T) -> bool + Sync,
+{
+    let workers = workers_for(threads, items.len());
+    if workers <= 1 {
+        return items.into_iter().filter(|t| keep(t)).collect();
+    }
+    let keep = &keep;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(items.len(), workers)
+            .map(|(start, end)| {
+                let chunk = &items[start..end];
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .copied()
+                        .filter(|t| keep(t))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("filter worker panicked"));
+        }
+        out
+    })
+}
+
+/// Estimated fresh `seen` insertions a level will make, extrapolated
+/// from the frontier's measured growth factor (`bucket² / previous`).
+/// Reserving this up front kills the rehash churn of growing a
+/// multi-million-entry map through ~20 doublings.
+pub(crate) fn growth_hint(bucket_len: usize, prev_len: usize, max_factor: usize) -> usize {
+    let estimate = bucket_len
+        .saturating_mul(bucket_len)
+        .checked_div(prev_len)
+        .unwrap_or_else(|| bucket_len.saturating_mul(4));
+    estimate.clamp(bucket_len, bucket_len.saturating_mul(max_factor.max(1)))
+}
+
+/// The Dijkstra admission rule, shared verbatim by the serial inline
+/// loops of both frontiers and the sharded phase-2 adjudication:
+/// admit a successor iff its key is new or this discovery is cheaper
+/// than the recorded one (lazy decrease-key). Returns `true` when the
+/// caller must push the key into its pending bucket.
+#[inline]
+pub(crate) fn admit<K, M: FrontierMeta>(slot: Entry<'_, K, M>, cost: u32, gate: u8) -> bool {
+    match slot {
+        Entry::Vacant(slot) => {
+            slot.insert(M::with(cost, gate));
+            true
+        }
+        Entry::Occupied(mut slot) if slot.get().cost() > cost => {
+            slot.insert(M::with(cost, gate));
+            true
+        }
+        Entry::Occupied(_) => false,
+    }
+}
+
+/// One generated successor, tagged with its global generation sequence
+/// number (`bucket index << 16 | emit index`) for deterministic
+/// adjudication and merge.
+#[derive(Clone, Copy)]
+struct Generated<K> {
+    seq: u64,
+    cost: u32,
+    gate: u8,
+    key: K,
+}
+
+/// A successor accepted into a pending bucket (new or decrease-key).
+#[derive(Clone, Copy)]
+struct Pushed<K> {
+    seq: u64,
+    cost: u32,
+    key: K,
+}
+
+/// Expands one frontier bucket in parallel: calls
+/// `generate(index, element, emit)` for every bucket element (workers
+/// over disjoint chunks), inserts every emitted `(key, cost, gate)`
+/// successor into `seen` under the serial insert-or-decrease-key rule,
+/// and returns the accepted pushes per cost, in exactly the order the
+/// serial loop would have pushed them.
+///
+/// Requires `threads >= 2`; the serial engines keep their inline loop.
+pub(crate) fn expand_bucket<K, M, G>(
+    threads: usize,
+    bucket: &[K],
+    seen: &mut ShardedSeen<K, M>,
+    expected_new: usize,
+    generate: G,
+) -> BTreeMap<u32, Vec<K>>
+where
+    K: ShardKey,
+    M: FrontierMeta,
+    G: Fn(usize, &K, &mut dyn FnMut(K, u32, u8)) + Sync,
+{
+    debug_assert!(threads >= 2, "serial expansion uses the inline loop");
+    let shard_count = seen.shard_count();
+    let workers = workers_for(threads, bucket.len());
+    seen.reserve(expected_new);
+    let mut staged: Vec<Vec<Pushed<K>>> = (0..shard_count).map(|_| Vec::new()).collect();
+    let generate = &generate;
+
+    for (block_idx, block) in bucket.chunks(BLOCK_ITEMS).enumerate() {
+        let block_base = block_idx * BLOCK_ITEMS;
+
+        // Phase 1 — generate: workers scan disjoint contiguous chunks and
+        // route successors into per-chunk, per-shard buffers.
+        let seen_ro = &*seen;
+        let buffers: Vec<Vec<Vec<Generated<K>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_ranges(block.len(), workers)
+                .map(|(start, end)| {
+                    let chunk = &block[start..end];
+                    scope.spawn(move || {
+                        let mut bufs: Vec<Vec<Generated<K>>> =
+                            (0..shard_count).map(|_| Vec::new()).collect();
+                        for (offset, element) in chunk.iter().enumerate() {
+                            let idx = block_base + start + offset;
+                            let mut emitted = 0u64;
+                            generate(idx, element, &mut |key, cost, gate| {
+                                let shard = seen_ro.shard_index(&key);
+                                bufs[shard].push(Generated {
+                                    seq: ((idx as u64) << 16) | emitted,
+                                    cost,
+                                    gate,
+                                    key,
+                                });
+                                emitted += 1;
+                            });
+                            debug_assert!(emitted < (1 << 16), "seq tag overflow");
+                        }
+                        bufs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("generation worker panicked"))
+                .collect()
+        });
+
+        // Phase 2 — adjudicate: workers own contiguous shard ranges and
+        // drain every chunk's buffer for their shards in chunk order.
+        // Chunks are contiguous index ranges, so concatenating their
+        // buffers visits a shard's records in global sequence order —
+        // the serial adjudication order.
+        std::thread::scope(|scope| {
+            let buffers = &buffers;
+            let mut shard_slices: &mut [HashMap<K, M, FnvBuildHasher>] = &mut seen.shards;
+            let mut staged_slices: &mut [Vec<Pushed<K>>] = &mut staged;
+            let owners = workers.min(shard_count);
+            let mut taken = 0usize;
+            let mut handles = Vec::new();
+            for owner in 0..owners {
+                let end = shard_count * (owner + 1) / owners;
+                let count = end - taken;
+                let (own_shards, rest) = shard_slices.split_at_mut(count);
+                shard_slices = rest;
+                let (own_staged, rest) = staged_slices.split_at_mut(count);
+                staged_slices = rest;
+                let base = taken;
+                taken = end;
+                if count == 0 {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    for (offset, (shard, stage)) in
+                        own_shards.iter_mut().zip(own_staged.iter_mut()).enumerate()
+                    {
+                        let shard_idx = base + offset;
+                        for chunk_bufs in buffers {
+                            for g in &chunk_bufs[shard_idx] {
+                                if admit(shard.entry(g.key), g.cost, g.gate) {
+                                    stage.push(Pushed {
+                                        seq: g.seq,
+                                        cost: g.cost,
+                                        key: g.key,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("shard worker panicked");
+            }
+        });
+    }
+
+    merge_staged(staged)
+}
+
+/// K-way merges the per-shard push lists (each already sequence-sorted)
+/// back into global sequence order, bucketed by cost — reproducing the
+/// serial loop's pending-bucket contents exactly.
+fn merge_staged<K: Copy>(staged: Vec<Vec<Pushed<K>>>) -> BTreeMap<u32, Vec<K>> {
+    let mut out: BTreeMap<u32, Vec<K>> = BTreeMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = staged
+        .iter()
+        .enumerate()
+        .filter(|(_, pushes)| !pushes.is_empty())
+        .map(|(shard, pushes)| Reverse((pushes[0].seq, shard)))
+        .collect();
+    let mut cursors = vec![0usize; staged.len()];
+    while let Some(Reverse((_, shard))) = heap.pop() {
+        let push = &staged[shard][cursors[shard]];
+        out.entry(push.cost).or_default().push(push.key);
+        cursors[shard] += 1;
+        if let Some(next) = staged[shard].get(cursors[shard]) {
+            heap.push(Reverse((next.seq, shard)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct TestMeta {
+        cost: u32,
+        gate: u8,
+    }
+
+    impl FrontierMeta for TestMeta {
+        fn cost(&self) -> u32 {
+            self.cost
+        }
+        fn with(cost: u32, gate: u8) -> Self {
+            Self { cost, gate }
+        }
+    }
+
+    #[test]
+    fn explicit_request_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn shard_counts() {
+        assert_eq!(shard_count_for(1), 1);
+        assert_eq!(shard_count_for(2), 8);
+        assert_eq!(shard_count_for(4), 16);
+        assert_eq!(shard_count_for(8), 32);
+        assert_eq!(shard_count_for(64), 64);
+    }
+
+    #[test]
+    fn sharded_map_roundtrips_and_reshards() {
+        let mut map: ShardedSeen<u64, TestMeta> = ShardedSeen::for_threads(4);
+        for k in 0..1000u64 {
+            map.insert(k, TestMeta::with(k as u32, 0));
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&123).map(|m| m.cost), Some(123));
+        map.reshard_for_threads(1);
+        assert_eq!(map.shard_count(), 1);
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&999).map(|m| m.cost), Some(999));
+        map.reshard_for_threads(8);
+        assert_eq!(map.shard_count(), 32);
+        assert_eq!(map.get(&0).map(|m| m.cost), Some(0));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..5000).collect();
+        for threads in [1, 2, 4, 8] {
+            let doubled = par_map(threads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            assert_eq!(doubled.len(), items.len());
+            assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+        }
+    }
+
+    #[test]
+    fn par_filter_preserves_order() {
+        let items: Vec<u64> = (0..5000).collect();
+        for threads in [1, 2, 4, 8] {
+            let evens = par_filter(threads, items.clone(), |&x| x % 2 == 0);
+            assert_eq!(evens.len(), 2500);
+            assert!(evens.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn growth_hint_extrapolates_and_clamps() {
+        // 100 → 400: factor 4, next level estimated 1600.
+        assert_eq!(growth_hint(400, 100, 18), 1600);
+        // No history: 4× fallback.
+        assert_eq!(growth_hint(10, 0, 18), 40);
+        // Clamped to bucket × max factor.
+        assert_eq!(growth_hint(1000, 1, 18), 18_000);
+        // Never below the bucket itself.
+        assert_eq!(growth_hint(100, 1000, 18), 100);
+    }
+
+    /// Toy successor graph with heavy collisions (many words share a
+    /// successor) and word-dependent costs, so both the first-seen dedup
+    /// rule and the within-level decrease-key rule are exercised.
+    fn toy_successor(word: u64, gate: u8) -> (u64, u32) {
+        let next = (word / 3 + u64::from(gate) * 37) % 1024;
+        let cost = 10 + ((word >> 3) % 3) as u32 + u32::from(gate % 2);
+        (next, cost)
+    }
+
+    /// Serial reference for `expand_bucket`: the exact loop the engines
+    /// run inline.
+    fn serial_reference(
+        bucket: &[u64],
+        seen: &mut HashMap<u64, TestMeta>,
+    ) -> BTreeMap<u32, Vec<u64>> {
+        let mut pending: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for &word in bucket {
+            for gate in 0..6u8 {
+                let (next, next_cost) = toy_successor(word, gate);
+                match seen.entry(next) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(TestMeta::with(next_cost, gate));
+                        pending.entry(next_cost).or_default().push(next);
+                    }
+                    Entry::Occupied(mut slot) if slot.get().cost > next_cost => {
+                        slot.insert(TestMeta::with(next_cost, gate));
+                        pending.entry(next_cost).or_default().push(next);
+                    }
+                    Entry::Occupied(_) => {}
+                }
+            }
+        }
+        pending
+    }
+
+    #[test]
+    fn expand_bucket_matches_serial_reference() {
+        let bucket: Vec<u64> = (0..4000).map(|i| i * 7919).collect();
+        let mut reference_seen = HashMap::new();
+        let reference = serial_reference(&bucket, &mut reference_seen);
+        assert!(!reference.is_empty());
+        for threads in [2, 4, 8] {
+            let mut seen: ShardedSeen<u64, TestMeta> = ShardedSeen::for_threads(threads);
+            let pushes = expand_bucket(threads, &bucket, &mut seen, 1000, |_, &word, emit| {
+                for gate in 0..6u8 {
+                    let (next, cost) = toy_successor(word, gate);
+                    emit(next, cost, gate);
+                }
+            });
+            assert_eq!(pushes, reference, "threads = {threads}");
+            assert_eq!(seen.len(), reference_seen.len(), "threads = {threads}");
+            for (key, meta) in &reference_seen {
+                assert_eq!(seen.get(key).map(|m| m.cost), Some(meta.cost));
+            }
+        }
+    }
+}

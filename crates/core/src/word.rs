@@ -114,6 +114,37 @@ impl PackedWord {
     pub fn iter(&self) -> std::slice::Iter<'_, u8> {
         self.as_slice().iter()
     }
+
+    /// The word's FNV-1a hash, identical to hashing it through
+    /// [`FnvHasher`] — used by the parallel engine to route words to
+    /// `seen`-map shards without a hasher round-trip.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::hash::{BuildHasher, Hash, Hasher};
+    /// use mvq_core::{FnvBuildHasher, PackedWord};
+    ///
+    /// let word = PackedWord::identity(38);
+    /// let mut hasher = FnvBuildHasher::default().build_hasher();
+    /// word.hash(&mut hasher);
+    /// assert_eq!(word.fnv_hash(), hasher.finish());
+    /// ```
+    pub fn fnv_hash(&self) -> u64 {
+        let mut state = fnv1a(self.as_slice());
+        state ^= u64::from(self.len);
+        state.wrapping_mul(FNV_PRIME)
+    }
+}
+
+/// FNV-1a over a byte slice (the standalone form of [`FnvHasher`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
 }
 
 impl Index<usize> for PackedWord {
@@ -260,6 +291,22 @@ mod tests {
     fn oversized_word_panics() {
         let images = vec![0u8; PackedWord::CAPACITY + 1];
         let _ = PackedWord::from_slice(&images);
+    }
+
+    #[test]
+    fn fnv_hash_matches_hasher_path() {
+        use std::hash::BuildHasher;
+        for word in [
+            PackedWord::identity(38),
+            PackedWord::from_slice(&[3, 1, 0, 2]),
+            PackedWord::from_slice(&[]),
+        ] {
+            assert_eq!(
+                word.fnv_hash(),
+                FnvBuildHasher::default().hash_one(word),
+                "{word:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Determinism audit for parallel sharded level expansion: for any
+//! thread count the engine must produce **bit-identical** search state —
+//! the same per-cost levels in the same order, the same class costs and
+//! witness counts, and the same Dijkstra decrease-key outcomes under
+//! weighted cost models — as the serial engine, warm and cold, for both
+//! the unidirectional and bidirectional strategies.
+
+use std::sync::{Mutex, OnceLock};
+
+use mvq_core::{known, CostModel, SynthesisEngine, SynthesisStrategy};
+use mvq_logic::GateLibrary;
+use mvq_perm::Perm;
+use proptest::prelude::*;
+
+const PARALLEL_THREADS: [usize; 3] = [2, 4, 8];
+
+fn unit_engine(threads: usize) -> SynthesisEngine {
+    SynthesisEngine::with_threads(GateLibrary::standard(3), CostModel::unit(), threads)
+}
+
+fn weighted_engine(threads: usize) -> SynthesisEngine {
+    SynthesisEngine::with_threads(
+        GateLibrary::standard(3),
+        CostModel::weighted(1, 2, 3),
+        threads,
+    )
+}
+
+/// Levels, counts, and class statistics must agree exactly — including
+/// the *order* of words within every level.
+fn assert_state_identical(
+    reference: &SynthesisEngine,
+    other: &SynthesisEngine,
+    up_to: u32,
+    label: &str,
+) {
+    assert_eq!(reference.g_counts(), other.g_counts(), "{label}: g_counts");
+    assert_eq!(reference.b_counts(), other.b_counts(), "{label}: b_counts");
+    assert_eq!(reference.a_size(), other.a_size(), "{label}: |A|");
+    assert_eq!(
+        reference.classes_found(),
+        other.classes_found(),
+        "{label}: classes"
+    );
+    for cost in 0..=up_to {
+        assert_eq!(
+            reference.level_words(cost),
+            other.level_words(cost),
+            "{label}: level {cost} words (order-sensitive)"
+        );
+    }
+}
+
+#[test]
+fn unit_cost_levels_bit_identical_across_thread_counts() {
+    let mut serial = unit_engine(1);
+    serial.expand_to_cost(5);
+    for threads in PARALLEL_THREADS {
+        let mut parallel = unit_engine(threads);
+        parallel.expand_to_cost(5);
+        assert_state_identical(&serial, &parallel, 5, &format!("unit, threads={threads}"));
+    }
+}
+
+#[test]
+fn weighted_levels_bit_identical_across_thread_counts() {
+    // weighted(1,2,3) exercises gap levels, within-level cost mixing,
+    // and the lazy decrease-key re-admissions.
+    let mut serial = weighted_engine(1);
+    serial.expand_to_cost(6);
+    for threads in PARALLEL_THREADS {
+        let mut parallel = weighted_engine(threads);
+        parallel.expand_to_cost(6);
+        assert_state_identical(
+            &serial,
+            &parallel,
+            6,
+            &format!("weighted(1,2,3), threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn warm_synthesis_agrees_for_every_low_cost_class() {
+    // Every class realizable within cost 4: identical minimal cost and
+    // witness count on warm engines at every thread count, both
+    // strategies.
+    let mut enumerator = unit_engine(1);
+    let mut serial = unit_engine(1);
+    serial.expand_to_cost(4);
+    for threads in PARALLEL_THREADS {
+        let mut parallel = unit_engine(threads);
+        parallel.expand_to_cost(4);
+        for k in 0..=4u32 {
+            for (perm, _) in enumerator.reversible_circuits_at_cost(k) {
+                let want = serial.synthesize(&perm, 4).expect("within bound");
+                let uni = parallel.synthesize(&perm, 4).expect("within bound");
+                let bidi = parallel
+                    .synthesize_bidirectional(&perm, 4)
+                    .expect("within bound");
+                assert_eq!(want.cost, uni.cost, "uni cost of {perm}, threads={threads}");
+                assert_eq!(
+                    want.implementation_count, uni.implementation_count,
+                    "uni count of {perm}, threads={threads}"
+                );
+                assert_eq!(
+                    want.cost, bidi.cost,
+                    "bidi cost of {perm}, threads={threads}"
+                );
+                assert_eq!(
+                    want.implementation_count, bidi.implementation_count,
+                    "bidi count of {perm}, threads={threads}"
+                );
+                assert!(uni.circuit.verify_against_binary_perm(&perm));
+                assert!(bidi.circuit.verify_against_binary_perm(&perm));
+            }
+        }
+    }
+}
+
+#[test]
+fn cold_bidirectional_deep_target_identical_across_thread_counts() {
+    // Fredkin at cost 7 — cold engines, so the adaptive bidirectional
+    // split and both frontiers' parallel expansion are exercised
+    // end-to-end.
+    for threads in [1, 2, 4, 8] {
+        let mut engine = unit_engine(threads);
+        assert!(engine
+            .synthesize_bidirectional(&known::fredkin_perm(), 6)
+            .is_none());
+        let syn = engine
+            .synthesize_bidirectional(&known::fredkin_perm(), 7)
+            .expect("cost 7");
+        assert_eq!(syn.cost, 7, "threads={threads}");
+        assert_eq!(syn.implementation_count, 16, "threads={threads}");
+        assert!(syn
+            .circuit
+            .verify_against_binary_perm(&known::fredkin_perm()));
+    }
+}
+
+#[test]
+fn weighted_cold_synthesis_identical_across_thread_counts() {
+    // The Dijkstra-exactness regression target under weighted(1,2,3):
+    // an all-V cost-6 cascade beats the first-seen cost-7 path.
+    let target: Perm = "(3,5)(4,6)".parse::<Perm>().unwrap().extended(8);
+    let mut serial = weighted_engine(1);
+    let want = serial.synthesize(&target, 8).expect("reachable");
+    assert_eq!(want.cost, 6);
+    for threads in PARALLEL_THREADS {
+        let mut uni = weighted_engine(threads);
+        let mut bidi = weighted_engine(threads);
+        let a = uni.synthesize(&target, 8).expect("reachable");
+        let b = bidi
+            .synthesize_bidirectional(&target, 8)
+            .expect("reachable");
+        assert_eq!(a.cost, want.cost, "threads={threads}");
+        assert_eq!(b.cost, want.cost, "threads={threads}");
+        assert_eq!(
+            a.implementation_count, want.implementation_count,
+            "threads={threads}"
+        );
+        assert_eq!(
+            b.implementation_count, want.implementation_count,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn set_threads_on_warm_engine_keeps_expansion_identical() {
+    // Reshard mid-search: expand serially to cost 3, switch to 4
+    // threads, finish to cost 5 — state must match an all-serial run.
+    let mut serial = unit_engine(1);
+    serial.expand_to_cost(5);
+    let mut mixed = unit_engine(1);
+    mixed.expand_to_cost(3);
+    mixed.set_threads(4);
+    assert_eq!(mixed.threads(), 4);
+    mixed.expand_to_cost(5);
+    assert_state_identical(&serial, &mixed, 5, "reshard at cost 3");
+    // And back down to serial.
+    mixed.set_threads(1);
+    assert_eq!(mixed.minimal_cost(&known::toffoli_perm(), 5), Some(5));
+}
+
+/// Shared warm engines for the property suite: one per thread count,
+/// expanded once (proptest would otherwise rebuild the cost-5 levels
+/// for every case).
+fn warm_engines() -> &'static Mutex<Vec<SynthesisEngine>> {
+    static ENGINES: OnceLock<Mutex<Vec<SynthesisEngine>>> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let engines = [1, 2, 4, 8]
+            .into_iter()
+            .map(|threads| {
+                let mut engine = unit_engine(threads);
+                engine.expand_to_cost(5);
+                engine
+            })
+            .collect();
+        Mutex::new(engines)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_targets_agree_across_thread_counts_and_strategies(
+        images in Just((1..=8usize).collect::<Vec<_>>()).prop_shuffle(),
+        strategy_bit in any::<bool>(),
+    ) {
+        let target = Perm::from_images(&images).expect("shuffled bijection");
+        let strategy = if strategy_bit {
+            SynthesisStrategy::Bidirectional
+        } else {
+            SynthesisStrategy::Unidirectional
+        };
+        let mut engines = warm_engines().lock().expect("no poisoning");
+        let reference = engines[0]
+            .synthesize(&target, 5)
+            .map(|s| (s.cost, s.implementation_count));
+        for engine in engines.iter_mut() {
+            let got = engine
+                .synthesize_with(strategy, &target, 5)
+                .map(|s| (s.cost, s.implementation_count));
+            prop_assert_eq!(
+                got,
+                reference,
+                "threads={}, strategy={}",
+                engine.threads(),
+                strategy
+            );
+        }
+    }
+}
