@@ -142,6 +142,29 @@ fn main() {
         e.g_counts().len() as u32
     }));
 
+    // Snapshot-warm rows: build the level-cache snapshot once, then each
+    // sample pays load + query only — the cold→warm win of persistent
+    // level-cache serialization, measurable even on a 1-core runner
+    // (compare against `census_cb5` / `toffoli_cold_unidirectional`).
+    let snap_path =
+        std::env::temp_dir().join(format!("mvq_quick_bench_{}.snap", std::process::id()));
+    {
+        let mut e = SynthesisEngine::unit_cost();
+        e.expand_to_cost(5);
+        e.save_snapshot(&snap_path).expect("write snapshot");
+    }
+    rows.push(time("census_snapshot_warm", auto, 10, || {
+        let e = SynthesisEngine::load_snapshot_with_threads(&snap_path, auto).expect("load");
+        e.g_counts().len() as u32
+    }));
+    rows.push(time("toffoli_snapshot_warm", auto, 10, || {
+        let mut e = SynthesisEngine::load_snapshot_with_threads(&snap_path, auto).expect("load");
+        e.synthesize(&known::toffoli_perm(), 6)
+            .expect("cost 5")
+            .cost
+    }));
+    std::fs::remove_file(&snap_path).ok();
+
     // Pinned-serial counterparts: the parallel-vs-serial comparison for
     // the expansion-dominated workloads.
     rows.push(time("census_cb5_serial", 1, 5, || {
@@ -180,6 +203,8 @@ fn main() {
         "fredkin_cold_unidirectional_serial",
         "fredkin_cold_unidirectional",
     );
+    speedup("census_cb5", "census_snapshot_warm");
+    speedup("toffoli_cold_unidirectional", "toffoli_snapshot_warm");
 
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)

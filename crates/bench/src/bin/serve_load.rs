@@ -1,0 +1,301 @@
+//! Load generator for `mvq serve`: drives N client threads through the
+//! HTTP JSON API and records throughput and latency percentiles into
+//! `BENCH_serve.json`.
+//!
+//! By default it spins up an in-process [`mvq_serve::Server`] on a free
+//! loopback port (optionally warm-started from `--snapshot`), so the
+//! measurement needs no prior setup; point `--addr` at a running
+//! `mvq serve` to measure an external process instead.
+//!
+//! Usage:
+//! `cargo run --release -p mvq_bench --bin serve_load -- \
+//!     [out.json] [--addr HOST:PORT] [--clients N] [--requests M] [--snapshot FILE]`
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use mvq_core::SynthesisEngine;
+use mvq_serve::{HostConfig, HostRegistry, Server, ServerHandle};
+
+/// One request shape of the workload mix.
+#[derive(Clone, Copy)]
+struct Shape {
+    kind: &'static str,
+    method: &'static str,
+    path: &'static str,
+    body: &'static str,
+}
+
+/// The steady-state mix: mostly warm synthesis lookups over a spread of
+/// targets, a census read, and a health probe.
+const MIX: &[Shape] = &[
+    Shape {
+        kind: "synth_toffoli",
+        method: "POST",
+        path: "/synthesize",
+        body: r#"{"target":"(7,8)","cb":6}"#,
+    },
+    Shape {
+        kind: "synth_peres",
+        method: "POST",
+        path: "/synthesize",
+        body: r#"{"target":"(5,7,6,8)","cb":5}"#,
+    },
+    Shape {
+        kind: "synth_feynman",
+        method: "POST",
+        path: "/synthesize",
+        body: r#"{"target":"(5,7)(6,8)","cb":3}"#,
+    },
+    Shape {
+        kind: "synth_misc",
+        method: "POST",
+        path: "/synthesize",
+        body: r#"{"target":"(2,3)(5,8)","cb":5}"#,
+    },
+    Shape {
+        kind: "census_cb5",
+        method: "POST",
+        path: "/census",
+        body: r#"{"cb":5}"#,
+    },
+    Shape {
+        kind: "healthz",
+        method: "GET",
+        path: "/healthz",
+        body: "",
+    },
+];
+
+struct Args {
+    out: String,
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    snapshot: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_serve.json".to_string(),
+        addr: None,
+        clients: 8,
+        requests: 250,
+        snapshot: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(token) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("--{name} needs a value"))
+        };
+        match token.as_str() {
+            "--addr" => args.addr = Some(value("addr")),
+            "--clients" => args.clients = value("clients").parse().expect("--clients"),
+            "--requests" => args.requests = value("requests").parse().expect("--requests"),
+            "--snapshot" => args.snapshot = Some(value("snapshot")),
+            other if !other.starts_with('-') => args.out = other.to_string(),
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+    args
+}
+
+/// Sends one request on an open keep-alive connection and reads the full
+/// response. Returns the status code and body.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    shape: &Shape,
+) -> std::io::Result<(u16, String)> {
+    let request = format!(
+        "{} {} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        shape.method,
+        shape.path,
+        shape.body.len(),
+        shape.body
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line `{status_line}`")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(rest) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = rest.trim().parse().map_err(std::io::Error::other)?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+struct Recorded {
+    kind: &'static str,
+    latency: Duration,
+    ok: bool,
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> u128 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // In-process server unless an external address was given.
+    let mut in_process: Option<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let registry = Arc::new(HostRegistry::new(HostConfig::default()));
+            if let Some(path) = &args.snapshot {
+                let engine = SynthesisEngine::load_snapshot(path).expect("load snapshot");
+                registry.install(engine).expect("install snapshot host");
+            }
+            let server = Server::bind("127.0.0.1:0", registry).expect("bind loopback");
+            let handle = server.handle().expect("server handle");
+            let addr = server.local_addr().expect("local addr").to_string();
+            let runner = std::thread::spawn(move || server.run(4));
+            in_process = Some((handle, runner));
+            addr
+        }
+    };
+    println!(
+        "driving {} clients × {} requests against {addr}{}",
+        args.clients,
+        args.requests,
+        if args.snapshot.is_some() {
+            " (snapshot-warm)"
+        } else {
+            " (cold start)"
+        }
+    );
+
+    let wall_start = Instant::now();
+    let all: Vec<Recorded> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("timeout");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut recorded = Vec::with_capacity(args.requests);
+                    for i in 0..args.requests {
+                        // Stagger each client's walk through the mix so
+                        // the endpoints interleave across clients.
+                        let shape = &MIX[(client + i) % MIX.len()];
+                        let start = Instant::now();
+                        let result = roundtrip(&mut stream, &mut reader, shape);
+                        let latency = start.elapsed();
+                        let ok = matches!(result, Ok((200, _)));
+                        if let Err(err) = &result {
+                            eprintln!("client {client} request {i} failed: {err}");
+                        }
+                        recorded.push(Recorded {
+                            kind: shape.kind,
+                            latency,
+                            ok,
+                        });
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = wall_start.elapsed();
+
+    if let Some((handle, runner)) = in_process {
+        handle.shutdown();
+        runner.join().expect("server thread").expect("server run");
+    }
+
+    let total = all.len();
+    let errors = all.iter().filter(|r| !r.ok).count();
+    let mut sorted_us: Vec<u128> = all.iter().map(|r| r.latency.as_micros()).collect();
+    sorted_us.sort_unstable();
+    let mean_us = sorted_us.iter().sum::<u128>() / (total.max(1) as u128);
+    let throughput = total as f64 / wall.as_secs_f64();
+    let (p50, p90, p99) = (
+        percentile(&sorted_us, 0.50),
+        percentile(&sorted_us, 0.90),
+        percentile(&sorted_us, 0.99),
+    );
+    println!(
+        "{total} requests in {:.2}s → {throughput:.0} req/s; latency µs: p50 {p50}, p90 {p90}, p99 {p99}, max {}; errors {errors}",
+        wall.as_secs_f64(),
+        sorted_us.last().copied().unwrap_or(0),
+    );
+
+    let mut per_kind = String::new();
+    for (i, shape) in MIX.iter().enumerate() {
+        let mut kind_us: Vec<u128> = all
+            .iter()
+            .filter(|r| r.kind == shape.kind)
+            .map(|r| r.latency.as_micros())
+            .collect();
+        kind_us.sort_unstable();
+        let mean = kind_us.iter().sum::<u128>() / (kind_us.len().max(1) as u128);
+        println!(
+            "  {:<16} {:>6} reqs, mean {:>7} µs, p99 {:>7} µs",
+            shape.kind,
+            kind_us.len(),
+            mean,
+            percentile(&kind_us, 0.99)
+        );
+        per_kind.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"count\": {}, \"mean_us\": {}, \"p99_us\": {}}}{}\n",
+            shape.kind,
+            kind_us.len(),
+            mean,
+            percentile(&kind_us, 0.99),
+            if i + 1 < MIX.len() { "," } else { "" }
+        ));
+    }
+
+    let generated = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"generated_unix\": {generated},\n  \"available_parallelism\": {available},\n  \
+         \"clients\": {},\n  \"requests_per_client\": {},\n  \"total_requests\": {total},\n  \
+         \"snapshot_warm\": {},\n  \"wall_ms\": {},\n  \"throughput_rps\": {throughput:.1},\n  \
+         \"errors\": {errors},\n  \"latency_us\": {{\"mean\": {mean_us}, \"p50\": {p50}, \
+         \"p90\": {p90}, \"p99\": {p99}, \"max\": {}}},\n  \"per_kind\": [\n{per_kind}  ]\n}}\n",
+        args.clients,
+        args.requests,
+        args.snapshot.is_some(),
+        wall.as_millis(),
+        sorted_us.last().copied().unwrap_or(0),
+    );
+    std::fs::write(&args.out, json).expect("write load snapshot");
+    println!("wrote {}", args.out);
+    assert_eq!(errors, 0, "load run saw non-200 responses");
+}

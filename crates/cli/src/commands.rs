@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use std::error::Error;
+use std::sync::Arc;
 
 use mvq_automata::ControlledRng;
 use mvq_core::{
@@ -8,6 +9,7 @@ use mvq_core::{
 };
 use mvq_logic::{Gate, PatternDomain, TruthTable};
 use mvq_perm::Perm;
+use mvq_serve::{HostConfig, HostRegistry, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,13 +26,20 @@ USAGE:
 
 COMMANDS:
     census [--cb N] [--threads T]   reproduce Table 2 up to cost N (default 6)
+           [--snapshot FILE]        warm-start from / write back a level-cache
+                                    snapshot (created if missing)
     synth <perm> [--cb N] [--all]   minimal-cost synthesis of a reversible
           [--strategy uni|bidi]     function given in cycle notation on the
           [--threads T]             8 binary patterns, e.g. \"(7,8)\";
-                                    `bidi` meets in the middle from the
+          [--snapshot FILE]         `bidi` meets in the middle from the
                                     target side (faster for deep targets);
                                     T defaults to MVQ_THREADS or the
                                     available parallelism (0 = auto)
+    serve [--addr A] [--threads T]  long-lived synthesis service (HTTP/1.1 +
+          [--snapshot FILE]         JSON): /synthesize /census /healthz
+          [--max-cb N]              /stats /shutdown; cold-starts warm from
+          [--workers W]             FILE; admission rejects cost bounds > N
+          [--max-models M]          (default 7); W handler threads (default 4)
     verify <circuit> <perm>         check a cascade (e.g. VCB*FBA*VCA*V+CB)
                                     against a target permutation, exactly
     gate <name>                     show a gate's domain permutation and
@@ -53,6 +62,7 @@ pub fn dispatch(argv: &[String]) -> CommandResult {
         }
         Some("census") => census(&args),
         Some("synth") => synth(&args),
+        Some("serve") => serve(&args),
         Some("verify") => verify(&args),
         Some("gate") => gate(&args),
         Some("table") => table(&args),
@@ -74,11 +84,77 @@ fn thread_count(args: &Args) -> Result<usize, ParseArgsError> {
     ))
 }
 
+/// Builds an engine for one-shot commands: loaded from `--snapshot` when
+/// the file exists, cold otherwise. Returns the engine and the snapshot
+/// depth it started from (for the write-back decision).
+fn snapshot_engine(
+    args: &Args,
+    threads: usize,
+) -> Result<(SynthesisEngine, Option<u32>), Box<dyn Error>> {
+    let Some(path) = args
+        .option("snapshot", String::new())
+        .ok()
+        .filter(|p| !p.is_empty())
+    else {
+        return Ok((SynthesisEngine::unit_cost_with_threads(threads), None));
+    };
+    if std::path::Path::new(&path).exists() {
+        let engine = SynthesisEngine::load_snapshot_with_threads(&path, threads)?;
+        if engine.cost_model() != &mvq_core::CostModel::unit() {
+            return Err(Box::new(ParseArgsError::new(format!(
+                "snapshot {path} was built with a non-unit cost model"
+            ))));
+        }
+        let depth = engine.completed_cost();
+        println!(
+            "loaded snapshot {path} (levels ≤ {}, |A| = {})",
+            depth.map_or_else(|| "none".to_string(), |c| c.to_string()),
+            engine.a_size()
+        );
+        Ok((engine, depth.or(Some(0))))
+    } else {
+        Ok((SynthesisEngine::unit_cost_with_threads(threads), None))
+    }
+}
+
+/// Writes the snapshot back when `--snapshot` was given and the engine
+/// grew past the depth it started from.
+fn snapshot_writeback(
+    args: &Args,
+    engine: &mut SynthesisEngine,
+    loaded_depth: Option<u32>,
+) -> Result<(), Box<dyn Error>> {
+    let Some(path) = args
+        .option("snapshot", String::new())
+        .ok()
+        .filter(|p| !p.is_empty())
+    else {
+        return Ok(());
+    };
+    let grew = match (loaded_depth, engine.completed_cost()) {
+        (Some(loaded), Some(now)) => now > loaded,
+        (None, _) => true, // no snapshot existed yet
+        (Some(_), None) => false,
+    };
+    if grew {
+        engine.save_snapshot(&path)?;
+        println!(
+            "wrote snapshot {path} (levels ≤ {}, |A| = {})",
+            engine
+                .completed_cost()
+                .map_or_else(|| "none".to_string(), |c| c.to_string()),
+            engine.a_size()
+        );
+    }
+    Ok(())
+}
+
 fn census(args: &Args) -> CommandResult {
     let cb: u32 = args.option("cb", 6)?;
     let threads = thread_count(args)?;
-    let mut engine = SynthesisEngine::unit_cost_with_threads(threads);
+    let (mut engine, loaded_depth) = snapshot_engine(args, threads)?;
     let census = Census::compute_with(&mut engine, cb);
+    snapshot_writeback(args, &mut engine, loaded_depth)?;
     println!("{census}");
     println!("(threads: {threads})");
     println!();
@@ -93,13 +169,8 @@ fn census(args: &Args) -> CommandResult {
 }
 
 fn parse_target(text: &str) -> Result<Perm, Box<dyn Error>> {
-    let perm: Perm = text.parse()?;
-    if perm.degree() > 8 {
-        return Err(Box::new(ParseArgsError::new(
-            "target must permute patterns 1..=8",
-        )));
-    }
-    Ok(perm.extended(8))
+    mvq_core::known::parse_binary_target(text)
+        .map_err(|detail| Box::new(ParseArgsError::new(detail)) as Box<dyn Error>)
 }
 
 fn synth(args: &Args) -> CommandResult {
@@ -110,7 +181,7 @@ fn synth(args: &Args) -> CommandResult {
     let strategy: SynthesisStrategy = args.option("strategy", SynthesisStrategy::default())?;
     let threads = thread_count(args)?;
     let target = parse_target(text)?;
-    let mut engine = SynthesisEngine::unit_cost_with_threads(threads);
+    let (mut engine, loaded_depth) = snapshot_engine(args, threads)?;
     if args.flag("all") {
         if strategy != SynthesisStrategy::Unidirectional {
             return Err(Box::new(ParseArgsError::new(
@@ -147,6 +218,45 @@ fn synth(args: &Args) -> CommandResult {
             }
         }
     }
+    snapshot_writeback(args, &mut engine, loaded_depth)?;
+    Ok(())
+}
+
+fn serve(args: &Args) -> CommandResult {
+    let addr: String = args.option("addr", "127.0.0.1:7878".to_string())?;
+    let threads: usize = args.option("threads", 0)?;
+    let max_cb: u32 = args.option("max-cb", 7)?;
+    let workers: usize = args.option("workers", 4)?;
+    let max_models: usize = args.option("max-models", 8)?;
+    let snapshot: String = args.option("snapshot", String::new())?;
+    let registry = Arc::new(HostRegistry::new(HostConfig {
+        max_cost_bound: max_cb,
+        threads,
+        max_models,
+    }));
+    if !snapshot.is_empty() {
+        let resolved = mvq_core::resolve_threads((threads > 0).then_some(threads));
+        let engine = SynthesisEngine::load_snapshot_with_threads(&snapshot, resolved)?;
+        println!(
+            "loaded snapshot {snapshot} (model {:?}, levels ≤ {}, |A| = {}, {} classes)",
+            engine.cost_model().weights(),
+            engine
+                .completed_cost()
+                .map_or_else(|| "none".to_string(), |c| c.to_string()),
+            engine.a_size(),
+            engine.classes_found()
+        );
+        registry.install(engine)?;
+    }
+    let server = Server::bind(addr.as_str(), registry)?;
+    println!(
+        "mvq serve listening on http://{} ({} workers, admission cb ≤ {max_cb})",
+        server.local_addr()?,
+        workers.max(1)
+    );
+    println!("endpoints: POST /synthesize /census /shutdown · GET /healthz /stats");
+    server.run(workers)?;
+    println!("mvq serve: shut down cleanly");
     Ok(())
 }
 
@@ -339,6 +449,49 @@ mod tests {
         // 0 = auto-detect.
         assert!(run(&["census", "--cb", "2", "--threads", "0"]).is_ok());
         assert!(run(&["synth", "(7,8)", "--cb", "6", "--threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn census_snapshot_roundtrip() {
+        let path = std::env::temp_dir().join(format!("mvq_cli_census_{}.snap", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        // First run creates the snapshot, second run warm-starts from it,
+        // a deeper third run re-saves it.
+        assert!(run(&["census", "--cb", "2", "--snapshot", &path]).is_ok());
+        assert!(std::path::Path::new(&path).exists());
+        assert!(run(&["census", "--cb", "2", "--snapshot", &path]).is_ok());
+        assert!(run(&["census", "--cb", "3", "--snapshot", &path]).is_ok());
+        let loaded = SynthesisEngine::load_snapshot(&path).unwrap();
+        assert_eq!(loaded.completed_cost(), Some(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn synth_snapshot_flag() {
+        let path = std::env::temp_dir().join(format!("mvq_cli_synth_{}.snap", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&["synth", "(7,8)", "--cb", "2", "--snapshot", &path]).is_ok());
+        assert!(std::path::Path::new(&path).exists());
+        assert!(run(&["synth", "(7,8)", "--cb", "2", "--snapshot", &path]).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_flag_rejects_garbage_files() {
+        let path =
+            std::env::temp_dir().join(format!("mvq_cli_garbage_{}.snap", std::process::id()));
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let path_text = path.to_string_lossy().to_string();
+        assert!(run(&["census", "--cb", "2", "--snapshot", &path_text]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_addr() {
+        assert!(run(&["serve", "--addr", "not-an-address"]).is_err());
+        assert!(run(&["serve", "--workers", "x"]).is_err());
     }
 
     #[test]

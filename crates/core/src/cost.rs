@@ -61,6 +61,12 @@ impl CostModel {
         }
     }
 
+    /// The `(controlled-V, controlled-V⁺, Feynman)` weights of the model
+    /// — the tuple [`CostModel::weighted`] was built from.
+    pub fn weights(&self) -> (u32, u32, u32) {
+        (self.v_cost, self.v_dagger_cost, self.feynman_cost)
+    }
+
     /// The cost of a gate under this model.
     pub fn cost(&self, gate: Gate) -> u32 {
         match gate {

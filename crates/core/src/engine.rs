@@ -6,6 +6,7 @@ use mvq_logic::{Gate, GateLibrary};
 use mvq_perm::Perm;
 
 use crate::par::{self, FrontierMeta, ShardedSeen};
+use crate::snapshot::DeferredFrontier;
 use crate::word::{FnvBuildHasher, PackedWord};
 use crate::{Circuit, CostModel};
 
@@ -60,6 +61,19 @@ pub struct Synthesis {
     /// level contains for this target (distinct domain permutations
     /// restricting to it — the paper reports 2 for Peres, 4 for Toffoli).
     pub implementation_count: usize,
+}
+
+/// The outcome of a read-only [`SynthesisEngine::synthesize_cached`]
+/// query against the cached levels.
+#[derive(Debug, Clone)]
+pub enum CachedSynthesis {
+    /// The cache is authoritative: the minimal circuit within the bound,
+    /// or a definitive `None` (identical to what a mutable
+    /// [`SynthesisEngine::synthesize`] call would return).
+    Resolved(Option<Synthesis>),
+    /// The class is undiscovered and deeper levels could still contain
+    /// it — the query must go through an expanding (writer) path.
+    NeedsExpansion,
 }
 
 /// Which MCE front-end a query should use.
@@ -130,7 +144,7 @@ impl fmt::Display for SynthesisStrategy {
 #[derive(Debug)]
 pub struct SynthesisEngine {
     pub(crate) library: GateLibrary,
-    model: CostModel,
+    pub(crate) model: CostModel,
     /// Per-library-gate 0-based image tables.
     pub(crate) gate_images: Vec<Vec<u8>>,
     /// Per-library-gate inverse image tables (for path reconstruction and
@@ -149,9 +163,14 @@ pub struct SynthesisEngine {
     threads: usize,
     /// Every discovered element of `A[∞]` with its metadata, sharded by
     /// word hash so parallel expansion can insert without locks.
-    seen: ShardedSeen<Word, Meta>,
+    pub(crate) seen: ShardedSeen<Word, Meta>,
     /// Pending frontier elements keyed by their (exact) cost.
-    pending: BTreeMap<u32, Vec<Word>>,
+    pub(crate) pending: BTreeMap<u32, Vec<Word>>,
+    /// Frontier section of a loaded snapshot, parsed and merged into
+    /// `seen`/`pending` on first expansion (queries answered from the
+    /// cached levels never pay for it). `None` on natively-built engines
+    /// and after [`Self::ensure_frontier`].
+    pub(crate) deferred_frontier: Option<DeferredFrontier>,
     /// Highest cost whose level has been fully expanded.
     pub(crate) completed: Option<u32>,
     /// `B[k]` for each completed level: the words first reached at exact
@@ -161,16 +180,16 @@ pub struct SynthesisEngine {
     pub(crate) level_traces: Vec<Vec<u64>>,
     /// Lazily built per-level join index: S-trace → indices into the
     /// level's word vector.
-    trace_index: Vec<Option<HashMap<u64, Vec<u32>, FnvBuildHasher>>>,
+    pub(crate) trace_index: Vec<Option<HashMap<u64, Vec<u32>, FnvBuildHasher>>>,
     /// Reversible classes: binary restriction → minimal cost + witnesses.
     pub(crate) classes: HashMap<Word, GClass, FnvBuildHasher>,
     /// Per-level index of class keys: the restrictions first realized at
     /// exact cost `k` (gap-filled like `levels`).
-    class_levels: Vec<Vec<Word>>,
+    pub(crate) class_levels: Vec<Vec<Word>>,
     /// `|G[k]|` for each completed cost level `k`.
-    g_counts: Vec<usize>,
+    pub(crate) g_counts: Vec<usize>,
     /// `|B[k]|` for each completed cost level `k`.
-    b_counts: Vec<usize>,
+    pub(crate) b_counts: Vec<usize>,
 }
 
 impl SynthesisEngine {
@@ -276,6 +295,7 @@ impl SynthesisEngine {
             threads,
             seen,
             pending,
+            deferred_frontier: None,
             completed: None,
             levels: Vec::new(),
             level_traces: Vec::new(),
@@ -311,6 +331,11 @@ impl SynthesisEngine {
         self.seen.reshard_for_threads(threads);
     }
 
+    /// The highest cost whose level has been fully expanded, if any.
+    pub fn completed_cost(&self) -> Option<u32> {
+        self.completed
+    }
+
     /// `|G[k]|` for every fully expanded level `k = 0, 1, …`.
     pub fn g_counts(&self) -> &[usize] {
         &self.g_counts
@@ -323,9 +348,14 @@ impl SynthesisEngine {
     }
 
     /// Total number of distinct quantum circuits discovered so far
-    /// (`|A[completed]|`).
+    /// (`|A[completed]|`), including frontier words a loaded snapshot has
+    /// not yet merged into the live maps.
     pub fn a_size(&self) -> usize {
         self.seen.len()
+            + self
+                .deferred_frontier
+                .as_ref()
+                .map_or(0, DeferredFrontier::unique_words)
     }
 
     /// The words of level `B[cost]`, in discovery order, if that level
@@ -366,7 +396,19 @@ impl SynthesisEngine {
 
     /// `true` once the reachable search space is fully enumerated.
     pub(crate) fn exhausted(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.is_empty() && self.deferred_frontier.is_none()
+    }
+
+    /// Merges the deferred frontier of a snapshot-loaded engine into the
+    /// live `seen`/`pending` maps. A no-op on natively-built engines.
+    ///
+    /// Expansion calls this automatically; long-lived hosts call it
+    /// eagerly at startup so no query pays the (already checksummed)
+    /// merge cost mid-flight.
+    pub fn ensure_frontier(&mut self) {
+        if let Some(frontier) = self.deferred_frontier.take() {
+            frontier.merge_into(&mut self.seen, &mut self.pending);
+        }
     }
 
     /// Expands FMCF levels until cost `cb` is fully processed.
@@ -388,6 +430,7 @@ impl SynthesisEngine {
     /// results are bit-identical to this method's serial path (same
     /// levels, same bucket order, same lazy decrease-key outcomes).
     pub(crate) fn expand_next_level(&mut self) -> bool {
+        self.ensure_frontier();
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
@@ -573,27 +616,9 @@ impl SynthesisEngine {
     /// Panics if `target.degree() != 2^n` for the library's wire count.
     pub fn synthesize(&mut self, target: &Perm, cb: u32) -> Option<Synthesis> {
         let (key, not_layer) = self.reduce_target(target);
-        let n = self.library.domain().wires();
         loop {
-            if let Some(class) = self.classes.get(&key) {
-                debug_assert!(self.completed.is_some_and(|c| c >= class.cost));
-                // The class cost is minimal by construction; on a warm
-                // engine it may exceed the caller's bound, in which case
-                // no further expansion can ever help.
-                if class.cost > cb {
-                    return None;
-                }
-                let witness = class.witnesses[0];
-                let count = class.witnesses.len();
-                let cost = class.cost;
-                let mut gates = not_layer.clone();
-                gates.extend(self.reconstruct(&witness));
-                return Some(Synthesis {
-                    circuit: Circuit::new(n, gates),
-                    cost,
-                    not_layer,
-                    implementation_count: count,
-                });
+            if let Some(resolved) = self.lookup_class(&key, &not_layer, cb) {
+                return resolved;
             }
             let done = self.completed.map_or(0, |c| c + 1);
             if done > cb {
@@ -603,6 +628,57 @@ impl SynthesisEngine {
                 return None;
             }
         }
+    }
+
+    /// Read-only MCE against the cached levels: answers from the class
+    /// table alone, never expanding a level.
+    ///
+    /// Returns [`CachedSynthesis::Resolved`] when the cache is
+    /// authoritative for `(target, cb)` — a minimal circuit within the
+    /// bound, or a definitive `None` (the class cost exceeds `cb`, the
+    /// levels already cover `cb`, or the search space is exhausted) —
+    /// and [`CachedSynthesis::NeedsExpansion`] when only deeper levels
+    /// can decide. The resolved value is bit-identical to what
+    /// [`Self::synthesize`] would return, which lets concurrent readers
+    /// share one warm engine and funnel only cache misses to a writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.degree() != 2^n` for the library's wire count.
+    pub fn synthesize_cached(&self, target: &Perm, cb: u32) -> CachedSynthesis {
+        let (key, not_layer) = self.reduce_target(target);
+        if let Some(resolved) = self.lookup_class(&key, &not_layer, cb) {
+            return CachedSynthesis::Resolved(resolved);
+        }
+        if self.completed.map_or(0, |c| c + 1) > cb || self.exhausted() {
+            CachedSynthesis::Resolved(None)
+        } else {
+            CachedSynthesis::NeedsExpansion
+        }
+    }
+
+    /// The class-table half of MCE: `Some(result)` when the cache decides
+    /// the query (hit within the bound, or a class whose minimal cost
+    /// exceeds `cb` — further expansion can never help), `None` when the
+    /// class has not been discovered yet.
+    fn lookup_class(&self, key: &Word, not_layer: &[Gate], cb: u32) -> Option<Option<Synthesis>> {
+        let class = self.classes.get(key)?;
+        debug_assert!(self.completed.is_some_and(|c| c >= class.cost));
+        // The class cost is minimal by construction; on a warm engine it
+        // may exceed the caller's bound, in which case no further
+        // expansion can ever help.
+        if class.cost > cb {
+            return Some(None);
+        }
+        let n = self.library.domain().wires();
+        let mut gates = not_layer.to_vec();
+        gates.extend(self.reconstruct(&class.witnesses[0]));
+        Some(Some(Synthesis {
+            circuit: Circuit::new(n, gates),
+            cost: class.cost,
+            not_layer: not_layer.to_vec(),
+            implementation_count: class.witnesses.len(),
+        }))
     }
 
     /// Runs MCE with an explicit [`SynthesisStrategy`].

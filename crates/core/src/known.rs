@@ -28,6 +28,37 @@ pub fn toffoli_perm() -> Perm {
     "(7,8)".parse::<Perm>().expect("valid").extended(8)
 }
 
+/// Parses a user-supplied reversible target: cycle notation over the 8
+/// binary patterns, extended to degree 8 — the one grammar shared by
+/// the CLI (`mvq synth`) and the service (`POST /synthesize`).
+///
+/// # Errors
+///
+/// A human-readable message for malformed notation or patterns outside
+/// `1..=8`.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::known;
+///
+/// assert_eq!(
+///     known::parse_binary_target("(7,8)").unwrap(),
+///     known::toffoli_perm()
+/// );
+/// assert!(known::parse_binary_target("(1,9)").is_err());
+/// assert!(known::parse_binary_target("(1,x)").is_err());
+/// ```
+pub fn parse_binary_target(text: &str) -> Result<Perm, String> {
+    let perm: Perm = text
+        .parse()
+        .map_err(|err| format!("bad target `{text}`: {err}"))?;
+    if perm.degree() > 8 {
+        return Err(format!("target `{text}` must permute patterns 1..=8"));
+    }
+    Ok(perm.extended(8))
+}
+
 /// The Fredkin permutation `(6,7)`: controlled swap of `B`, `C` by `A`.
 pub fn fredkin_perm() -> Perm {
     "(6,7)".parse::<Perm>().expect("valid").extended(8)

@@ -44,6 +44,7 @@ mod engine;
 pub mod known;
 mod mitm;
 mod par;
+mod snapshot;
 mod spec;
 mod spectrum;
 pub mod universal;
@@ -52,8 +53,9 @@ mod word;
 pub use census::{Census, CensusRow, EXPECTED_TABLE_2, PAPER_TABLE_2};
 pub use circuit::{Circuit, ParseCircuitError};
 pub use cost::CostModel;
-pub use engine::{Synthesis, SynthesisEngine, SynthesisStrategy};
+pub use engine::{CachedSynthesis, Synthesis, SynthesisEngine, SynthesisStrategy};
 pub use par::resolve_threads;
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
 pub use spec::{synthesize_spec, QuaternarySpec, SpecError, SpecSynthesis};
 pub use spectrum::CostSpectrum;
 pub use word::{FnvBuildHasher, FnvHasher, PackedWord};

@@ -1,0 +1,575 @@
+//! The engine host: one warm [`SynthesisEngine`] shared by many
+//! concurrent queries.
+//!
+//! Reads scale, writes funnel. Queries answered by the cached levels
+//! (the overwhelming majority on a warm engine) take the `RwLock` read
+//! side and run concurrently through
+//! [`SynthesisEngine::synthesize_cached`]. Cache misses — targets whose
+//! class lives in a level not yet expanded — go through a **single
+//! flight**: of all the requests needing the same `expand_to_cost`
+//! level, exactly one acquires the write lock and expands, while the
+//! rest wait on a condvar and re-run their read when it lands. Repeated
+//! misses therefore cost one expansion, not one per request.
+//!
+//! Admission control keeps the flight short: every query carries a cost
+//! bound, and bounds above the host's limit are rejected up front, so a
+//! single deep query cannot park the writer (and with it every other
+//! miss) on a multi-second expansion.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use mvq_core::{CachedSynthesis, CostModel, Synthesis, SynthesisEngine};
+use mvq_perm::Perm;
+
+/// Tuning knobs for an [`EngineHost`] / [`HostRegistry`].
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Admission limit: queries with a cost bound above this are
+    /// rejected instead of expanding the shared engine arbitrarily deep.
+    pub max_cost_bound: u32,
+    /// Engine expansion threads (0 = resolve like
+    /// [`mvq_core::resolve_threads`]).
+    pub threads: usize,
+    /// Most cost models a registry will host concurrently.
+    pub max_models: usize,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        Self {
+            // The paper's bound: every 3-wire reversible function is
+            // expressible within quantum cost 7.
+            max_cost_bound: 7,
+            threads: 0,
+            max_models: 8,
+        }
+    }
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// The query's cost bound exceeds the admission limit.
+    CostBoundExceeded {
+        /// The bound the query asked for.
+        requested: u32,
+        /// The host's admission limit.
+        limit: u32,
+    },
+    /// The registry already hosts its maximum number of cost models.
+    TooManyModels {
+        /// The configured model limit.
+        limit: usize,
+    },
+    /// A previous request panicked while holding the engine lock.
+    Poisoned,
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CostBoundExceeded { requested, limit } => write!(
+                f,
+                "cost bound {requested} exceeds the admission limit {limit}"
+            ),
+            Self::TooManyModels { limit } => {
+                write!(f, "already hosting the maximum of {limit} cost models")
+            }
+            Self::Poisoned => write!(f, "engine lock poisoned by an earlier panic"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl<T> From<std::sync::PoisonError<T>> for HostError {
+    fn from(_: std::sync::PoisonError<T>) -> Self {
+        Self::Poisoned
+    }
+}
+
+/// Shared bookkeeping for the single-flight expansion path.
+#[derive(Debug)]
+struct Flight {
+    /// A writer is currently expanding.
+    expanding: bool,
+    /// Last known completed level (mirrors the engine, readable without
+    /// touching the engine lock).
+    completed: Option<u32>,
+    /// The search space ran out below a requested bound — no further
+    /// expansion can help.
+    exhausted: bool,
+}
+
+/// Service counters (all monotonic).
+#[derive(Debug, Default)]
+struct Counters {
+    synthesize_requests: AtomicU64,
+    census_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    expansions: AtomicU64,
+    single_flight_waits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A point-in-time view of one host's counters and engine state.
+#[derive(Debug, Clone)]
+pub struct HostStats {
+    /// The host's cost model weights `(V, V⁺, Feynman)`.
+    pub model: (u32, u32, u32),
+    /// `/synthesize` requests admitted.
+    pub synthesize_requests: u64,
+    /// `/census` requests admitted.
+    pub census_requests: u64,
+    /// Queries answered purely from the cached levels.
+    pub cache_hits: u64,
+    /// Queries that needed at least one expansion.
+    pub cache_misses: u64,
+    /// Write-side `expand_to_cost` calls actually performed.
+    pub expansions: u64,
+    /// Times a request waited on another request's in-flight expansion
+    /// instead of expanding itself.
+    pub single_flight_waits: u64,
+    /// Requests rejected by cost-bound admission.
+    pub rejected: u64,
+    /// Highest fully expanded level.
+    pub completed: Option<u32>,
+    /// Distinct reversible classes discovered.
+    pub classes_found: usize,
+    /// Distinct circuit-permutations discovered (`|A|`).
+    pub a_size: usize,
+    /// Engine expansion threads.
+    pub threads: usize,
+}
+
+/// The census counts a service query returns (a read-only slice of the
+/// warm engine's tables).
+#[derive(Debug, Clone)]
+pub struct CensusReply {
+    /// The bound the query asked for.
+    pub cb: u32,
+    /// `|G[k]|` for `k = 0..=cb` (shorter if the space exhausted early).
+    pub g_counts: Vec<usize>,
+    /// `|B[k]|`, parallel to `g_counts`.
+    pub b_counts: Vec<usize>,
+    /// Total classes discovered by the shared engine so far.
+    pub classes_found: usize,
+    /// Total circuit-permutations discovered so far.
+    pub a_size: usize,
+}
+
+/// One warm engine behind a readers-writer cache manager with
+/// single-flight expansion (see the module docs).
+#[derive(Debug)]
+pub struct EngineHost {
+    engine: RwLock<SynthesisEngine>,
+    flight: Mutex<Flight>,
+    landed: Condvar,
+    limit: u32,
+    counters: Counters,
+}
+
+/// Clears the `expanding` flag even if the expansion panicked, so
+/// waiters are never stranded on the condvar.
+struct FlightReset<'a>(&'a EngineHost);
+
+impl Drop for FlightReset<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut flight) = self.0.flight.lock() {
+            flight.expanding = false;
+        }
+        self.0.landed.notify_all();
+    }
+}
+
+impl EngineHost {
+    /// Hosts `engine`, rejecting queries whose cost bound exceeds
+    /// `max_cost_bound`.
+    ///
+    /// A snapshot-loaded engine's deferred frontier is materialized here,
+    /// up front, so no query pays the merge cost mid-flight.
+    pub fn new(mut engine: SynthesisEngine, max_cost_bound: u32) -> Self {
+        engine.ensure_frontier();
+        let flight = Flight {
+            expanding: false,
+            completed: engine.completed_cost(),
+            exhausted: false,
+        };
+        Self {
+            engine: RwLock::new(engine),
+            flight: Mutex::new(flight),
+            landed: Condvar::new(),
+            limit: max_cost_bound,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The admission limit.
+    pub fn cost_bound_limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Minimal-cost synthesis of `target` within `cb`, served from the
+    /// shared cache when possible.
+    ///
+    /// The result is bit-identical to a serial
+    /// [`SynthesisEngine::synthesize`] call on a private engine — costs,
+    /// witness counts, and circuits — for any number of concurrent
+    /// callers.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::CostBoundExceeded`] when `cb` exceeds the admission
+    /// limit; [`HostError::Poisoned`] after a panicked writer.
+    pub fn synthesize(&self, target: &Perm, cb: u32) -> Result<Option<Synthesis>, HostError> {
+        self.admit(cb)?;
+        self.counters
+            .synthesize_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let mut missed = false;
+        loop {
+            {
+                let engine = self.engine.read()?;
+                if let CachedSynthesis::Resolved(result) = engine.synthesize_cached(target, cb) {
+                    let outcome = if missed {
+                        &self.counters.cache_misses
+                    } else {
+                        &self.counters.cache_hits
+                    };
+                    outcome.fetch_add(1, Ordering::Relaxed);
+                    return Ok(result);
+                }
+            }
+            missed = true;
+            self.expand_shared(cb)?;
+        }
+    }
+
+    /// The census counts up to `cb`, expanding (single-flight) only if
+    /// the cached levels do not reach that far yet.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::synthesize`].
+    pub fn census(&self, cb: u32) -> Result<CensusReply, HostError> {
+        self.admit(cb)?;
+        self.counters
+            .census_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let mut missed = false;
+        loop {
+            let ready = {
+                let flight = self.flight.lock()?;
+                flight.exhausted || flight.completed.is_some_and(|c| c >= cb)
+            };
+            if ready {
+                let engine = self.engine.read()?;
+                let levels = engine.g_counts().len().min(cb as usize + 1);
+                let outcome = if missed {
+                    &self.counters.cache_misses
+                } else {
+                    &self.counters.cache_hits
+                };
+                outcome.fetch_add(1, Ordering::Relaxed);
+                return Ok(CensusReply {
+                    cb,
+                    g_counts: engine.g_counts()[..levels].to_vec(),
+                    b_counts: engine.b_counts()[..levels].to_vec(),
+                    classes_found: engine.classes_found(),
+                    a_size: engine.a_size(),
+                });
+            }
+            missed = true;
+            self.expand_shared(cb)?;
+        }
+    }
+
+    /// A point-in-time stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Poisoned`] after a panicked writer.
+    pub fn stats(&self) -> Result<HostStats, HostError> {
+        let engine = self.engine.read()?;
+        let c = &self.counters;
+        Ok(HostStats {
+            model: engine.cost_model().weights(),
+            synthesize_requests: c.synthesize_requests.load(Ordering::Relaxed),
+            census_requests: c.census_requests.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            expansions: c.expansions.load(Ordering::Relaxed),
+            single_flight_waits: c.single_flight_waits.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: engine.completed_cost(),
+            classes_found: engine.classes_found(),
+            a_size: engine.a_size(),
+            threads: engine.threads(),
+        })
+    }
+
+    fn admit(&self, cb: u32) -> Result<(), HostError> {
+        if cb > self.limit {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(HostError::CostBoundExceeded {
+                requested: cb,
+                limit: self.limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// The single-flight expansion path: ensure the engine's levels cover
+    /// `cb` (or the space is exhausted), expanding at most once across
+    /// all concurrent callers that need it.
+    fn expand_shared(&self, cb: u32) -> Result<(), HostError> {
+        let mut flight = self.flight.lock()?;
+        loop {
+            if flight.exhausted || flight.completed.is_some_and(|c| c >= cb) {
+                return Ok(());
+            }
+            if flight.expanding {
+                self.counters
+                    .single_flight_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                flight = self.landed.wait(flight)?;
+                continue;
+            }
+            flight.expanding = true;
+            drop(flight);
+            let reset = FlightReset(self);
+            let (completed, exhausted) = {
+                let mut engine = self.engine.write()?;
+                engine.expand_to_cost(cb);
+                let completed = engine.completed_cost();
+                (completed, completed.is_none_or(|c| c < cb))
+            };
+            self.counters.expansions.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut flight = self.flight.lock()?;
+                flight.completed = completed;
+                flight.exhausted = exhausted;
+            }
+            drop(reset); // clears `expanding`, wakes waiters
+            return Ok(());
+        }
+    }
+}
+
+/// One [`EngineHost`] per cost model, created on demand (bounded by
+/// [`HostConfig::max_models`]).
+#[derive(Debug)]
+pub struct HostRegistry {
+    config: HostConfig,
+    hosts: Mutex<HashMap<CostModel, Arc<EngineHost>>>,
+}
+
+impl HostRegistry {
+    /// An empty registry; hosts are created lazily by
+    /// [`Self::host_for`].
+    pub fn new(config: HostConfig) -> Self {
+        Self {
+            config,
+            hosts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// Installs a pre-warmed engine (e.g. loaded from a snapshot) as the
+    /// host for its own cost model, replacing any existing host.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Poisoned`] if the registry lock is poisoned.
+    pub fn install(&self, engine: SynthesisEngine) -> Result<Arc<EngineHost>, HostError> {
+        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        let model = {
+            let engine = host.engine.read()?;
+            *engine.cost_model()
+        };
+        self.hosts.lock()?.insert(model, Arc::clone(&host));
+        Ok(host)
+    }
+
+    /// The host for `model`, creating a cold engine if this is the
+    /// model's first request.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::TooManyModels`] past the configured limit;
+    /// [`HostError::Poisoned`] if the registry lock is poisoned.
+    pub fn host_for(&self, model: CostModel) -> Result<Arc<EngineHost>, HostError> {
+        let mut hosts = self.hosts.lock()?;
+        if let Some(host) = hosts.get(&model) {
+            return Ok(Arc::clone(host));
+        }
+        if hosts.len() >= self.config.max_models {
+            return Err(HostError::TooManyModels {
+                limit: self.config.max_models,
+            });
+        }
+        let threads =
+            mvq_core::resolve_threads((self.config.threads > 0).then_some(self.config.threads));
+        let engine =
+            SynthesisEngine::with_threads(mvq_logic::GateLibrary::standard(3), model, threads);
+        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        hosts.insert(model, Arc::clone(&host));
+        Ok(host)
+    }
+
+    /// Stats snapshots for every live host, in model order.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Poisoned`] if any lock is poisoned.
+    pub fn stats(&self) -> Result<Vec<HostStats>, HostError> {
+        let hosts = self.hosts.lock()?;
+        let mut all: Vec<HostStats> = hosts
+            .values()
+            .map(|h| h.stats())
+            .collect::<Result<_, _>>()?;
+        all.sort_by_key(|s| s.model);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_core::known;
+
+    fn unit_host(limit: u32) -> EngineHost {
+        EngineHost::new(SynthesisEngine::unit_cost_with_threads(1), limit)
+    }
+
+    #[test]
+    fn serves_toffoli_like_a_private_engine() {
+        let host = unit_host(7);
+        let served = host.synthesize(&known::toffoli_perm(), 6).unwrap().unwrap();
+        let mut private = SynthesisEngine::unit_cost_with_threads(1);
+        let want = private.synthesize(&known::toffoli_perm(), 6).unwrap();
+        assert_eq!(served.cost, want.cost);
+        assert_eq!(served.implementation_count, want.implementation_count);
+        assert_eq!(served.circuit.to_string(), want.circuit.to_string());
+    }
+
+    #[test]
+    fn admission_rejects_deep_bounds() {
+        let host = unit_host(5);
+        let err = host.synthesize(&known::fredkin_perm(), 7).unwrap_err();
+        assert_eq!(
+            err,
+            HostError::CostBoundExceeded {
+                requested: 7,
+                limit: 5
+            }
+        );
+        // Within the limit the query is admitted (and unreachable at 5).
+        assert!(host
+            .synthesize(&known::fredkin_perm(), 5)
+            .unwrap()
+            .is_none());
+        assert_eq!(host.stats().unwrap().rejected, 1);
+    }
+
+    #[test]
+    fn warm_bound_semantics_match_the_engine() {
+        let host = unit_host(7);
+        host.census(5).unwrap(); // warm to cost 5
+        assert!(host
+            .synthesize(&known::toffoli_perm(), 4)
+            .unwrap()
+            .is_none());
+        let again = host.synthesize(&known::toffoli_perm(), 5).unwrap().unwrap();
+        assert_eq!(again.cost, 5);
+    }
+
+    #[test]
+    fn census_reports_verified_counts() {
+        let host = unit_host(7);
+        let reply = host.census(3).unwrap();
+        assert_eq!(reply.g_counts, vec![1, 6, 24, 51]);
+        assert_eq!(reply.cb, 3);
+        // A deeper engine truncates to the requested bound.
+        host.census(4).unwrap();
+        let shallow = host.census(2).unwrap();
+        assert_eq!(shallow.g_counts, vec![1, 6, 24]);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let host = unit_host(7);
+        host.synthesize(&known::peres_perm(), 5).unwrap(); // miss: expands to 5
+        host.synthesize(&known::peres_perm(), 5).unwrap(); // hit
+        host.synthesize(&known::toffoli_perm(), 5).unwrap(); // hit: levels cover 5
+        let stats = host.stats().unwrap();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.expansions, 1);
+        assert_eq!(stats.synthesize_requests, 3);
+    }
+
+    #[test]
+    fn concurrent_misses_share_one_expansion() {
+        let host = Arc::new(unit_host(7));
+        let results: Vec<(u32, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let host = Arc::clone(&host);
+                    scope.spawn(move || {
+                        let syn = host.synthesize(&known::toffoli_perm(), 5).unwrap().unwrap();
+                        (syn.cost, syn.implementation_count)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&r| r == (5, 4)));
+        let stats = host.stats().unwrap();
+        // All eight raced for the same level-5 expansion: the engine only
+        // ever expanded levels 0–5 once (at most a few no-op write grabs).
+        assert_eq!(stats.completed, Some(5));
+        assert_eq!(stats.a_size, {
+            let mut e = SynthesisEngine::unit_cost_with_threads(1);
+            e.expand_to_cost(5);
+            e.a_size()
+        });
+    }
+
+    #[test]
+    fn registry_creates_and_caps_models() {
+        let registry = HostRegistry::new(HostConfig {
+            max_cost_bound: 7,
+            threads: 1,
+            max_models: 2,
+        });
+        let unit = registry.host_for(CostModel::unit()).unwrap();
+        let again = registry.host_for(CostModel::unit()).unwrap();
+        assert!(Arc::ptr_eq(&unit, &again));
+        registry.host_for(CostModel::weighted(1, 2, 3)).unwrap();
+        let err = registry.host_for(CostModel::weighted(2, 2, 1)).unwrap_err();
+        assert_eq!(err, HostError::TooManyModels { limit: 2 });
+        assert_eq!(registry.stats().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn install_replaces_the_model_host() {
+        let registry = HostRegistry::new(HostConfig {
+            threads: 1,
+            ..HostConfig::default()
+        });
+        let mut warm = SynthesisEngine::unit_cost_with_threads(1);
+        warm.expand_to_cost(4);
+        registry.install(warm).unwrap();
+        let host = registry.host_for(CostModel::unit()).unwrap();
+        assert_eq!(host.stats().unwrap().completed, Some(4));
+    }
+}

@@ -1,0 +1,232 @@
+//! A minimal HTTP/1.1 implementation over `std::io` — just enough for
+//! the service's JSON endpoints (the build environment is offline, so
+//! the transport is hand-rolled on the standard library, matching the
+//! `shims/` policy).
+//!
+//! Supported: request-line + header parsing with size limits,
+//! `Content-Length` bodies, sequential keep-alive, and canned JSON
+//! responses. Not supported (and not needed): chunked encoding,
+//! pipelining, TLS.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: u64 = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/synthesize`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless the client sends `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn bad_request(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+/// Reads one `\n`-terminated line with a hard length cap, stripping the
+/// line ending. `Ok(None)` means clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let taken = reader.take(MAX_LINE).read_until(b'\n', &mut line)?;
+    if taken == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(bad_request(format!("line exceeds {MAX_LINE} bytes")));
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| bad_request("line is not UTF-8"))
+}
+
+/// Reads and parses one request. `Ok(None)` means the client closed the
+/// connection cleanly between requests.
+///
+/// # Errors
+///
+/// `InvalidData` on malformed framing (oversized lines, bad
+/// `Content-Length`, too many headers) and any underlying I/O error.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad_request(format!(
+            "malformed request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_request(format!("unsupported protocol `{version}`")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line =
+            read_line(reader)?.ok_or_else(|| bad_request("connection closed mid-headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad_request(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_request(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad_request(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(bad_request(format!("body exceeds {MAX_BODY} bytes")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response with the standard framing headers (one
+/// `write_all` call, so small responses leave in a single TCP segment).
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(response.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let req = parse(
+            "POST /synthesize HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\n{\"\"}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"{\"\"}");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse("nonsense\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nContent-Length: potato\r\n\r\n").is_err());
+        assert!(parse("GET / SPDY/99\r\n\r\n").is_err());
+        // Truncated body.
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let text = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/a");
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/b");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_framing_is_parseable() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,297 @@
+//! The transport layer: a threaded TCP accept loop routing the JSON
+//! endpoints onto a [`HostRegistry`].
+//!
+//! ```text
+//! /synthesize ── POST ─┐
+//! /census ────── POST ─┤                  ┌─ EngineHost (unit costs)
+//! /healthz ───── GET ──┼─► HostRegistry ──┼─ EngineHost (weighted …)
+//! /stats ─────── GET ──┤                  └─ …
+//! /shutdown ──── POST ─┘
+//! ```
+//!
+//! Connections are handed to a fixed worker pool over a channel;
+//! each worker speaks sequential keep-alive HTTP/1.1. Shutdown (via
+//! [`ServerHandle::shutdown`] or `POST /shutdown`) flips a flag and
+//! nudges the blocking accept loop awake with a loopback connection, so
+//! in-flight responses complete and the listener closes cleanly.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mvq_core::CostModel;
+
+use crate::host::{HostError, HostRegistry};
+use crate::http::{read_request, write_response, Request};
+use crate::json::{error_body, render, CensusRequest, SynthesizeReply, SynthesizeRequest};
+
+/// Per-connection read timeout: a stalled client cannot pin a worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A bound, not-yet-running service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<HostRegistry>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+/// A remote control for a running [`Server`] (cloneable across
+/// threads).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: the accept loop stops taking
+    /// connections, in-flight requests finish, workers drain and join.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept awake.
+        let _ = TcpStream::connect(wake_addr(self.addr));
+    }
+}
+
+/// An address a local client can actually connect to in order to wake
+/// the accept loop: wildcard binds (`0.0.0.0` / `::`) are not routable
+/// as destinations everywhere, so substitute the matching loopback.
+fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port)
+    /// over `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<HostRegistry>) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            registry,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle for this server.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure resolving the local address.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.listener.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Serves until shutdown, dispatching connections to `workers`
+    /// handler threads. Blocks the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener errors; per-connection failures are dropped.
+    pub fn run(self, workers: usize) -> io::Result<()> {
+        let workers = workers.max(1);
+        let ctx = Arc::new(Ctx {
+            registry: self.registry,
+            shutdown: Arc::clone(&self.shutdown),
+            started: self.started,
+            addr: self.listener.local_addr()?,
+        });
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let receiver = Arc::clone(&receiver);
+                let ctx = Arc::clone(&ctx);
+                scope.spawn(move || loop {
+                    let Ok(stream) = receiver.lock().expect("worker queue intact").recv() else {
+                        return; // sender dropped: shutdown
+                    };
+                    let _ = handle_connection(stream, &ctx);
+                });
+            }
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let _ = sender.send(stream);
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::ConnectionAborted => {}
+                    Err(_) => {}
+                }
+            }
+            drop(sender); // workers drain the queue and exit
+        });
+        Ok(())
+    }
+}
+
+struct Ctx {
+    registry: Arc<HostRegistry>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    // Responses are single-write and request/response strictly alternate;
+    // Nagle + delayed ACK would add ~40 ms per round-trip for nothing.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()), // client closed cleanly
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+                write_response(&mut writer, 400, &error_body(&err.to_string()), false)?;
+                return Ok(());
+            }
+            Err(err) => return Err(err),
+        };
+        let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+        let (status, body, shutdown_after) = route(&request, ctx);
+        write_response(&mut writer, status, &body, keep_alive && !shutdown_after)?;
+        if shutdown_after {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(wake_addr(ctx.addr)); // wake the accept loop
+            return Ok(());
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one request. Returns `(status, body, shutdown_after)`.
+fn route(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            format!(
+                r#"{{"status":"ok","uptime_ms":{}}}"#,
+                ctx.started.elapsed().as_millis()
+            ),
+            false,
+        ),
+        ("GET", "/stats") => match ctx.registry.stats() {
+            Ok(all) => {
+                let hosts: Vec<String> = all.iter().map(render).collect();
+                (
+                    200,
+                    format!(
+                        r#"{{"uptime_ms":{},"models":{},"hosts":[{}]}}"#,
+                        ctx.started.elapsed().as_millis(),
+                        hosts.len(),
+                        hosts.join(",")
+                    ),
+                    false,
+                )
+            }
+            Err(err) => host_error(&err),
+        },
+        ("POST", "/synthesize") => synthesize(request, ctx),
+        ("POST", "/census") => census(request, ctx),
+        ("POST", "/shutdown") => (200, r#"{"status":"shutting down"}"#.to_string(), true),
+        ("GET" | "POST", _) => (404, error_body("no such endpoint"), false),
+        _ => (405, error_body("method not allowed"), false),
+    }
+}
+
+fn host_error(err: &HostError) -> (u16, String, bool) {
+    let status = match err {
+        HostError::CostBoundExceeded { .. } => 400,
+        HostError::TooManyModels { .. } => 429,
+        HostError::Poisoned => 500,
+    };
+    (status, error_body(&err.to_string()), false)
+}
+
+fn resolve_model(spec: Option<crate::json::ModelSpec>) -> Result<CostModel, String> {
+    spec.map_or(Ok(CostModel::unit()), crate::json::ModelSpec::to_model)
+}
+
+fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
+    let body = String::from_utf8_lossy(&request.body);
+    let parsed: SynthesizeRequest = match serde_json::from_str(&body) {
+        Ok(parsed) => parsed,
+        Err(err) => return (400, error_body(&err.to_string()), false),
+    };
+    let target = match mvq_core::known::parse_binary_target(&parsed.target) {
+        Ok(target) => target,
+        Err(detail) => return (400, error_body(&detail), false),
+    };
+    let model = match resolve_model(parsed.model) {
+        Ok(model) => model,
+        Err(detail) => return (400, error_body(&detail), false),
+    };
+    let host = match ctx.registry.host_for(model) {
+        Ok(host) => host,
+        Err(err) => return host_error(&err),
+    };
+    let cb = parsed.cb.unwrap_or_else(|| host.cost_bound_limit());
+    match host.synthesize(&target, cb) {
+        Ok(synthesis) => (200, render(&SynthesizeReply { cb, synthesis }), false),
+        Err(err) => host_error(&err),
+    }
+}
+
+fn census(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
+    let body = String::from_utf8_lossy(&request.body);
+    let body = if body.trim().is_empty() {
+        "{}".into()
+    } else {
+        body
+    };
+    let parsed: CensusRequest = match serde_json::from_str(&body) {
+        Ok(parsed) => parsed,
+        Err(err) => return (400, error_body(&err.to_string()), false),
+    };
+    let model = match resolve_model(parsed.model) {
+        Ok(model) => model,
+        Err(detail) => return (400, error_body(&detail), false),
+    };
+    let host = match ctx.registry.host_for(model) {
+        Ok(host) => host,
+        Err(err) => return host_error(&err),
+    };
+    // An explicit bound goes through admission like /synthesize (over
+    // the limit → 400); only the default is capped by the limit.
+    let cb = parsed.cb.unwrap_or_else(|| 6.min(host.cost_bound_limit()));
+    match host.census(cb) {
+        Ok(reply) => (200, render(&reply), false),
+        Err(err) => host_error(&err),
+    }
+}

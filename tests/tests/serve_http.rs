@@ -1,0 +1,211 @@
+//! HTTP smoke suite: boots the real `mvq_serve` server on a loopback
+//! port and speaks raw HTTP/1.1 to it over `TcpStream` — the in-repo
+//! version of the CI serve-smoke job (known Toffoli answer, health
+//! probe, clean shutdown).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mvq_core::SynthesisEngine;
+use mvq_serve::{HostConfig, HostRegistry, Server, ServerHandle};
+
+struct RunningServer {
+    handle: ServerHandle,
+    runner: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl RunningServer {
+    fn start(registry: HostRegistry) -> Self {
+        let server = Server::bind("127.0.0.1:0", Arc::new(registry)).expect("bind loopback");
+        let handle = server.handle().expect("handle");
+        let runner = std::thread::spawn(move || server.run(2));
+        Self {
+            handle,
+            runner: Some(runner),
+        }
+    }
+
+    fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(self.handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("receive");
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad response: {response}"));
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn shutdown(mut self) {
+        self.handle.shutdown();
+        self.runner
+            .take()
+            .expect("still running")
+            .join()
+            .expect("server thread")
+            .expect("server run");
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if let Some(runner) = self.runner.take() {
+            self.handle.shutdown();
+            let _ = runner.join();
+        }
+    }
+}
+
+fn test_config() -> HostConfig {
+    HostConfig {
+        threads: 1,
+        ..HostConfig::default()
+    }
+}
+
+#[test]
+fn endpoints_answer_known_results() {
+    let server = RunningServer::start(HostRegistry::new(test_config()));
+
+    let (status, body) = server.request("GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    // The known Toffoli answer: cost 5, 4 minimal implementations.
+    let (status, body) = server.request("POST", "/synthesize", r#"{"target":"(7,8)","cb":6}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"found\":true"), "{body}");
+    assert!(body.contains("\"cost\":5"), "{body}");
+    assert!(body.contains("\"implementation_count\":4"), "{body}");
+
+    // Verified Table 2 prefix through the service.
+    let (status, body) = server.request("POST", "/census", r#"{"cb":3}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"g_counts\":[1,6,24,51]"), "{body}");
+
+    // An unreachable bound is a definitive not-found, not an error.
+    let (status, body) = server.request("POST", "/synthesize", r#"{"target":"(7,8)","cb":4}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"found\":false"), "{body}");
+
+    // Weighted-model routing spins up a second host.
+    let (status, body) = server.request(
+        "POST",
+        "/synthesize",
+        r#"{"target":"(5,7,6,8)","cb":8,"model":{"v":2,"v_dagger":2,"feynman":1}}"#,
+    );
+    assert_eq!(status, 400, "{body}"); // cb 8 over the admission limit
+    let (status, body) = server.request(
+        "POST",
+        "/synthesize",
+        r#"{"target":"(5,7,6,8)","cb":7,"model":{"v":2,"v_dagger":2,"feynman":1}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cost\":7"), "{body}");
+
+    let (status, body) = server.request("GET", "/stats", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"models\":2"), "{body}");
+    assert!(body.contains("\"cache_hits\""), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_disconnects() {
+    // A tight admission limit keeps the default-census check cheap.
+    let server = RunningServer::start(HostRegistry::new(HostConfig {
+        threads: 1,
+        max_cost_bound: 3,
+        ..HostConfig::default()
+    }));
+    let (status, body) = server.request("POST", "/synthesize", "this is not json");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("error"), "{body}");
+    let (status, _) = server.request("POST", "/synthesize", r#"{"cb":3}"#);
+    assert_eq!(status, 400);
+    let (status, _) = server.request("POST", "/synthesize", r#"{"target":"(1,9)"}"#);
+    assert_eq!(status, 400);
+    let (status, _) = server.request(
+        "POST",
+        "/synthesize",
+        r#"{"target":"(7,8)","model":{"v":0,"v_dagger":1,"feynman":1}}"#,
+    );
+    assert_eq!(status, 400);
+    let (status, _) = server.request("GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = server.request("DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+    // Explicit census bounds go through admission like /synthesize.
+    let (status, body) = server.request("POST", "/census", r#"{"cb":9}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("admission limit"), "{body}");
+    // …while the bodyless default is capped by the limit, not rejected.
+    let (status, body) = server.request("POST", "/census", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cb\":3"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_backed_server_answers_without_expansion() {
+    // Pre-build a warm snapshot, boot the service from it, and check the
+    // Toffoli answer is served with zero expansions.
+    let mut warm = SynthesisEngine::unit_cost_with_threads(1);
+    warm.expand_to_cost(5);
+    let path = std::env::temp_dir().join(format!("mvq_serve_http_{}.snap", std::process::id()));
+    warm.save_snapshot(&path).expect("write snapshot");
+
+    let registry = HostRegistry::new(test_config());
+    let engine = SynthesisEngine::load_snapshot_with_threads(&path, 1).expect("load snapshot");
+    registry.install(engine).expect("install");
+    let server = RunningServer::start(registry);
+
+    let (status, body) = server.request("POST", "/synthesize", r#"{"target":"(7,8)","cb":6}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cost\":5"), "{body}");
+    let (status, body) = server.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"expansions\":0"), "{body}");
+    assert!(body.contains("\"completed\":5"), "{body}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let server = RunningServer::start(HostRegistry::new(test_config()));
+    let addr = server.handle.addr();
+    let (status, body) = server.request("POST", "/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("shutting down"), "{body}");
+    // The run loop exits; joining must not hang.
+    let mut server = server;
+    server
+        .runner
+        .take()
+        .expect("still running")
+        .join()
+        .expect("server thread")
+        .expect("clean exit");
+    // New connections are no longer served.
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err();
+    assert!(refused, "listener still accepting after shutdown");
+}
