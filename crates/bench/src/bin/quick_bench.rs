@@ -15,7 +15,8 @@
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use mvq_core::{known, resolve_threads, SynthesisEngine};
+use mvq_core::{known, resolve_threads, CostModel, SynthesisEngine, WideSynthesisEngine};
+use mvq_logic::GateLibrary;
 
 struct Sample {
     name: &'static str,
@@ -165,6 +166,34 @@ fn main() {
     }));
     std::fs::remove_file(&snap_path).ok();
 
+    // 4-wire rows (wide width: 256-pattern words, u128 traces). The
+    // 3-wire rows above double as the before/after guard for the
+    // widening refactor: the narrow width keeps the [u8; 64]/u64 hot
+    // representations (only the word length field widened to u16), so
+    // `census_cb5` must track its committed baseline.
+    rows.push(time("census_w4_cb3", auto, 5, || {
+        let mut e = WideSynthesisEngine::new(GateLibrary::standard(4), CostModel::unit());
+        e.expand_to_cost(3);
+        e.g_counts().len() as u32
+    }));
+    rows.push(time("cnot_w4_cold_unidirectional", auto, 10, || {
+        let target = known::parse_target_on("(9,10)(11,12)(13,14)(15,16)", 16).expect("valid");
+        let mut e = WideSynthesisEngine::new(GateLibrary::standard(4), CostModel::unit());
+        e.synthesize(&target, 2).expect("cost 1").cost
+    }));
+    let w4_snap_path =
+        std::env::temp_dir().join(format!("mvq_quick_bench_w4_{}.snap", std::process::id()));
+    {
+        let mut e = WideSynthesisEngine::new(GateLibrary::standard(4), CostModel::unit());
+        e.expand_to_cost(3);
+        e.save_snapshot(&w4_snap_path).expect("write w4 snapshot");
+    }
+    rows.push(time("census_w4_snapshot_warm", auto, 5, || {
+        let e = WideSynthesisEngine::load_snapshot_with_threads(&w4_snap_path, auto).expect("load");
+        e.g_counts().len() as u32
+    }));
+    std::fs::remove_file(&w4_snap_path).ok();
+
     // Pinned-serial counterparts: the parallel-vs-serial comparison for
     // the expansion-dominated workloads.
     rows.push(time("census_cb5_serial", 1, 5, || {
@@ -205,6 +234,7 @@ fn main() {
     );
     speedup("census_cb5", "census_snapshot_warm");
     speedup("toffoli_cold_unidirectional", "toffoli_snapshot_warm");
+    speedup("census_w4_cb3", "census_w4_snapshot_warm");
 
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)

@@ -5,9 +5,10 @@ use std::sync::Arc;
 
 use mvq_automata::ControlledRng;
 use mvq_core::{
-    universal, Census, Circuit, SynthesisEngine, SynthesisStrategy, EXPECTED_TABLE_2, PAPER_TABLE_2,
+    universal, Census, Circuit, CostModel, Narrow, SearchEngine, SearchWidth, SnapshotError,
+    SynthesisEngine, SynthesisStrategy, Wide, WideSynthesisEngine, EXPECTED_TABLE_2, PAPER_TABLE_2,
 };
-use mvq_logic::{Gate, PatternDomain, TruthTable};
+use mvq_logic::{Gate, GateLibrary, PatternDomain, TruthTable};
 use mvq_perm::Perm;
 use mvq_serve::{HostConfig, HostRegistry, Server};
 use rand::rngs::StdRng;
@@ -25,15 +26,17 @@ USAGE:
     mvq <command> [options]
 
 COMMANDS:
-    census [--cb N] [--threads T]   reproduce Table 2 up to cost N (default 6)
-           [--snapshot FILE]        warm-start from / write back a level-cache
-                                    snapshot (created if missing)
+    census [--cb N] [--threads T]   reproduce Table 2 up to cost N (default 6;
+           [--snapshot FILE]        3 on 4 wires) — warm-start from / write
+           [--wires 2|3|4]          back a level-cache snapshot (created if
+           [--model M]              missing); M is unit | V,VD,F |
+                                    weighted(V,VD,F)
     synth <perm> [--cb N] [--all]   minimal-cost synthesis of a reversible
           [--strategy uni|bidi]     function given in cycle notation on the
-          [--threads T]             8 binary patterns, e.g. \"(7,8)\";
+          [--threads T]             2^n binary patterns, e.g. \"(7,8)\";
           [--snapshot FILE]         `bidi` meets in the middle from the
-                                    target side (faster for deep targets);
-                                    T defaults to MVQ_THREADS or the
+          [--wires 2|3|4]           target side (faster for deep targets);
+          [--model M]               T defaults to MVQ_THREADS or the
                                     available parallelism (0 = auto)
     serve [--addr A] [--threads T]  long-lived synthesis service (HTTP/1.1 +
           [--snapshot FILE]         JSON): /synthesize /census /healthz
@@ -84,25 +87,61 @@ fn thread_count(args: &Args) -> Result<usize, ParseArgsError> {
     ))
 }
 
+/// Resolves `--wires` (default 3).
+fn wires_arg(args: &Args) -> Result<usize, ParseArgsError> {
+    let wires: usize = args.option("wires", 3)?;
+    if !(2..=4).contains(&wires) {
+        return Err(ParseArgsError::new("--wires must be 2, 3 or 4"));
+    }
+    Ok(wires)
+}
+
+/// Resolves `--model` (default unit costs).
+fn model_arg(args: &Args) -> Result<CostModel, ParseArgsError> {
+    args.option("model", CostModel::unit())
+}
+
 /// Builds an engine for one-shot commands: loaded from `--snapshot` when
 /// the file exists, cold otherwise. Returns the engine and the snapshot
 /// depth it started from (for the write-back decision).
-fn snapshot_engine(
+///
+/// A loaded snapshot must match the *requested* wires and cost model —
+/// a weighted snapshot warm-starts `--model weighted(...)` runs just
+/// like a unit snapshot warm-starts unit runs.
+fn snapshot_engine<W: SearchWidth>(
     args: &Args,
+    wires: usize,
+    model: CostModel,
     threads: usize,
-) -> Result<(SynthesisEngine, Option<u32>), Box<dyn Error>> {
+) -> Result<(SearchEngine<W>, Option<u32>), Box<dyn Error>> {
+    let cold = || -> Result<SearchEngine<W>, Box<dyn Error>> {
+        Ok(SearchEngine::<W>::try_with_threads(
+            GateLibrary::standard(wires),
+            model,
+            threads,
+        )?)
+    };
     let Some(path) = args
         .option("snapshot", String::new())
         .ok()
         .filter(|p| !p.is_empty())
     else {
-        return Ok((SynthesisEngine::unit_cost_with_threads(threads), None));
+        return Ok((cold()?, None));
     };
     if std::path::Path::new(&path).exists() {
-        let engine = SynthesisEngine::load_snapshot_with_threads(&path, threads)?;
-        if engine.cost_model() != &mvq_core::CostModel::unit() {
+        let engine = SearchEngine::<W>::load_snapshot_with_threads(&path, threads)?;
+        if engine.library().domain().wires() != wires {
             return Err(Box::new(ParseArgsError::new(format!(
-                "snapshot {path} was built with a non-unit cost model"
+                "snapshot {path} was built over {} wires, but --wires requests {wires}",
+                engine.library().domain().wires()
+            ))));
+        }
+        if engine.cost_model() != &model {
+            return Err(Box::new(ParseArgsError::new(format!(
+                "snapshot {path} was built with cost model {:?}, but this run requests {:?} \
+                 (pass the matching --model or a different snapshot file)",
+                engine.cost_model().weights(),
+                model.weights()
             ))));
         }
         let depth = engine.completed_cost();
@@ -113,15 +152,15 @@ fn snapshot_engine(
         );
         Ok((engine, depth.or(Some(0))))
     } else {
-        Ok((SynthesisEngine::unit_cost_with_threads(threads), None))
+        Ok((cold()?, None))
     }
 }
 
 /// Writes the snapshot back when `--snapshot` was given and the engine
 /// grew past the depth it started from.
-fn snapshot_writeback(
+fn snapshot_writeback<W: SearchWidth>(
     args: &Args,
-    engine: &mut SynthesisEngine,
+    engine: &mut SearchEngine<W>,
     loaded_depth: Option<u32>,
 ) -> Result<(), Box<dyn Error>> {
     let Some(path) = args
@@ -150,20 +189,34 @@ fn snapshot_writeback(
 }
 
 fn census(args: &Args) -> CommandResult {
-    let cb: u32 = args.option("cb", 6)?;
+    let wires = wires_arg(args)?;
+    if wires == 4 {
+        census_run::<Wide>(args, wires)
+    } else {
+        census_run::<Narrow>(args, wires)
+    }
+}
+
+fn census_run<W: SearchWidth>(args: &Args, wires: usize) -> CommandResult {
+    // The 4-wire frontier grows ~3× faster per level than the 3-wire
+    // one; keep the default bound shallow there.
+    let cb: u32 = args.option("cb", if wires == 4 { 3 } else { 6 })?;
+    let model = model_arg(args)?;
     let threads = thread_count(args)?;
-    let (mut engine, loaded_depth) = snapshot_engine(args, threads)?;
+    let (mut engine, loaded_depth) = snapshot_engine::<W>(args, wires, model, threads)?;
     let census = Census::compute_with(&mut engine, cb);
     snapshot_writeback(args, &mut engine, loaded_depth)?;
     println!("{census}");
-    println!("(threads: {threads})");
-    println!();
-    println!("paper (printed): {PAPER_TABLE_2:?}");
-    println!("verified:        {EXPECTED_TABLE_2:?}");
-    for (k, mine, paper) in census.diff_vs_paper() {
-        println!(
-            "note: k = {k}: measured {mine} vs paper {paper} (paper slip; see EXPERIMENTS.md)"
-        );
+    println!("(wires: {wires}, threads: {threads})");
+    if wires == 3 && model == CostModel::unit() {
+        println!();
+        println!("paper (printed): {PAPER_TABLE_2:?}");
+        println!("verified:        {EXPECTED_TABLE_2:?}");
+        for (k, mine, paper) in census.diff_vs_paper() {
+            println!(
+                "note: k = {k}: measured {mine} vs paper {paper} (paper slip; see EXPERIMENTS.md)"
+            );
+        }
     }
     Ok(())
 }
@@ -174,14 +227,25 @@ fn parse_target(text: &str) -> Result<Perm, Box<dyn Error>> {
 }
 
 fn synth(args: &Args) -> CommandResult {
+    let wires = wires_arg(args)?;
+    if wires == 4 {
+        synth_run::<Wide>(args, wires)
+    } else {
+        synth_run::<Narrow>(args, wires)
+    }
+}
+
+fn synth_run<W: SearchWidth>(args: &Args, wires: usize) -> CommandResult {
     let text = args
         .positional(1)
         .ok_or_else(|| ParseArgsError::new("synth needs a permutation, e.g. \"(7,8)\""))?;
-    let cb: u32 = args.option("cb", 7)?;
+    let cb: u32 = args.option("cb", if wires == 4 { 4 } else { 7 })?;
     let strategy: SynthesisStrategy = args.option("strategy", SynthesisStrategy::default())?;
+    let model = model_arg(args)?;
     let threads = thread_count(args)?;
-    let target = parse_target(text)?;
-    let (mut engine, loaded_depth) = snapshot_engine(args, threads)?;
+    let target = mvq_core::known::parse_target_on(text, 1 << wires)
+        .map_err(|detail| Box::new(ParseArgsError::new(detail)) as Box<dyn Error>)?;
+    let (mut engine, loaded_depth) = snapshot_engine::<W>(args, wires, model, threads)?;
     if args.flag("all") {
         if strategy != SynthesisStrategy::Unidirectional {
             return Err(Box::new(ParseArgsError::new(
@@ -236,17 +300,23 @@ fn serve(args: &Args) -> CommandResult {
     }));
     if !snapshot.is_empty() {
         let resolved = mvq_core::resolve_threads((threads > 0).then_some(threads));
-        let engine = SynthesisEngine::load_snapshot_with_threads(&snapshot, resolved)?;
-        println!(
-            "loaded snapshot {snapshot} (model {:?}, levels ≤ {}, |A| = {}, {} classes)",
-            engine.cost_model().weights(),
-            engine
-                .completed_cost()
-                .map_or_else(|| "none".to_string(), |c| c.to_string()),
-            engine.a_size(),
-            engine.classes_found()
-        );
-        registry.install(engine)?;
+        // The file's recorded widths decide which engine loads it: one
+        // disk read, then try the narrow engine and fall back to the
+        // wide one on its (header-only) width mismatch.
+        let bytes = std::fs::read(&snapshot)?;
+        match SynthesisEngine::load_snapshot_from_bytes(&bytes, resolved) {
+            Ok(engine) => {
+                announce_snapshot(&snapshot, &engine);
+                registry.install(engine)?;
+            }
+            Err(SnapshotError::WidthMismatch { .. }) => {
+                let engine = WideSynthesisEngine::load_snapshot_from_bytes(&bytes, resolved)?;
+                announce_snapshot(&snapshot, &engine);
+                registry.install_wide(engine)?;
+            }
+            Err(err) => return Err(err.into()),
+        }
+        drop(bytes);
     }
     let server = Server::bind(addr.as_str(), registry)?;
     println!(
@@ -258,6 +328,19 @@ fn serve(args: &Args) -> CommandResult {
     server.run(workers)?;
     println!("mvq serve: shut down cleanly");
     Ok(())
+}
+
+fn announce_snapshot<W: SearchWidth>(path: &str, engine: &SearchEngine<W>) {
+    println!(
+        "loaded snapshot {path} ({} wires, model {:?}, levels ≤ {}, |A| = {}, {} classes)",
+        engine.library().domain().wires(),
+        engine.cost_model().weights(),
+        engine
+            .completed_cost()
+            .map_or_else(|| "none".to_string(), |c| c.to_string()),
+        engine.a_size(),
+        engine.classes_found()
+    );
 }
 
 fn verify(args: &Args) -> CommandResult {
@@ -486,6 +569,103 @@ mod tests {
         let path_text = path.to_string_lossy().to_string();
         assert!(run(&["census", "--cb", "2", "--snapshot", &path_text]).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn four_wire_census_and_synth() {
+        assert!(run(&["census", "--wires", "4", "--cb", "2"]).is_ok());
+        let cnot = "(9,10)(11,12)(13,14)(15,16)";
+        assert!(run(&["synth", cnot, "--wires", "4", "--cb", "2"]).is_ok());
+        assert!(run(&[
+            "synth",
+            cnot,
+            "--wires",
+            "4",
+            "--cb",
+            "2",
+            "--strategy",
+            "bidi"
+        ])
+        .is_ok());
+        assert!(run(&["synth", cnot, "--wires", "4", "--cb", "2", "--all"]).is_ok());
+        // Out-of-range wire counts and 3-wire targets naming 4-wire
+        // patterns are rejected.
+        assert!(run(&["census", "--wires", "5"]).is_err());
+        assert!(run(&["census", "--wires", "1"]).is_err());
+        assert!(run(&["synth", "(15,16)", "--cb", "2"]).is_err());
+    }
+
+    #[test]
+    fn four_wire_snapshot_roundtrip() {
+        let path = std::env::temp_dir().join(format!("mvq_cli_w4_{}.snap", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&["census", "--wires", "4", "--cb", "2", "--snapshot", &path]).is_ok());
+        assert!(std::path::Path::new(&path).exists());
+        // Warm-start from the wide snapshot.
+        assert!(run(&["census", "--wires", "4", "--cb", "2", "--snapshot", &path]).is_ok());
+        let loaded = WideSynthesisEngine::load_snapshot(&path).unwrap();
+        assert_eq!(loaded.completed_cost(), Some(2));
+        // The narrow engine (and a --wires 3 run) must reject it.
+        assert!(SynthesisEngine::load_snapshot(&path).is_err());
+        assert!(run(&["census", "--cb", "2", "--snapshot", &path]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weighted_model_snapshot_warm_starts() {
+        // Regression: `snapshot_engine` used to reject any snapshot
+        // "built with a non-unit cost model", so a weighted run could
+        // never warm-start even from its own snapshot. The check now
+        // compares the snapshot's model against the requested one.
+        let path = std::env::temp_dir().join(format!("mvq_cli_model_{}.snap", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&[
+            "census",
+            "--cb",
+            "2",
+            "--model",
+            "1,2,3",
+            "--snapshot",
+            &path
+        ])
+        .is_ok());
+        assert!(std::path::Path::new(&path).exists());
+        // Same weighted model: warm-starts (used to fail outright).
+        assert!(run(&[
+            "census",
+            "--cb",
+            "2",
+            "--model",
+            "1,2,3",
+            "--snapshot",
+            &path
+        ])
+        .is_ok());
+        assert!(run(&[
+            "synth",
+            "(7,8)",
+            "--cb",
+            "6",
+            "--model",
+            "1,2,3",
+            "--snapshot",
+            &path
+        ])
+        .is_ok());
+        // A different model is still a mismatch (here: default unit).
+        let err = run(&["census", "--cb", "2", "--snapshot", &path]).unwrap_err();
+        assert!(err.to_string().contains("cost model"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_flag_parses() {
+        assert!(run(&["census", "--cb", "1", "--model", "unit"]).is_ok());
+        assert!(run(&["census", "--cb", "2", "--model", "weighted(2,2,1)"]).is_ok());
+        assert!(run(&["census", "--cb", "1", "--model", "bogus"]).is_err());
+        assert!(run(&["synth", "(7,8)", "--cb", "2", "--model", "0,1,1"]).is_err());
     }
 
     #[test]

@@ -89,6 +89,74 @@ impl Default for CostModel {
     }
 }
 
+/// Error returned when parsing a [`CostModel`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCostModelError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseCostModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid cost model `{}` (expected `unit`, `V,VD,F` or `weighted(V,VD,F)` \
+             with positive weights)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseCostModelError {}
+
+impl std::str::FromStr for CostModel {
+    type Err = ParseCostModelError;
+
+    /// Parses `unit`, a bare weight triple `V,VD,F`, or
+    /// `weighted(V,VD,F)` — the grammar shared by the CLI's `--model`
+    /// flag.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvq_core::CostModel;
+    ///
+    /// assert_eq!("unit".parse::<CostModel>().unwrap(), CostModel::unit());
+    /// assert_eq!(
+    ///     "2,2,1".parse::<CostModel>().unwrap(),
+    ///     CostModel::weighted(2, 2, 1)
+    /// );
+    /// assert_eq!(
+    ///     "weighted(1,2,3)".parse::<CostModel>().unwrap(),
+    ///     CostModel::weighted(1, 2, 3)
+    /// );
+    /// assert!("0,1,1".parse::<CostModel>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCostModelError { input: s.into() };
+        let text = s.trim();
+        if text.eq_ignore_ascii_case("unit") {
+            return Ok(Self::unit());
+        }
+        let triple = text
+            .strip_prefix("weighted(")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .unwrap_or(text);
+        let mut weights = triple.split(',').map(|w| w.trim().parse::<u32>());
+        let (Some(Ok(v)), Some(Ok(vd)), Some(Ok(f)), None) = (
+            weights.next(),
+            weights.next(),
+            weights.next(),
+            weights.next(),
+        ) else {
+            return Err(err());
+        };
+        if v == 0 || vd == 0 || f == 0 {
+            return Err(err());
+        }
+        Ok(Self::weighted(v, vd, f))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +192,30 @@ mod tests {
     #[test]
     fn default_is_unit() {
         assert_eq!(CostModel::default(), CostModel::unit());
+    }
+
+    #[test]
+    fn parses_the_cli_grammar() {
+        assert_eq!("unit".parse::<CostModel>().unwrap(), CostModel::unit());
+        assert_eq!("UNIT".parse::<CostModel>().unwrap(), CostModel::unit());
+        assert_eq!(
+            " 2, 2 ,1 ".parse::<CostModel>().unwrap(),
+            CostModel::weighted(2, 2, 1)
+        );
+        assert_eq!(
+            "weighted(1,2,3)".parse::<CostModel>().unwrap(),
+            CostModel::weighted(1, 2, 3)
+        );
+        for bad in [
+            "",
+            "unitary",
+            "1,2",
+            "1,2,3,4",
+            "0,1,1",
+            "1,x,1",
+            "weighted(1,2",
+        ] {
+            assert!(bad.parse::<CostModel>().is_err(), "should reject `{bad}`");
+        }
     }
 }

@@ -7,12 +7,13 @@ use mvq_perm::Perm;
 
 use crate::par::{self, FrontierMeta, ShardedSeen};
 use crate::snapshot::DeferredFrontier;
-use crate::word::{FnvBuildHasher, PackedWord};
+use crate::width::{MaskRepr, Narrow, SearchWidth, TraceRepr, WordRepr};
+use crate::word::FnvBuildHasher;
 use crate::{Circuit, CostModel};
 
-/// A compact circuit-permutation: 0-based image table over the domain,
-/// stored inline (no per-element heap allocation).
-pub(crate) type Word = PackedWord;
+/// A per-level S-trace join index: trace → indices into the level's
+/// word vector (the meet-in-the-middle probe structure).
+pub(crate) type TraceIndex<T> = HashMap<T, Vec<u32>, FnvBuildHasher>;
 
 /// Per-element search metadata: the word's best-known cost (final once
 /// its level is processed — Dijkstra with positive gate costs) and the
@@ -41,10 +42,63 @@ impl FrontierMeta for Meta {
 /// restriction to binary patterns, its minimal cost, and every witness
 /// (full domain permutation) found *at that minimal cost*.
 #[derive(Debug, Clone)]
-pub(crate) struct GClass {
+pub(crate) struct GClass<W: SearchWidth> {
     pub(crate) cost: u32,
-    pub(crate) witnesses: Vec<Word>,
+    pub(crate) witnesses: Vec<W::Word>,
 }
+
+/// A library that does not fit the engine's packed representations at
+/// the chosen [`SearchWidth`].
+///
+/// Each variant documents the seam it guards; the fix for the first is a
+/// wider path-metadata type, for the others a wider [`SearchWidth`]
+/// (e.g. [`crate::WideSynthesisEngine`] for 4-wire libraries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// More gates than path reconstruction can index.
+    TooManyGates {
+        /// Gates in the library.
+        gates: usize,
+    },
+    /// More domain patterns than the width's words and banned masks hold.
+    DomainTooLarge {
+        /// Patterns in the domain.
+        patterns: usize,
+        /// The width's word/mask capacity.
+        capacity: usize,
+    },
+    /// More binary patterns than the width's S-traces pack.
+    BinarySetTooLarge {
+        /// Binary patterns in the library.
+        patterns: usize,
+        /// The width's trace slots.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyGates { gates } => write!(
+                f,
+                "library has {gates} gates, but path reconstruction stores gate \
+                 indices in a u8 (at most 255 gates; index 255 is the identity sentinel)"
+            ),
+            Self::DomainTooLarge { patterns, capacity } => write!(
+                f,
+                "domain has {patterns} patterns, but this width's banned masks and \
+                 packed words support at most {capacity} (use a wider engine width)"
+            ),
+            Self::BinarySetTooLarge { patterns, slots } => write!(
+                f,
+                "binary set has {patterns} patterns, but this width's S-traces pack \
+                 at most {slots} (one byte per binary pattern; use a wider engine width)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// The result of a successful MCE synthesis.
 #[derive(Debug, Clone)]
@@ -63,13 +117,13 @@ pub struct Synthesis {
     pub implementation_count: usize,
 }
 
-/// The outcome of a read-only [`SynthesisEngine::synthesize_cached`]
+/// The outcome of a read-only [`SearchEngine::synthesize_cached`]
 /// query against the cached levels.
 #[derive(Debug, Clone)]
 pub enum CachedSynthesis {
     /// The cache is authoritative: the minimal circuit within the bound,
     /// or a definitive `None` (identical to what a mutable
-    /// [`SynthesisEngine::synthesize`] call would return).
+    /// [`SearchEngine::synthesize`] call would return).
     Resolved(Option<Synthesis>),
     /// The class is undiscovered and deeper levels could still contain
     /// it — the query must go through an expanding (writer) path.
@@ -119,15 +173,18 @@ impl fmt::Display for SynthesisStrategy {
     }
 }
 
-/// The paper's FMCF + MCE engines over one gate library and cost model.
+/// The paper's FMCF + MCE engines over one gate library and cost model,
+/// generic over the packed [`SearchWidth`] (use the
+/// [`crate::SynthesisEngine`] alias for 2–3 wires and
+/// [`crate::WideSynthesisEngine`] for 4 wires).
 ///
-/// [`SynthesisEngine::expand_to_cost`] materializes the sets `A[k]`,
+/// [`SearchEngine::expand_to_cost`] materializes the sets `A[k]`,
 /// `B[k]`, `G[k]` level by level (Section 3's
 /// Finding_Minimum_Cost_Circuits); the level data is cached **and
 /// indexed by cost**, so repeated syntheses reuse it and per-level scans
 /// touch one level instead of the whole search history.
-/// [`SynthesisEngine::synthesize`] runs Minimum_Cost_Expressing on top;
-/// [`SynthesisEngine::synthesize_bidirectional`] is the meet-in-the-middle
+/// [`SearchEngine::synthesize`] runs Minimum_Cost_Expressing on top;
+/// [`SearchEngine::synthesize_bidirectional`] is the meet-in-the-middle
 /// variant.
 ///
 /// # Examples
@@ -142,7 +199,7 @@ impl fmt::Display for SynthesisStrategy {
 /// assert_eq!(engine.g_counts(), &[1, 6, 24, 51]);
 /// ```
 #[derive(Debug)]
-pub struct SynthesisEngine {
+pub struct SearchEngine<W: SearchWidth> {
     pub(crate) library: GateLibrary,
     pub(crate) model: CostModel,
     /// Per-library-gate 0-based image tables.
@@ -151,7 +208,7 @@ pub struct SynthesisEngine {
     /// the backward frontier).
     pub(crate) gate_inverse_images: Vec<Vec<u8>>,
     /// Per-library-gate banned masks.
-    pub(crate) gate_banned: Vec<u64>,
+    pub(crate) gate_banned: Vec<W::Mask>,
     /// Per-library-gate costs.
     pub(crate) gate_costs: Vec<u32>,
     /// 0-based domain indices of the binary set `S`, in order.
@@ -163,9 +220,9 @@ pub struct SynthesisEngine {
     threads: usize,
     /// Every discovered element of `A[∞]` with its metadata, sharded by
     /// word hash so parallel expansion can insert without locks.
-    pub(crate) seen: ShardedSeen<Word, Meta>,
+    pub(crate) seen: ShardedSeen<W::Word, Meta>,
     /// Pending frontier elements keyed by their (exact) cost.
-    pub(crate) pending: BTreeMap<u32, Vec<Word>>,
+    pub(crate) pending: BTreeMap<u32, Vec<W::Word>>,
     /// Frontier section of a loaded snapshot, parsed and merged into
     /// `seen`/`pending` on first expansion (queries answered from the
     /// cached levels never pay for it). `None` on natively-built engines
@@ -175,24 +232,24 @@ pub struct SynthesisEngine {
     pub(crate) completed: Option<u32>,
     /// `B[k]` for each completed level: the words first reached at exact
     /// cost `k` (gap levels hold empty vectors, so indices equal costs).
-    pub(crate) levels: Vec<Vec<Word>>,
+    pub(crate) levels: Vec<Vec<W::Word>>,
     /// Per-level S-traces, parallel to `levels` (see [`Self::trace_of`]).
-    pub(crate) level_traces: Vec<Vec<u64>>,
+    pub(crate) level_traces: Vec<Vec<W::Trace>>,
     /// Lazily built per-level join index: S-trace → indices into the
     /// level's word vector.
-    pub(crate) trace_index: Vec<Option<HashMap<u64, Vec<u32>, FnvBuildHasher>>>,
+    pub(crate) trace_index: Vec<Option<TraceIndex<W::Trace>>>,
     /// Reversible classes: binary restriction → minimal cost + witnesses.
-    pub(crate) classes: HashMap<Word, GClass, FnvBuildHasher>,
+    pub(crate) classes: HashMap<W::Word, GClass<W>, FnvBuildHasher>,
     /// Per-level index of class keys: the restrictions first realized at
     /// exact cost `k` (gap-filled like `levels`).
-    pub(crate) class_levels: Vec<Vec<Word>>,
+    pub(crate) class_levels: Vec<Vec<W::Word>>,
     /// `|G[k]|` for each completed cost level `k`.
     pub(crate) g_counts: Vec<usize>,
     /// `|B[k]|` for each completed cost level `k`.
     pub(crate) b_counts: Vec<usize>,
 }
 
-impl SynthesisEngine {
+impl SearchEngine<Narrow> {
     /// Engine for the paper's setting: 3 wires, 18-gate library, unit
     /// costs.
     pub fn unit_cost() -> Self {
@@ -203,20 +260,20 @@ impl SynthesisEngine {
     pub fn unit_cost_with_threads(threads: usize) -> Self {
         Self::with_threads(GateLibrary::standard(3), CostModel::unit(), threads)
     }
+}
 
+impl<W: SearchWidth> SearchEngine<W> {
     /// Engine over an explicit library and cost model, with the degree of
     /// parallelism resolved from `MVQ_THREADS` / the available
     /// parallelism (see [`crate::resolve_threads`]).
     ///
     /// # Panics
     ///
-    /// Panics if the library exceeds the engine's packed representations:
-    /// more than 255 gates (path metadata stores gate indices in a `u8`),
-    /// more than [`PackedWord::CAPACITY`] domain patterns (banned masks
-    /// are `u64` bitmasks), or more than 8 binary patterns (S-traces pack
-    /// one byte per binary pattern into a `u64`).
+    /// Panics if the library exceeds the width's packed representations
+    /// (see [`Self::try_new`] for the limits and a non-panicking
+    /// constructor).
     pub fn new(library: GateLibrary, model: CostModel) -> Self {
-        Self::with_threads(library, model, par::resolve_threads(None))
+        Self::try_new(library, model).unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// Engine over an explicit library, cost model, and thread count
@@ -227,25 +284,50 @@ impl SynthesisEngine {
     ///
     /// Panics under the same library limits as [`Self::new`].
     pub fn with_threads(library: GateLibrary, model: CostModel, threads: usize) -> Self {
-        assert!(
-            library.gates().len() <= usize::from(u8::MAX),
-            "library has {} gates, but path reconstruction stores gate indices \
-             in a u8 (at most 255 gates; index 255 is the identity sentinel)",
-            library.gates().len()
-        );
-        assert!(
-            library.domain().len() <= PackedWord::CAPACITY,
-            "domain has {} patterns, but banned masks and packed words support \
-             at most {} (u64 bitmasks)",
-            library.domain().len(),
-            PackedWord::CAPACITY
-        );
-        assert!(
-            library.binary_set().len() <= 8,
-            "binary set has {} patterns, but S-traces pack at most 8 \
-             (one byte per binary pattern in a u64)",
-            library.binary_set().len()
-        );
+        Self::try_with_threads(library, model, threads).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible [`Self::new`] — the form long-lived services should use,
+    /// so an over-capacity library surfaces as a typed [`EngineError`]
+    /// instead of a worker panic.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooManyGates`] over 255 gates (path metadata stores
+    /// gate indices in a `u8`), [`EngineError::DomainTooLarge`] over the
+    /// width's word/mask capacity, or [`EngineError::BinarySetTooLarge`]
+    /// over the width's S-trace slots.
+    pub fn try_new(library: GateLibrary, model: CostModel) -> Result<Self, EngineError> {
+        Self::try_with_threads(library, model, par::resolve_threads(None))
+    }
+
+    /// Fallible [`Self::with_threads`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_new`].
+    pub fn try_with_threads(
+        library: GateLibrary,
+        model: CostModel,
+        threads: usize,
+    ) -> Result<Self, EngineError> {
+        if library.gates().len() > usize::from(u8::MAX) {
+            return Err(EngineError::TooManyGates {
+                gates: library.gates().len(),
+            });
+        }
+        if library.domain().len() > W::Word::CAPACITY {
+            return Err(EngineError::DomainTooLarge {
+                patterns: library.domain().len(),
+                capacity: W::Word::CAPACITY,
+            });
+        }
+        if library.binary_set().len() > W::Trace::SLOTS {
+            return Err(EngineError::BinarySetTooLarge {
+                patterns: library.binary_set().len(),
+                slots: W::Trace::SLOTS,
+            });
+        }
         let gate_images: Vec<Vec<u8>> = library
             .gates()
             .iter()
@@ -256,7 +338,17 @@ impl SynthesisEngine {
             .iter()
             .map(|g| g.perm().inverse().as_images().to_vec())
             .collect();
-        let gate_banned: Vec<u64> = library.gates().iter().map(|g| g.banned_mask()).collect();
+        let gate_banned: Vec<W::Mask> = library
+            .gates()
+            .iter()
+            .map(|g| {
+                let mut mask = W::Mask::default();
+                for &idx in g.banned_indices() {
+                    mask.set_bit(idx - 1);
+                }
+                mask
+            })
+            .collect();
         let gate_costs: Vec<u32> = library
             .gates()
             .iter()
@@ -272,8 +364,8 @@ impl SynthesisEngine {
             binary_rank[idx as usize] = rank as u8;
         }
         let threads = threads.max(1);
-        let identity = PackedWord::identity(library.domain().len());
-        let mut seen: ShardedSeen<Word, Meta> = ShardedSeen::for_threads(threads);
+        let identity = W::Word::identity(library.domain().len());
+        let mut seen: ShardedSeen<W::Word, Meta> = ShardedSeen::for_threads(threads);
         seen.insert(
             identity,
             Meta {
@@ -283,7 +375,7 @@ impl SynthesisEngine {
         );
         let mut pending = BTreeMap::new();
         pending.insert(0u32, vec![identity]);
-        Self {
+        Ok(Self {
             library,
             model,
             gate_images,
@@ -304,7 +396,7 @@ impl SynthesisEngine {
             class_levels: Vec::new(),
             g_counts: Vec::new(),
             b_counts: Vec::new(),
-        }
+        })
     }
 
     /// The gate library in use.
@@ -362,7 +454,7 @@ impl SynthesisEngine {
     /// has been expanded — the raw material for determinism audits
     /// across thread counts (gap levels under non-unit cost models are
     /// empty slices).
-    pub fn level_words(&self, cost: u32) -> Option<&[PackedWord]> {
+    pub fn level_words(&self, cost: u32) -> Option<&[W::Word]> {
         self.levels.get(cost as usize).map(Vec::as_slice)
     }
 
@@ -375,15 +467,16 @@ impl SynthesisEngine {
     }
 
     /// The S-trace of a word: the 0-based domain indices the binary set
-    /// maps to, packed one byte per binary pattern into a `u64`.
+    /// maps to, packed one byte per binary pattern into the width's
+    /// trace integer.
     ///
     /// Two words agree on every binary pattern iff their traces are
     /// equal, which turns the Section 4 level scan and the
-    /// meet-in-the-middle join into `u64` comparisons.
-    pub(crate) fn trace_of(&self, word: &Word) -> u64 {
-        let mut trace = 0u64;
+    /// meet-in-the-middle join into single integer comparisons.
+    pub(crate) fn trace_of(&self, word: &W::Word) -> W::Trace {
+        let mut trace = W::Trace::ZERO;
         for (i, &idx) in self.binary0.iter().enumerate() {
-            trace |= u64::from(word[idx as usize]) << (8 * i);
+            trace = trace.or_byte(i, word.at(idx as usize));
         }
         trace
     }
@@ -407,7 +500,7 @@ impl SynthesisEngine {
     /// merge cost mid-flight.
     pub fn ensure_frontier(&mut self) {
         if let Some(frontier) = self.deferred_frontier.take() {
-            frontier.merge_into(&mut self.seen, &mut self.pending);
+            frontier.merge_into::<W>(&mut self.seen, &mut self.pending);
         }
     }
 
@@ -442,7 +535,7 @@ impl SynthesisEngine {
         // dropped here. Buckets are processed cost-ascending and all gate
         // costs are positive, so a word whose recorded cost still equals
         // this bucket's cost is final (Dijkstra).
-        let bucket: Vec<Word> = if parallel {
+        let bucket: Vec<W::Word> = if parallel {
             let seen = &self.seen;
             par::par_filter(self.threads, raw_bucket, |w| {
                 seen.get(w).expect("pending word is seen").cost == cost
@@ -462,12 +555,13 @@ impl SynthesisEngine {
         //    parallel path computes (trace, restriction) pairs across
         //    threads, registration stays serial so the class-discovery
         //    and witness order match the bucket order.
-        let mut g_new: Vec<Word> = Vec::new();
-        let traces: Vec<u64> = if parallel {
+        let mut g_new: Vec<W::Word> = Vec::new();
+        let traces: Vec<W::Trace> = if parallel {
             let engine = &*self;
-            let prepared: Vec<(u64, Option<Word>)> = par::par_map(self.threads, &bucket, |_, w| {
-                (engine.trace_of(w), engine.restrict(w))
-            });
+            let prepared: Vec<(W::Trace, Option<W::Word>)> =
+                par::par_map(self.threads, &bucket, |_, w| {
+                    (engine.trace_of(w), engine.restrict(w))
+                });
             for (word, &(_, restriction)) in bucket.iter().zip(&prepared) {
                 if let Some(restriction) = restriction {
                     self.register_class(cost, *word, restriction, &mut g_new);
@@ -505,9 +599,9 @@ impl SynthesisEngine {
                 &mut self.seen,
                 expected_new,
                 |idx, word, emit| {
-                    let image_mask = trace_mask(traces[idx], binary_len);
+                    let image_mask = trace_mask::<W>(traces[idx], binary_len);
                     for gate_idx in 0..gate_images.len() {
-                        if image_mask & gate_banned[gate_idx] != 0 {
+                        if image_mask.intersects(&gate_banned[gate_idx]) {
                             continue; // not a reasonable product
                         }
                         emit(
@@ -524,9 +618,9 @@ impl SynthesisEngine {
         } else {
             self.seen.reserve(expected_new);
             for (word, &trace) in bucket.iter().zip(&traces) {
-                let image_mask = trace_mask(trace, self.binary0.len());
+                let image_mask = trace_mask::<W>(trace, self.binary0.len());
                 for gate_idx in 0..self.gate_images.len() {
-                    if image_mask & self.gate_banned[gate_idx] != 0 {
+                    if image_mask.intersects(&self.gate_banned[gate_idx]) {
                         continue; // not a reasonable product
                     }
                     let next = word.map_through(&self.gate_images[gate_idx]);
@@ -563,7 +657,13 @@ impl SynthesisEngine {
     /// Folds one reversible word of the current level into the class
     /// table: first realization founds the class (and joins `g_new`),
     /// same-cost realizations extend its witness list.
-    fn register_class(&mut self, cost: u32, word: Word, restriction: Word, g_new: &mut Vec<Word>) {
+    fn register_class(
+        &mut self,
+        cost: u32,
+        word: W::Word,
+        restriction: W::Word,
+        g_new: &mut Vec<W::Word>,
+    ) {
         match self.classes.get_mut(&restriction) {
             None => {
                 self.classes.insert(
@@ -586,7 +686,7 @@ impl SynthesisEngine {
     pub(crate) fn ensure_trace_index(&mut self, f: u32) {
         let f = f as usize;
         if self.trace_index[f].is_none() {
-            let mut index: HashMap<u64, Vec<u32>, FnvBuildHasher> =
+            let mut index: TraceIndex<W::Trace> =
                 HashMap::with_capacity_and_hasher(self.level_traces[f].len(), Default::default());
             for (i, &trace) in self.level_traces[f].iter().enumerate() {
                 index.entry(trace).or_default().push(i as u32);
@@ -597,7 +697,7 @@ impl SynthesisEngine {
 
     /// The S-trace join index for level `f` (built by
     /// [`Self::ensure_trace_index`]).
-    pub(crate) fn trace_index_ref(&self, f: u32) -> &HashMap<u64, Vec<u32>, FnvBuildHasher> {
+    pub(crate) fn trace_index_ref(&self, f: u32) -> &TraceIndex<W::Trace> {
         self.trace_index[f as usize]
             .as_ref()
             .expect("ensure_trace_index was called for this level")
@@ -661,7 +761,12 @@ impl SynthesisEngine {
     /// the query (hit within the bound, or a class whose minimal cost
     /// exceeds `cb` — further expansion can never help), `None` when the
     /// class has not been discovered yet.
-    fn lookup_class(&self, key: &Word, not_layer: &[Gate], cb: u32) -> Option<Option<Synthesis>> {
+    fn lookup_class(
+        &self,
+        key: &W::Word,
+        not_layer: &[Gate],
+        cb: u32,
+    ) -> Option<Option<Synthesis>> {
         let class = self.classes.get(key)?;
         debug_assert!(self.completed.is_some_and(|c| c >= class.cost));
         // The class cost is minimal by construction; on a warm engine it
@@ -700,7 +805,7 @@ impl SynthesisEngine {
     /// # Panics
     ///
     /// Panics if `target.degree() != 2^n` for the library's wire count.
-    pub(crate) fn reduce_target(&self, target: &Perm) -> (Word, Vec<Gate>) {
+    pub(crate) fn reduce_target(&self, target: &Perm) -> (W::Word, Vec<Gate>) {
         let n = self.library.domain().wires();
         let patterns = 1usize << n;
         assert_eq!(
@@ -720,7 +825,7 @@ impl SynthesisEngine {
         let d0 = not_layer_perm(bits, n);
         let reduced = d0.left_div(target);
         debug_assert_eq!(reduced.image(1), 1);
-        (PackedWord::from_slice(reduced.as_images()), not_layer)
+        (W::Word::from_slice(reduced.as_images()), not_layer)
     }
 
     /// Returns every distinct minimal-cost implementation of `target`
@@ -754,7 +859,7 @@ impl SynthesisEngine {
 
     /// Reconstructs the gate cascade that produced `word`, walking the
     /// `last_gate` chain back to the identity.
-    pub(crate) fn reconstruct(&self, word: &Word) -> Vec<Gate> {
+    pub(crate) fn reconstruct(&self, word: &W::Word) -> Vec<Gate> {
         let mut gates = Vec::new();
         let mut current = *word;
         loop {
@@ -797,7 +902,7 @@ impl SynthesisEngine {
             .map(|key| {
                 let class = &self.classes[key];
                 debug_assert_eq!(class.cost, k);
-                let images: Vec<usize> = key.iter().map(|&b| b as usize + 1).collect();
+                let images: Vec<usize> = key.as_slice().iter().map(|&b| b as usize + 1).collect();
                 let perm = Perm::from_images(&images).expect("valid restriction");
                 let circuit = Circuit::new(n, self.reconstruct(&class.witnesses[0]));
                 (perm, circuit)
@@ -818,7 +923,7 @@ impl SynthesisEngine {
     /// distinct cascades the minimal level contains for the images
     /// (mirroring the paper's Peres = 2 / Toffoli = 4 counts).
     ///
-    /// Each level is scanned through its packed trace index — one `u64`
+    /// Each level is scanned through its packed trace index — one integer
     /// comparison per member — instead of rescanning the whole `A` set.
     ///
     /// # Panics
@@ -841,7 +946,9 @@ impl SynthesisEngine {
         let target_trace = images
             .iter()
             .enumerate()
-            .fold(0u64, |acc, (i, &img)| acc | ((img as u64 - 1) << (8 * i)));
+            .fold(W::Trace::ZERO, |acc, (i, &img)| {
+                acc.or_byte(i, (img - 1) as u8)
+            });
         for level in 0..=cb {
             self.expand_to_cost(level);
             if self.levels.len() <= level as usize {
@@ -868,25 +975,33 @@ impl SynthesisEngine {
     }
 
     /// Restriction of a word to the binary index set, if closed.
-    fn restrict(&self, word: &Word) -> Option<Word> {
-        let mut out = [0u8; 8];
+    fn restrict(&self, word: &W::Word) -> Option<W::Word> {
+        // The stack buffer must cover every width's binary set; a wider
+        // future width would silently truncate restrictions otherwise.
+        const {
+            assert!(
+                W::Trace::SLOTS <= 16,
+                "restrict buffer narrower than the trace width"
+            );
+        }
+        let mut out = [0u8; 16];
         let k = self.binary0.len();
         for (slot, &idx) in out.iter_mut().zip(&self.binary0) {
-            let rank = self.binary_rank[word[idx as usize] as usize];
+            let rank = self.binary_rank[word.at(idx as usize) as usize];
             if rank == u8::MAX {
                 return None;
             }
             *slot = rank;
         }
-        Some(PackedWord::from_slice(&out[..k]))
+        Some(W::Word::from_slice(&out[..k]))
     }
 }
 
 /// Bitmask of the domain indices packed in an S-trace of `k` entries.
-pub(crate) fn trace_mask(trace: u64, k: usize) -> u64 {
-    let mut mask = 0u64;
+pub(crate) fn trace_mask<W: SearchWidth>(trace: W::Trace, k: usize) -> W::Mask {
+    let mut mask = W::Mask::default();
     for i in 0..k {
-        mask |= 1u64 << ((trace >> (8 * i)) as u8);
+        mask.set_bit(trace.byte(i) as usize);
     }
     mask
 }
@@ -901,7 +1016,7 @@ pub(crate) fn not_layer_perm(bits: usize, n: usize) -> Perm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::known;
+    use crate::{known, SynthesisEngine, WideSynthesisEngine};
 
     #[test]
     fn level_0_is_identity_only() {
@@ -1084,6 +1199,56 @@ mod tests {
     }
 
     #[test]
+    fn wide_width_reproduces_narrow_3_wire_levels() {
+        // The widening refactor must not change any 3-wire result: the
+        // wide engine (256-byte words, u128 traces, bitset masks) over
+        // the standard 3-wire library is compared level by level.
+        let mut narrow = SynthesisEngine::unit_cost();
+        let mut wide = WideSynthesisEngine::new(GateLibrary::standard(3), CostModel::unit());
+        narrow.expand_to_cost(4);
+        wide.expand_to_cost(4);
+        assert_eq!(narrow.g_counts(), wide.g_counts());
+        assert_eq!(narrow.b_counts(), wide.b_counts());
+        assert_eq!(narrow.a_size(), wide.a_size());
+        for k in 0..=4u32 {
+            let nw: Vec<&[u8]> = narrow
+                .level_words(k)
+                .unwrap()
+                .iter()
+                .map(|w| w.as_slice())
+                .collect();
+            let ww: Vec<&[u8]> = wide
+                .level_words(k)
+                .unwrap()
+                .iter()
+                .map(|w| w.as_slice())
+                .collect();
+            assert_eq!(nw, ww, "level {k}");
+        }
+        let a = narrow.synthesize(&known::toffoli_perm(), 5).unwrap();
+        let b = wide.synthesize(&known::toffoli_perm(), 5).unwrap();
+        assert_eq!(a.circuit.to_string(), b.circuit.to_string());
+        assert_eq!(a.implementation_count, b.implementation_count);
+    }
+
+    #[test]
+    fn four_wire_library_needs_the_wide_width() {
+        let lib = GateLibrary::standard(4);
+        let err = SynthesisEngine::try_new(lib.clone(), CostModel::unit()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::DomainTooLarge {
+                patterns: 176,
+                capacity: 64
+            }
+        );
+        assert!(err.to_string().contains("176"), "{err}");
+        // The wide width accepts it.
+        let e = WideSynthesisEngine::try_new(lib, CostModel::unit()).unwrap();
+        assert_eq!(e.library().gates().len(), 36);
+    }
+
+    #[test]
     fn strategy_parses_and_displays() {
         assert_eq!(
             "bidirectional".parse::<SynthesisStrategy>().unwrap(),
@@ -1108,6 +1273,16 @@ mod tests {
     fn trace_mask_collects_packed_indices() {
         // Trace bytes 1, 3, 5 → mask bits 1, 3, 5.
         let trace: u64 = 1 | (3 << 8) | (5 << 16);
-        assert_eq!(trace_mask(trace, 3), 0b101010);
+        assert_eq!(trace_mask::<Narrow>(trace, 3), 0b101010);
+    }
+
+    #[test]
+    fn wide_trace_mask_reaches_high_indices() {
+        use crate::width::{Mask256, Wide};
+        // A trace byte of 170 (a 4-wire mixed-pattern index) must set a
+        // bit past the u64 range.
+        let trace: u128 = 170 | (3 << 8);
+        let mask = trace_mask::<Wide>(trace, 2);
+        assert_eq!(mask, Mask256::from_bits([170, 3]));
     }
 }

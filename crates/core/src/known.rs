@@ -50,13 +50,39 @@ pub fn toffoli_perm() -> Perm {
 /// assert!(known::parse_binary_target("(1,x)").is_err());
 /// ```
 pub fn parse_binary_target(text: &str) -> Result<Perm, String> {
+    parse_target_on(text, 8)
+}
+
+/// [`parse_binary_target`] over an arbitrary register size: cycle
+/// notation over the `patterns = 2^n` binary patterns, extended to
+/// degree `patterns` — used by the CLI's `--wires` flag and the
+/// service's `wires` field to accept 4-wire targets (patterns 1..=16).
+///
+/// # Errors
+///
+/// A human-readable message for malformed notation or patterns outside
+/// `1..=patterns`.
+///
+/// # Examples
+///
+/// ```
+/// use mvq_core::known;
+///
+/// // The 4-wire CNOT D ^= A.
+/// let p = known::parse_target_on("(9,10)(11,12)(13,14)(15,16)", 16).unwrap();
+/// assert_eq!(p.degree(), 16);
+/// assert!(known::parse_target_on("(15,16)", 8).is_err());
+/// ```
+pub fn parse_target_on(text: &str, patterns: usize) -> Result<Perm, String> {
     let perm: Perm = text
         .parse()
         .map_err(|err| format!("bad target `{text}`: {err}"))?;
-    if perm.degree() > 8 {
-        return Err(format!("target `{text}` must permute patterns 1..=8"));
+    if perm.degree() > patterns {
+        return Err(format!(
+            "target `{text}` must permute patterns 1..={patterns}"
+        ));
     }
-    Ok(perm.extended(8))
+    Ok(perm.extended(patterns))
 }
 
 /// The Fredkin permutation `(6,7)`: controlled swap of `B`, `C` by `A`.

@@ -48,14 +48,24 @@ mod snapshot;
 mod spec;
 mod spectrum;
 pub mod universal;
+mod width;
 mod word;
 
 pub use census::{Census, CensusRow, EXPECTED_TABLE_2, PAPER_TABLE_2};
 pub use circuit::{Circuit, ParseCircuitError};
-pub use cost::CostModel;
-pub use engine::{CachedSynthesis, Synthesis, SynthesisEngine, SynthesisStrategy};
+pub use cost::{CostModel, ParseCostModelError};
+pub use engine::{CachedSynthesis, EngineError, SearchEngine, Synthesis, SynthesisStrategy};
 pub use par::resolve_threads;
-pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{SnapshotError, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION};
 pub use spec::{synthesize_spec, QuaternarySpec, SpecError, SpecSynthesis};
 pub use spectrum::CostSpectrum;
-pub use word::{FnvBuildHasher, FnvHasher, PackedWord};
+pub use width::{Mask256, MaskRepr, Narrow, SearchWidth, ShardKey, TraceRepr, Wide, WordRepr};
+pub use word::{FnvBuildHasher, FnvHasher, Packed, PackedWord, PackedWord256};
+
+/// The narrow-width engine: the paper's 2- and 3-wire setting
+/// (`[u8; 64]` words, `u64` S-traces and banned masks).
+pub type SynthesisEngine = SearchEngine<Narrow>;
+
+/// The wide-width engine for 4-wire libraries (`[u8; 256]` words,
+/// `u128` S-traces, 256-bit banned masks).
+pub type WideSynthesisEngine = SearchEngine<Wide>;

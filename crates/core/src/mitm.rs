@@ -29,10 +29,11 @@ use std::collections::{BTreeMap, HashSet};
 use mvq_logic::Gate;
 use mvq_perm::Perm;
 
-use crate::engine::{trace_mask, Word};
+use crate::engine::{trace_mask, SearchEngine};
 use crate::par::{self, FrontierMeta, ShardedSeen};
+use crate::width::{MaskRepr, SearchWidth, TraceRepr, WordRepr};
 use crate::word::FnvBuildHasher;
-use crate::{Circuit, Synthesis, SynthesisEngine};
+use crate::{Circuit, Synthesis};
 
 /// Backward-frontier metadata: the trace's best-known cost and the
 /// library gate whose *forward* application moves it one step toward the
@@ -55,21 +56,21 @@ impl FrontierMeta for BackMeta {
 }
 
 /// Dijkstra frontier over S-traces, grown backward from a target trace.
-struct BackwardFrontier {
+struct BackwardFrontier<W: SearchWidth> {
     /// Binary-set size: how many bytes of each trace are populated.
     k: usize,
     /// Degree of parallelism (mirrors the owning engine's).
     threads: usize,
-    seen: ShardedSeen<u64, BackMeta>,
-    pending: BTreeMap<u32, Vec<u64>>,
+    seen: ShardedSeen<W::Trace, BackMeta>,
+    pending: BTreeMap<u32, Vec<W::Trace>>,
     completed: Option<u32>,
     /// Traces first reached at exact cost `b` (gap levels are empty).
-    levels: Vec<Vec<u64>>,
+    levels: Vec<Vec<W::Trace>>,
 }
 
-impl BackwardFrontier {
-    fn new(target_trace: u64, k: usize, threads: usize) -> Self {
-        let mut seen: ShardedSeen<u64, BackMeta> = ShardedSeen::for_threads(threads);
+impl<W: SearchWidth> BackwardFrontier<W> {
+    fn new(target_trace: W::Trace, k: usize, threads: usize) -> Self {
+        let mut seen: ShardedSeen<W::Trace, BackMeta> = ShardedSeen::for_threads(threads);
         seen.insert(
             target_trace,
             BackMeta {
@@ -93,7 +94,7 @@ impl BackwardFrontier {
         self.pending.is_empty()
     }
 
-    fn expand_to_cost(&mut self, cb: u32, engine: &SynthesisEngine) {
+    fn expand_to_cost(&mut self, cb: u32, engine: &SearchEngine<W>) {
         while self.completed.is_none_or(|c| c < cb) {
             if !self.expand_next_level(engine) {
                 break;
@@ -106,7 +107,7 @@ impl BackwardFrontier {
     /// Shares the sharded rendezvous pipeline with the forward engine:
     /// large trace buckets expand across threads with bit-identical
     /// results to the serial loop.
-    fn expand_next_level(&mut self, engine: &SynthesisEngine) -> bool {
+    fn expand_next_level(&mut self, engine: &SearchEngine<W>) -> bool {
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
@@ -114,7 +115,7 @@ impl BackwardFrontier {
         let parallel = self.threads > 1 && raw_bucket.len() >= par::PAR_MIN_BUCKET;
         // Lazy decrease-key, mirroring the forward engine: drop copies
         // superseded by a cheaper rediscovery.
-        let bucket: Vec<u64> = if parallel {
+        let bucket: Vec<W::Trace> = if parallel {
             let seen = &self.seen;
             par::par_filter(self.threads, raw_bucket, |t| {
                 seen.get(t).expect("pending trace is seen").cost == cost
@@ -139,11 +140,12 @@ impl BackwardFrontier {
                 expected_new,
                 |_, &trace, emit| {
                     for gate_idx in 0..engine.gate_images.len() {
-                        let prev = apply_to_trace(trace, &engine.gate_inverse_images[gate_idx], k);
+                        let prev =
+                            apply_to_trace::<W>(trace, &engine.gate_inverse_images[gate_idx], k);
                         // Forward reasonability of `gate_idx` at the
                         // moment it would fire: the pre-image of S must
                         // avoid the banned set.
-                        if trace_mask(prev, k) & engine.gate_banned[gate_idx] != 0 {
+                        if trace_mask::<W>(prev, k).intersects(&engine.gate_banned[gate_idx]) {
                             continue;
                         }
                         emit(prev, cost + engine.gate_costs[gate_idx], gate_idx as u8);
@@ -156,10 +158,11 @@ impl BackwardFrontier {
         } else {
             for &trace in &bucket {
                 for gate_idx in 0..engine.gate_images.len() {
-                    let prev = apply_to_trace(trace, &engine.gate_inverse_images[gate_idx], self.k);
+                    let prev =
+                        apply_to_trace::<W>(trace, &engine.gate_inverse_images[gate_idx], self.k);
                     // Forward reasonability of `gate_idx` at the moment it
                     // would fire: the pre-image of S must avoid the banned set.
-                    if trace_mask(prev, self.k) & engine.gate_banned[gate_idx] != 0 {
+                    if trace_mask::<W>(prev, self.k).intersects(&engine.gate_banned[gate_idx]) {
                         continue;
                     }
                     let prev_cost = cost + engine.gate_costs[gate_idx];
@@ -178,7 +181,7 @@ impl BackwardFrontier {
     }
 
     /// The forward gate cascade leading from `start` to the target trace.
-    fn suffix_gates(&self, start: u64, engine: &SynthesisEngine) -> Vec<Gate> {
+    fn suffix_gates(&self, start: W::Trace, engine: &SearchEngine<W>) -> Vec<Gate> {
         self.suffix_gate_indices(start, engine)
             .into_iter()
             .map(|gate_idx| engine.library.gates()[gate_idx].gate())
@@ -186,7 +189,7 @@ impl BackwardFrontier {
     }
 
     /// The gate-index chain leading from `start` to the target trace.
-    fn suffix_gate_indices(&self, start: u64, engine: &SynthesisEngine) -> Vec<usize> {
+    fn suffix_gate_indices(&self, start: W::Trace, engine: &SearchEngine<W>) -> Vec<usize> {
         let mut indices = Vec::new();
         let mut current = start;
         loop {
@@ -195,7 +198,7 @@ impl BackwardFrontier {
                 break;
             }
             indices.push(meta.gate as usize);
-            current = apply_to_trace(current, &engine.gate_images[meta.gate as usize], self.k);
+            current = apply_to_trace::<W>(current, &engine.gate_images[meta.gate as usize], self.k);
         }
         indices
     }
@@ -205,7 +208,7 @@ impl BackwardFrontier {
     /// DAG (a trace may admit several minimal suffixes; distinct
     /// cascades that share the trace path can still differ on non-binary
     /// domain points, so witness counting needs them all).
-    fn minimal_suffix_chains(&self, start: u64, engine: &SynthesisEngine) -> Vec<Vec<u8>> {
+    fn minimal_suffix_chains(&self, start: W::Trace, engine: &SearchEngine<W>) -> Vec<Vec<u8>> {
         let mut chains = Vec::new();
         let mut stack = Vec::new();
         self.enumerate_chains(start, engine, &mut stack, &mut chains);
@@ -214,8 +217,8 @@ impl BackwardFrontier {
 
     fn enumerate_chains(
         &self,
-        trace: u64,
-        engine: &SynthesisEngine,
+        trace: W::Trace,
+        engine: &SearchEngine<W>,
         stack: &mut Vec<u8>,
         out: &mut Vec<Vec<u8>>,
     ) {
@@ -225,16 +228,16 @@ impl BackwardFrontier {
             out.push(stack.clone());
             return;
         }
-        let mask = trace_mask(trace, self.k);
+        let mask = trace_mask::<W>(trace, self.k);
         for gate_idx in 0..engine.gate_images.len() {
-            if mask & engine.gate_banned[gate_idx] != 0 {
+            if mask.intersects(&engine.gate_banned[gate_idx]) {
                 continue; // gate not reasonable at this point
             }
             let gate_cost = engine.gate_costs[gate_idx];
             if gate_cost > dist {
                 continue;
             }
-            let next = apply_to_trace(trace, &engine.gate_images[gate_idx], self.k);
+            let next = apply_to_trace::<W>(trace, &engine.gate_images[gate_idx], self.k);
             // Edge is on a minimal suffix iff it is dist-consistent.
             if self
                 .seen
@@ -250,16 +253,16 @@ impl BackwardFrontier {
 }
 
 /// Applies a gate image table to each packed byte of a trace.
-fn apply_to_trace(trace: u64, table: &[u8], k: usize) -> u64 {
-    let mut out = 0u64;
+fn apply_to_trace<W: SearchWidth>(trace: W::Trace, table: &[u8], k: usize) -> W::Trace {
+    let mut out = W::Trace::ZERO;
     for i in 0..k {
-        let point = (trace >> (8 * i)) as u8;
-        out |= u64::from(table[point as usize]) << (8 * i);
+        let point = trace.byte(i);
+        out = out.or_byte(i, table[point as usize]);
     }
     out
 }
 
-impl SynthesisEngine {
+impl<W: SearchWidth> SearchEngine<W> {
     /// Meet-in-the-middle MCE: synthesizes a minimal-cost implementation
     /// of `target` by joining the cached forward levels against a
     /// backward frontier expanded from the target side.
@@ -294,10 +297,14 @@ impl SynthesisEngine {
         // The target's trace: the 0-based domain index each binary
         // pattern must map to.
         let binary = self.library.binary_set();
-        let target_trace = key.iter().enumerate().fold(0u64, |acc, (i, &rank)| {
-            acc | ((binary[rank as usize] as u64 - 1) << (8 * i))
-        });
-        let mut back = BackwardFrontier::new(target_trace, k, self.threads());
+        let target_trace = key
+            .as_slice()
+            .iter()
+            .enumerate()
+            .fold(W::Trace::ZERO, |acc, (i, &rank)| {
+                acc.or_byte(i, (binary[rank as usize] - 1) as u8)
+            });
+        let mut back: BackwardFrontier<W> = BackwardFrontier::new(target_trace, k, self.threads());
         let max_gate = self.max_gate_cost();
 
         // Materialize both cost-0 levels before any join.
@@ -336,8 +343,8 @@ impl SynthesisEngine {
 
             let fwd_done = self.completed.map_or(0, |v| v);
             let back_done = back.completed.map_or(0, |v| v);
-            let mut first: Option<(Word, u64)> = None;
-            let mut distinct: HashSet<Word, FnvBuildHasher> = HashSet::default();
+            let mut first: Option<(W::Word, W::Trace)> = None;
+            let mut distinct: HashSet<W::Word, FnvBuildHasher> = HashSet::default();
             for b in 0..=back_done.min(c) {
                 let f = c - b;
                 if f > fwd_done {
@@ -395,7 +402,7 @@ impl SynthesisEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{known, CostModel, SynthesisStrategy};
+    use crate::{known, CostModel, SynthesisEngine, SynthesisStrategy};
     use mvq_logic::GateLibrary;
 
     #[test]

@@ -32,9 +32,9 @@
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
-use std::hash::Hash;
 
-use crate::word::{fnv1a, FnvBuildHasher, PackedWord};
+use crate::width::ShardKey;
+use crate::word::FnvBuildHasher;
 
 /// Buckets smaller than this are expanded serially even on a
 /// multi-threaded engine: thread spawn latency would dominate.
@@ -75,25 +75,6 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Keys routable to shards: hashed once for shard selection (the inner
-/// maps hash independently).
-pub(crate) trait ShardKey: Copy + Eq + Hash + Send + Sync {
-    /// A stable 64-bit hash used for shard routing only.
-    fn shard_hash(&self) -> u64;
-}
-
-impl ShardKey for PackedWord {
-    fn shard_hash(&self) -> u64 {
-        self.fnv_hash()
-    }
-}
-
-impl ShardKey for u64 {
-    fn shard_hash(&self) -> u64 {
-        fnv1a(&self.to_le_bytes())
-    }
 }
 
 /// Frontier metadata common to both search directions: an exact cost and

@@ -1,0 +1,393 @@
+//! Width parameterization of the packed search core.
+//!
+//! The FMCF/MCE engine packs its three hot representations into fixed-
+//! width machine types: circuit-permutations into inline byte arrays
+//! ([`PackedWord`](crate::PackedWord)), S-traces into one integer (one
+//! byte per binary pattern), and per-gate banned sets into one bitmask
+//! word. The 3-wire library fits `[u8; 64]` / `u64` / `u64`; a 4-wire
+//! library (176-pattern permutable domain, 16 binary patterns) does not.
+//!
+//! Rather than widening the narrow representations in place — which
+//! would tax every 3-wire hot path with 4× the word bytes and double the
+//! trace width — the engine is generic over a [`SearchWidth`]: a bundle
+//! of the word, trace, and mask types sized together. Two widths are
+//! provided:
+//!
+//! * [`Narrow`] — `[u8; 64]` words, `u64` traces, `u64` masks: the
+//!   historical representation (the word's inline length field widened
+//!   from `u8` to `u16` to share one struct with [`Wide`], so hashes
+//!   and shard routing differ from pre-widening builds; all search
+//!   *results* are unchanged, proptest-checked against the wide
+//!   engine).
+//! * [`Wide`] — `[u8; 256]` words, `u128` traces (16 packed bytes),
+//!   [`Mask256`] banned masks: everything a 4-wire permutable library
+//!   needs, with headroom to the `u8` permutation-substrate ceiling.
+//!
+//! [`SynthesisEngine`](crate::SynthesisEngine) and
+//! [`WideSynthesisEngine`](crate::WideSynthesisEngine) are the two
+//! instantiations of the generic [`SearchEngine`](crate::SearchEngine).
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::word::{fnv1a, Packed};
+
+/// Keys routable to `seen`-map shards: hashed once for shard selection
+/// (the inner maps hash independently).
+pub trait ShardKey: Copy + Eq + Hash + Send + Sync {
+    /// A stable 64-bit hash used for shard routing only.
+    fn shard_hash(&self) -> u64;
+}
+
+impl<const CAP: usize> ShardKey for Packed<CAP> {
+    fn shard_hash(&self) -> u64 {
+        self.fnv_hash()
+    }
+}
+
+impl ShardKey for u64 {
+    fn shard_hash(&self) -> u64 {
+        fnv1a(&self.to_le_bytes())
+    }
+}
+
+impl ShardKey for u128 {
+    fn shard_hash(&self) -> u64 {
+        fnv1a(&self.to_le_bytes())
+    }
+}
+
+/// The packed circuit-permutation representation of a search width.
+///
+/// Implemented by [`Packed<CAP>`](crate::PackedWord) for the two
+/// capacities the engine instantiates; the trait exists so the engine
+/// can be generic without const-generic arithmetic.
+pub trait WordRepr: Copy + Eq + Ord + Hash + ShardKey + fmt::Debug + Send + Sync + 'static {
+    /// Maximum domain size a word can cover.
+    const CAPACITY: usize;
+
+    /// The identity word on `len` indices.
+    fn identity(len: usize) -> Self;
+
+    /// Packs a 0-based image table.
+    fn from_slice(images: &[u8]) -> Self;
+
+    /// The number of domain indices the word covers.
+    fn len(&self) -> usize;
+
+    /// `true` iff the word covers no indices (never the case for words
+    /// the engine builds; provided for API completeness).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The active image table.
+    fn as_slice(&self) -> &[u8];
+
+    /// Post-composes through `table`: `out[i] = table[self[i]]`.
+    fn map_through(&self, table: &[u8]) -> Self;
+
+    /// The image of 0-based domain index `index`.
+    fn at(&self, index: usize) -> u8;
+}
+
+impl<const CAP: usize> WordRepr for Packed<CAP> {
+    const CAPACITY: usize = CAP;
+
+    fn identity(len: usize) -> Self {
+        Packed::identity(len)
+    }
+
+    fn from_slice(images: &[u8]) -> Self {
+        Packed::from_slice(images)
+    }
+
+    fn len(&self) -> usize {
+        Packed::len(self)
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        Packed::as_slice(self)
+    }
+
+    fn map_through(&self, table: &[u8]) -> Self {
+        Packed::map_through(self, table)
+    }
+
+    #[inline]
+    fn at(&self, index: usize) -> u8 {
+        self.as_slice()[index]
+    }
+}
+
+/// The packed S-trace representation of a search width: one byte per
+/// binary pattern, least-significant slot first.
+pub trait TraceRepr:
+    Copy + Eq + Ord + Hash + ShardKey + fmt::Debug + Send + Sync + 'static
+{
+    /// Most binary patterns a trace can pack.
+    const SLOTS: usize;
+
+    /// Serialized width in bytes (little-endian, equals [`Self::SLOTS`]).
+    const BYTES: usize;
+
+    /// The empty trace.
+    const ZERO: Self;
+
+    /// The packed byte in `slot`.
+    fn byte(self, slot: usize) -> u8;
+
+    /// ORs `value` into `slot` (slots are written at most once).
+    #[must_use]
+    fn or_byte(self, slot: usize, value: u8) -> Self;
+
+    /// Appends the little-endian bytes to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+
+    /// Reads a trace from exactly [`Self::BYTES`] little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != Self::BYTES`.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl TraceRepr for u64 {
+    const SLOTS: usize = 8;
+    const BYTES: usize = 8;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn byte(self, slot: usize) -> u8 {
+        (self >> (8 * slot)) as u8
+    }
+
+    #[inline]
+    fn or_byte(self, slot: usize, value: u8) -> Self {
+        self | (u64::from(value) << (8 * slot))
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes.try_into().expect("8 trace bytes"))
+    }
+}
+
+impl TraceRepr for u128 {
+    const SLOTS: usize = 16;
+    const BYTES: usize = 16;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn byte(self, slot: usize) -> u8 {
+        (self >> (8 * slot)) as u8
+    }
+
+    #[inline]
+    fn or_byte(self, slot: usize, value: u8) -> Self {
+        self | (u128::from(value) << (8 * slot))
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        u128::from_le_bytes(bytes.try_into().expect("16 trace bytes"))
+    }
+}
+
+/// The banned-set bitmask representation of a search width: bit `i − 1`
+/// set ⇔ 1-based domain index `i` banned.
+pub trait MaskRepr: Copy + Default + PartialEq + fmt::Debug + Send + Sync + 'static {
+    /// Sets the bit for 0-based domain index `bit`.
+    fn set_bit(&mut self, bit: usize);
+
+    /// `true` iff the two masks share a set bit — the reasonable-product
+    /// test (`image ∩ banned ≠ ∅` bans the gate).
+    fn intersects(&self, other: &Self) -> bool;
+
+    /// Appends the mask's little-endian bytes to `out` (for the snapshot
+    /// library fingerprint).
+    fn write_le(&self, out: &mut Vec<u8>);
+}
+
+impl MaskRepr for u64 {
+    #[inline]
+    fn set_bit(&mut self, bit: usize) {
+        *self |= 1u64 << bit;
+    }
+
+    #[inline]
+    fn intersects(&self, other: &Self) -> bool {
+        self & other != 0
+    }
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+/// A 256-bit bitset over domain indices — the wide counterpart of the
+/// `u64` banned masks, sized to [`Wide`]'s 256-index word capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mask256([u64; 4]);
+
+impl Mask256 {
+    /// The mask with the bits for every 0-based index in `bits` set.
+    pub fn from_bits(bits: impl IntoIterator<Item = usize>) -> Self {
+        let mut mask = Self::default();
+        for bit in bits {
+            mask.set_bit(bit);
+        }
+        mask
+    }
+}
+
+impl MaskRepr for Mask256 {
+    #[inline]
+    fn set_bit(&mut self, bit: usize) {
+        self.0[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn intersects(&self, other: &Self) -> bool {
+        (self.0[0] & other.0[0])
+            | (self.0[1] & other.0[1])
+            | (self.0[2] & other.0[2])
+            | (self.0[3] & other.0[3])
+            != 0
+    }
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        for limb in self.0 {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+    }
+}
+
+/// A bundle of the packed representations the search core is generic
+/// over (see the module docs).
+pub trait SearchWidth:
+    Copy + Clone + Default + PartialEq + Eq + Hash + fmt::Debug + Send + Sync + 'static
+{
+    /// Short name used in width-mismatch diagnostics.
+    const LABEL: &'static str;
+
+    /// The circuit-permutation word type.
+    type Word: WordRepr;
+
+    /// The packed S-trace type.
+    type Trace: TraceRepr;
+
+    /// The banned-mask type.
+    type Mask: MaskRepr;
+}
+
+/// The historical 3-wire widths: `[u8; 64]` words, `u64` traces, `u64`
+/// masks. Covers every library with ≤ 64 domain patterns and ≤ 8 binary
+/// patterns (wire counts 1–3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Narrow;
+
+impl SearchWidth for Narrow {
+    const LABEL: &'static str = "narrow (64-pattern words, u64 traces)";
+    type Word = Packed<64>;
+    type Trace = u64;
+    type Mask = u64;
+}
+
+/// The 4-wire widths: `[u8; 256]` words, `u128` traces (16 packed
+/// bytes), [`Mask256`] banned masks. Covers the 176-pattern permutable
+/// 4-wire domain with headroom to the permutation substrate's 255-point
+/// ceiling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Wide;
+
+impl SearchWidth for Wide {
+    const LABEL: &'static str = "wide (256-pattern words, u128 traces)";
+    type Word = Packed<256>;
+    type Trace = u128;
+    type Mask = Mask256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_bytes_roundtrip() {
+        let t64 = 0x0102_0304_0506_0708u64;
+        assert_eq!(t64.byte(0), 0x08);
+        assert_eq!(t64.byte(7), 0x01);
+        let mut out = Vec::new();
+        t64.write_le(&mut out);
+        assert_eq!(u64::read_le(&out), t64);
+
+        let t128 = (u128::from(t64) << 64) | 0x99;
+        assert_eq!(t128.byte(0), 0x99);
+        assert_eq!(t128.byte(8), 0x08);
+        assert_eq!(t128.byte(15), 0x01);
+        let mut out = Vec::new();
+        t128.write_le(&mut out);
+        assert_eq!(out.len(), 16);
+        assert_eq!(u128::read_le(&out), t128);
+    }
+
+    #[test]
+    fn or_byte_packs_slots() {
+        let mut t = <u128 as TraceRepr>::ZERO;
+        for slot in 0..16 {
+            t = t.or_byte(slot, slot as u8 + 1);
+        }
+        for slot in 0..16 {
+            assert_eq!(t.byte(slot), slot as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn mask256_set_and_intersect() {
+        let mut a = Mask256::default();
+        a.set_bit(0);
+        a.set_bit(63);
+        a.set_bit(64);
+        a.set_bit(255);
+        let b = Mask256::from_bits([64]);
+        let c = Mask256::from_bits([65, 130]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!Mask256::default().intersects(&a));
+    }
+
+    #[test]
+    fn mask256_bytes_are_little_endian_limbs() {
+        let mask = Mask256::from_bits([0, 64]);
+        let mut out = Vec::new();
+        mask.write_le(&mut out);
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[8], 1);
+    }
+
+    #[test]
+    fn u64_mask_matches_plain_bit_ops() {
+        let mut m = 0u64;
+        m.set_bit(5);
+        m.set_bit(63);
+        assert_eq!(m, (1 << 5) | (1 << 63));
+        assert!(m.intersects(&(1u64 << 5)));
+        assert!(!m.intersects(&(1u64 << 6)));
+    }
+
+    #[test]
+    fn shard_hash_u128_differs_from_truncation() {
+        // The 128-bit shard hash must see the high bytes.
+        let low = 42u128;
+        let high = low | (1u128 << 100);
+        assert_ne!(low.shard_hash(), high.shard_hash());
+    }
+}

@@ -1,19 +1,22 @@
 //! Packed fixed-width words for the FMCF level search.
 //!
-//! The search explores millions of circuit-permutations; representing each
-//! as a `Box<[u8]>` costs one heap allocation (plus a pointer chase on
-//! every hash/compare) per discovered element. [`PackedWord`] stores the
-//! 0-based image table inline in a fixed `[u8; 64]` — sized to the
-//! 64-index ceiling the library's `u64` banned masks already impose — so
-//! words are `Copy`, hash without indirection, and pack contiguously in
-//! the per-cost level vectors.
+//! The search explores millions of circuit-permutations; representing
+//! each as a `Box<[u8]>` costs one heap allocation (plus a pointer chase
+//! on every hash/compare) per discovered element. [`Packed`] stores the
+//! 0-based image table inline in a fixed `[u8; CAP]`, so words are
+//! `Copy`, hash without indirection, and pack contiguously in the
+//! per-cost level vectors. The capacity is a const parameter so each
+//! [search width](crate::SearchWidth) pays only for the bytes its
+//! domain can need: [`PackedWord`] (`CAP = 64`) covers every 2- and
+//! 3-wire library, [`PackedWord256`] (`CAP = 256`) covers the 176-index
+//! 4-wire permutable domain.
 
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::ops::Index;
 
 /// A compact circuit-permutation: a 0-based image table over at most
-/// [`PackedWord::CAPACITY`] domain indices, stored inline.
+/// `CAP` domain indices, stored inline.
 ///
 /// Unused tail bytes are always zero, so derived equality and ordering
 /// agree with slice semantics for words of equal length (the engine only
@@ -31,34 +34,41 @@ use std::ops::Index;
 /// assert_eq!(w, id);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub struct PackedWord {
-    data: [u8; Self::CAPACITY],
-    len: u8,
+pub struct Packed<const CAP: usize> {
+    data: [u8; CAP],
+    len: u16,
 }
 
-impl PackedWord {
-    /// Maximum domain size a word can cover (matches the `u64` banned-mask
-    /// limit of the gate library).
-    pub const CAPACITY: usize = 64;
+/// The narrow packed word: 64 domain indices, matching the `u64` banned
+/// masks of 2- and 3-wire libraries.
+pub type PackedWord = Packed<64>;
+
+/// The wide packed word: 256 domain indices, covering the 4-wire
+/// permutable domain (176 indices) with headroom to the permutation
+/// substrate's 255-point ceiling.
+pub type PackedWord256 = Packed<256>;
+
+impl<const CAP: usize> Packed<CAP> {
+    /// Maximum domain size a word can cover.
+    pub const CAPACITY: usize = CAP;
 
     /// The identity word on `len` indices.
     ///
     /// # Panics
     ///
-    /// Panics if `len > PackedWord::CAPACITY`.
+    /// Panics if `len` exceeds the packed capacity `CAP`.
     pub fn identity(len: usize) -> Self {
         assert!(
-            len <= Self::CAPACITY,
-            "word length {len} exceeds the packed capacity of {}",
-            Self::CAPACITY
+            len <= CAP,
+            "word length {len} exceeds the packed capacity of {CAP}"
         );
-        let mut data = [0u8; Self::CAPACITY];
+        let mut data = [0u8; CAP];
         for (i, slot) in data.iter_mut().take(len).enumerate() {
             *slot = i as u8;
         }
         Self {
             data,
-            len: len as u8,
+            len: len as u16,
         }
     }
 
@@ -66,19 +76,18 @@ impl PackedWord {
     ///
     /// # Panics
     ///
-    /// Panics if `images` is longer than [`PackedWord::CAPACITY`].
+    /// Panics if `images` is longer than the packed capacity `CAP`.
     pub fn from_slice(images: &[u8]) -> Self {
         assert!(
-            images.len() <= Self::CAPACITY,
-            "word length {} exceeds the packed capacity of {}",
+            images.len() <= CAP,
+            "word length {} exceeds the packed capacity of {CAP}",
             images.len(),
-            Self::CAPACITY
         );
-        let mut data = [0u8; Self::CAPACITY];
+        let mut data = [0u8; CAP];
         data[..images.len()].copy_from_slice(images);
         Self {
             data,
-            len: images.len() as u8,
+            len: images.len() as u16,
         }
     }
 
@@ -100,7 +109,7 @@ impl PackedWord {
     ///
     /// Panics (in debug) if an image falls outside `table`.
     pub fn map_through(&self, table: &[u8]) -> Self {
-        let mut data = [0u8; Self::CAPACITY];
+        let mut data = [0u8; CAP];
         for (slot, &mid) in data.iter_mut().zip(self.as_slice()) {
             *slot = table[mid as usize];
         }
@@ -132,8 +141,11 @@ impl PackedWord {
     /// ```
     pub fn fnv_hash(&self) -> u64 {
         let mut state = fnv1a(self.as_slice());
-        state ^= u64::from(self.len);
-        state.wrapping_mul(FNV_PRIME)
+        for byte in self.len.to_le_bytes() {
+            state ^= u64::from(byte);
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        state
     }
 }
 
@@ -147,7 +159,7 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     state
 }
 
-impl Index<usize> for PackedWord {
+impl<const CAP: usize> Index<usize> for Packed<CAP> {
     type Output = u8;
 
     fn index(&self, index: usize) -> &u8 {
@@ -155,22 +167,22 @@ impl Index<usize> for PackedWord {
     }
 }
 
-impl Hash for PackedWord {
+impl<const CAP: usize> Hash for Packed<CAP> {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // One write over the active prefix; the length disambiguates
         // prefix-equal words of different degrees.
         state.write(self.as_slice());
-        state.write_u8(self.len);
+        state.write_u16(self.len);
     }
 }
 
-impl fmt::Debug for PackedWord {
+impl<const CAP: usize> fmt::Debug for Packed<CAP> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PackedWord({:?})", self.as_slice())
+        write!(f, "PackedWord<{CAP}>({:?})", self.as_slice())
     }
 }
 
-impl<'a> IntoIterator for &'a PackedWord {
+impl<'a, const CAP: usize> IntoIterator for &'a Packed<CAP> {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
 
@@ -180,9 +192,9 @@ impl<'a> IntoIterator for &'a PackedWord {
 }
 
 /// FNV-1a, specialized for the short fixed-width keys of the level search
-/// (packed words and `u64` traces). The default SipHash is DoS-resistant
-/// but measurably slower on the engine's hot maps, whose keys are
-/// program-generated and need no such resistance.
+/// (packed words and `u64`/`u128` traces). The default SipHash is
+/// DoS-resistant but measurably slower on the engine's hot maps, whose
+/// keys are program-generated and need no such resistance.
 #[derive(Debug, Clone)]
 pub struct FnvHasher {
     state: u64,
@@ -211,7 +223,15 @@ impl Hasher for FnvHasher {
         self.state = state;
     }
 
+    fn write_u128(&mut self, value: u128) {
+        self.write(&value.to_le_bytes());
+    }
+
     fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_u16(&mut self, value: u16) {
         self.write(&value.to_le_bytes());
     }
 
@@ -294,6 +314,26 @@ mod tests {
     }
 
     #[test]
+    fn wide_word_holds_the_4_wire_domain() {
+        // 176 indices — the 4-wire permutable domain — overflow the
+        // narrow capacity but fit the wide word.
+        let images: Vec<u8> = (0..176).map(|i| (175 - i) as u8).collect();
+        let w = PackedWord256::from_slice(&images);
+        assert_eq!(w.len(), 176);
+        assert_eq!(w.as_slice(), &images[..]);
+        assert_eq!(w[0], 175);
+        let id = PackedWord256::identity(176);
+        assert_eq!(w.map_through(id.as_slice()), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the packed capacity")]
+    fn oversized_wide_word_panics() {
+        let images = vec![0u8; PackedWord256::CAPACITY + 1];
+        let _ = PackedWord256::from_slice(&images);
+    }
+
+    #[test]
     fn fnv_hash_matches_hasher_path() {
         use std::hash::BuildHasher;
         for word in [
@@ -307,6 +347,12 @@ mod tests {
                 "{word:?}"
             );
         }
+        let wide = PackedWord256::identity(176);
+        assert_eq!(
+            wide.fnv_hash(),
+            FnvBuildHasher::default().hash_one(wide),
+            "{wide:?}"
+        );
     }
 
     #[test]
@@ -316,5 +362,14 @@ mod tests {
         let mut b = FnvHasher::default();
         b.write(&[0]);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fnv_integer_writes_are_little_endian_bytes() {
+        let mut by_int = FnvHasher::default();
+        by_int.write_u128(0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10);
+        let mut by_bytes = FnvHasher::default();
+        by_bytes.write(&0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10u128.to_le_bytes());
+        assert_eq!(by_int.finish(), by_bytes.finish());
     }
 }

@@ -12,7 +12,11 @@ use crate::{Gate, PatternDomain};
 pub struct LibraryGate {
     gate: Gate,
     perm: Perm,
-    banned_mask: u64,
+    /// 1-based banned indices, ascending (authoritative at any domain
+    /// size).
+    banned: Vec<usize>,
+    /// `banned` as a one-word bitmask, when the domain fits 64 indices.
+    banned_mask: Option<u64>,
 }
 
 impl LibraryGate {
@@ -28,8 +32,21 @@ impl LibraryGate {
 
     /// Bitmask over 1-based domain indices (bit `i−1` set ⇔ index `i`
     /// banned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library's domain exceeds 64 indices (a 4-wire
+    /// library) — use [`LibraryGate::banned_indices`] there; the
+    /// synthesis engine builds its width-appropriate masks from it.
     pub fn banned_mask(&self) -> u64 {
         self.banned_mask
+            .expect("domain exceeds 64 indices; use banned_indices()")
+    }
+
+    /// The 1-based banned indices (the paper's `N` set for the gate's
+    /// wire constraint), ascending — valid at any domain size.
+    pub fn banned_indices(&self) -> &[usize] {
+        &self.banned
     }
 
     /// `true` iff the gate may be cascaded after a circuit whose image of
@@ -45,8 +62,12 @@ impl LibraryGate {
     /// // Every gate is reasonable after the empty circuit.
     /// assert!(lib.gates().iter().all(|g| g.is_reasonable_after(identity_image)));
     /// ```
+    /// # Panics
+    ///
+    /// Panics if the library's domain exceeds 64 indices (see
+    /// [`LibraryGate::banned_mask`]).
     pub fn is_reasonable_after(&self, image_mask: u64) -> bool {
-        image_mask & self.banned_mask == 0
+        image_mask & self.banned_mask() == 0
     }
 }
 
@@ -70,8 +91,8 @@ pub struct BannedSets {
 
 /// The paper's quantum gate library **L** on an `n`-wire register: all
 /// controlled-V, controlled-V⁺ and Feynman placements (`6 + 6 + 6 = 18`
-/// gates for `n = 3`), with precomputed permutations and banned masks on
-/// the permutable domain.
+/// gates for `n = 3`, `12 + 12 + 12 = 36` for `n = 4`), with precomputed
+/// permutations and banned sets on the permutable domain.
 ///
 /// # Examples
 ///
@@ -93,16 +114,17 @@ pub struct GateLibrary {
 
 impl GateLibrary {
     /// Builds the standard library (all V, V⁺ and Feynman placements) on
-    /// the permutable domain for `n` wires.
+    /// the permutable domain for `n` wires (`n = 3` gives 38 indices,
+    /// `n = 4` gives 176 — the latter needs the wide engine width
+    /// downstream).
     ///
     /// # Panics
     ///
-    /// Panics if `n` is not 2 or 3 (domain index masks are stored in a
-    /// `u64`; `n = 3` gives 38 indices, `n = 4` would give 176).
+    /// Panics if `n` is not 2, 3 or 4.
     pub fn standard(n: usize) -> Self {
         assert!(
-            (2..=3).contains(&n),
-            "standard library supports 2 or 3 wires"
+            (2..=4).contains(&n),
+            "standard library supports 2, 3 or 4 wires"
         );
         Self::with_domain(PatternDomain::permutable(n))
     }
@@ -112,11 +134,25 @@ impl GateLibrary {
     ///
     /// # Panics
     ///
-    /// Panics if the domain has more than 64 indices.
+    /// Panics if the domain has more than 255 indices (the permutation
+    /// substrate stores images as `u8`).
     pub fn with_domain(domain: PatternDomain) -> Self {
-        assert!(domain.len() <= 64, "domain exceeds 64-bit masks");
+        assert!(
+            domain.len() <= 255,
+            "domain exceeds the 255-point permutation substrate"
+        );
         let n = domain.wires();
-        let mask_of = |indices: &[usize]| -> u64 { indices.iter().map(|&i| 1u64 << (i - 1)).sum() };
+        let mask_of = |indices: &[usize]| -> Option<u64> {
+            (domain.len() <= 64).then(|| indices.iter().map(|&i| 1u64 << (i - 1)).sum())
+        };
+        let make = |gate: Gate, banned: Vec<usize>| -> LibraryGate {
+            LibraryGate {
+                gate,
+                perm: gate.perm(&domain),
+                banned_mask: mask_of(&banned),
+                banned,
+            }
+        };
         let mut gates = Vec::new();
         for data in 0..n {
             for control in 0..n {
@@ -124,11 +160,7 @@ impl GateLibrary {
                     continue;
                 }
                 for gate in [Gate::v(data, control), Gate::v_dagger(data, control)] {
-                    gates.push(LibraryGate {
-                        gate,
-                        perm: gate.perm(&domain),
-                        banned_mask: mask_of(&domain.banned_for_wire(control)),
-                    });
+                    gates.push(make(gate, domain.banned_for_wire(control)));
                 }
             }
         }
@@ -139,15 +171,13 @@ impl GateLibrary {
                     continue;
                 }
                 let gate = Gate::feynman(data, control);
-                gates.push(LibraryGate {
-                    gate,
-                    perm: gate.perm(&domain),
-                    banned_mask: mask_of(&domain.banned_for_pair(data, control)),
-                });
+                gates.push(make(gate, domain.banned_for_pair(data, control)));
             }
         }
         let binary_set = domain.binary_set();
-        let binary_set_mask = mask_of(&binary_set);
+        // Binary patterns always sit in the low indices, so the `S` mask
+        // fits a u64 at every supported wire count.
+        let binary_set_mask = binary_set.iter().map(|&i| 1u64 << (i - 1)).sum();
         Self {
             domain,
             gates,
@@ -308,6 +338,42 @@ mod tests {
         assert_eq!(lib.gates().len(), 18);
         // Binary set in the full domain is sparse but has 8 entries.
         assert_eq!(lib.binary_set().len(), 8);
+    }
+
+    #[test]
+    fn four_wire_library_has_36_gates() {
+        let lib = GateLibrary::standard(4);
+        assert_eq!(lib.gates().len(), 36);
+        assert_eq!(lib.domain().len(), 176); // 4^4 − 3^4 + 1
+        assert_eq!(lib.binary_set().len(), 16);
+        assert_eq!(lib.binary_set_mask(), 0xFFFF);
+        assert_eq!(lib.not_gates().len(), 4);
+        // Banned sets are exposed as indices at any width; some reach
+        // past the u64 mask range.
+        for g in lib.gates() {
+            assert!(!g.banned_indices().is_empty());
+            assert!(g.banned_indices().windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(lib
+            .gates()
+            .iter()
+            .any(|g| g.banned_indices().iter().any(|&i| i > 64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "use banned_indices")]
+    fn wide_domain_banned_mask_panics() {
+        let lib = GateLibrary::standard(4);
+        let _ = lib.gates()[0].banned_mask();
+    }
+
+    #[test]
+    fn banned_indices_agree_with_masks_on_narrow_domains() {
+        let lib = GateLibrary::standard(3);
+        for g in lib.gates() {
+            let from_indices: u64 = g.banned_indices().iter().map(|&i| 1u64 << (i - 1)).sum();
+            assert_eq!(from_indices, g.banned_mask(), "{}", g.gate());
+        }
     }
 
     #[test]

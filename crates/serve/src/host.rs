@@ -21,7 +21,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-use mvq_core::{CachedSynthesis, CostModel, Synthesis, SynthesisEngine};
+use mvq_core::{
+    CachedSynthesis, CostModel, EngineError, Narrow, SearchEngine, SearchWidth, Synthesis,
+    SynthesisEngine, Wide, WideSynthesisEngine,
+};
 use mvq_perm::Perm;
 
 /// Tuning knobs for an [`EngineHost`] / [`HostRegistry`].
@@ -66,6 +69,10 @@ pub enum HostError {
     },
     /// A previous request panicked while holding the engine lock.
     Poisoned,
+    /// A cold engine could not be built for the requested configuration
+    /// (e.g. a library over the width's packed limits) — surfaced as a
+    /// JSON error instead of a worker panic.
+    Engine(String),
 }
 
 impl fmt::Display for HostError {
@@ -79,6 +86,7 @@ impl fmt::Display for HostError {
                 write!(f, "already hosting the maximum of {limit} cost models")
             }
             Self::Poisoned => write!(f, "engine lock poisoned by an earlier panic"),
+            Self::Engine(detail) => write!(f, "engine construction failed: {detail}"),
         }
     }
 }
@@ -88,6 +96,12 @@ impl std::error::Error for HostError {}
 impl<T> From<std::sync::PoisonError<T>> for HostError {
     fn from(_: std::sync::PoisonError<T>) -> Self {
         Self::Poisoned
+    }
+}
+
+impl From<EngineError> for HostError {
+    fn from(err: EngineError) -> Self {
+        Self::Engine(err.to_string())
     }
 }
 
@@ -121,6 +135,8 @@ struct Counters {
 pub struct HostStats {
     /// The host's cost model weights `(V, V⁺, Feynman)`.
     pub model: (u32, u32, u32),
+    /// The wire count of the host's library (3 or 4).
+    pub wires: usize,
     /// `/synthesize` requests admitted.
     pub synthesize_requests: u64,
     /// `/census` requests admitted.
@@ -163,10 +179,12 @@ pub struct CensusReply {
 }
 
 /// One warm engine behind a readers-writer cache manager with
-/// single-flight expansion (see the module docs).
+/// single-flight expansion (see the module docs), generic over the
+/// engine's [`SearchWidth`] (narrow hosts serve 2–3 wires, wide hosts
+/// 4).
 #[derive(Debug)]
-pub struct EngineHost {
-    engine: RwLock<SynthesisEngine>,
+pub struct EngineHost<W: SearchWidth = Narrow> {
+    engine: RwLock<SearchEngine<W>>,
     flight: Mutex<Flight>,
     landed: Condvar,
     limit: u32,
@@ -175,9 +193,9 @@ pub struct EngineHost {
 
 /// Clears the `expanding` flag even if the expansion panicked, so
 /// waiters are never stranded on the condvar.
-struct FlightReset<'a>(&'a EngineHost);
+struct FlightReset<'a, W: SearchWidth>(&'a EngineHost<W>);
 
-impl Drop for FlightReset<'_> {
+impl<W: SearchWidth> Drop for FlightReset<'_, W> {
     fn drop(&mut self) {
         if let Ok(mut flight) = self.0.flight.lock() {
             flight.expanding = false;
@@ -186,13 +204,13 @@ impl Drop for FlightReset<'_> {
     }
 }
 
-impl EngineHost {
+impl<W: SearchWidth> EngineHost<W> {
     /// Hosts `engine`, rejecting queries whose cost bound exceeds
     /// `max_cost_bound`.
     ///
     /// A snapshot-loaded engine's deferred frontier is materialized here,
     /// up front, so no query pays the merge cost mid-flight.
-    pub fn new(mut engine: SynthesisEngine, max_cost_bound: u32) -> Self {
+    pub fn new(mut engine: SearchEngine<W>, max_cost_bound: u32) -> Self {
         engine.ensure_frontier();
         let flight = Flight {
             expanding: false,
@@ -298,6 +316,7 @@ impl EngineHost {
         let c = &self.counters;
         Ok(HostStats {
             model: engine.cost_model().weights(),
+            wires: engine.library().domain().wires(),
             synthesize_requests: c.synthesize_requests.load(Ordering::Relaxed),
             census_requests: c.census_requests.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
@@ -360,21 +379,35 @@ impl EngineHost {
     }
 }
 
-/// One [`EngineHost`] per cost model, created on demand (bounded by
-/// [`HostConfig::max_models`]).
+/// The two per-width host tables behind one lock (one lock order, no
+/// cross-width deadlock; the model cap spans both).
+#[derive(Debug, Default)]
+struct HostTables {
+    narrow: HashMap<CostModel, Arc<EngineHost<Narrow>>>,
+    wide: HashMap<CostModel, Arc<EngineHost<Wide>>>,
+}
+
+impl HostTables {
+    fn total(&self) -> usize {
+        self.narrow.len() + self.wide.len()
+    }
+}
+
+/// One [`EngineHost`] per `(width, cost model)`, created on demand
+/// (bounded by [`HostConfig::max_models`] across both widths).
 #[derive(Debug)]
 pub struct HostRegistry {
     config: HostConfig,
-    hosts: Mutex<HashMap<CostModel, Arc<EngineHost>>>,
+    hosts: Mutex<HostTables>,
 }
 
 impl HostRegistry {
     /// An empty registry; hosts are created lazily by
-    /// [`Self::host_for`].
+    /// [`Self::host_for`] / [`Self::wide_host_for`].
     pub fn new(config: HostConfig) -> Self {
         Self {
             config,
-            hosts: Mutex::new(HashMap::new()),
+            hosts: Mutex::new(HostTables::default()),
         }
     }
 
@@ -383,49 +416,115 @@ impl HostRegistry {
         &self.config
     }
 
-    /// Installs a pre-warmed engine (e.g. loaded from a snapshot) as the
-    /// host for its own cost model, replacing any existing host.
+    /// Installs a pre-warmed 3-wire engine (e.g. loaded from a snapshot)
+    /// as the host for its own cost model, replacing any existing host.
     ///
     /// # Errors
     ///
+    /// [`HostError::Engine`] if the engine is not a 3-wire engine (the
+    /// narrow table serves `wires = 3` traffic, and a smaller register
+    /// would panic target reduction mid-request);
     /// [`HostError::Poisoned`] if the registry lock is poisoned.
     pub fn install(&self, engine: SynthesisEngine) -> Result<Arc<EngineHost>, HostError> {
+        let wires = engine.library().domain().wires();
+        if wires != 3 {
+            return Err(HostError::Engine(format!(
+                "the service hosts 3-wire engines in its narrow table, got {wires} wires"
+            )));
+        }
         let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
         let model = {
             let engine = host.engine.read()?;
             *engine.cost_model()
         };
-        self.hosts.lock()?.insert(model, Arc::clone(&host));
+        self.hosts.lock()?.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
 
-    /// The host for `model`, creating a cold engine if this is the
-    /// model's first request.
+    /// [`Self::install`] for a pre-warmed 4-wire (wide) engine.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Engine`] if the engine's library is not 4-wire;
+    /// [`HostError::Poisoned`] if the registry lock is poisoned.
+    pub fn install_wide(
+        &self,
+        engine: WideSynthesisEngine,
+    ) -> Result<Arc<EngineHost<Wide>>, HostError> {
+        let wires = engine.library().domain().wires();
+        if wires != 4 {
+            return Err(HostError::Engine(format!(
+                "the service hosts 4-wire engines in its wide table, got {wires} wires"
+            )));
+        }
+        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        let model = {
+            let engine = host.engine.read()?;
+            *engine.cost_model()
+        };
+        self.hosts.lock()?.wide.insert(model, Arc::clone(&host));
+        Ok(host)
+    }
+
+    fn threads(&self) -> usize {
+        mvq_core::resolve_threads((self.config.threads > 0).then_some(self.config.threads))
+    }
+
+    /// The 3-wire host for `model`, creating a cold engine if this is
+    /// the model's first request.
     ///
     /// # Errors
     ///
     /// [`HostError::TooManyModels`] past the configured limit;
+    /// [`HostError::Engine`] if the cold engine cannot be built;
     /// [`HostError::Poisoned`] if the registry lock is poisoned.
     pub fn host_for(&self, model: CostModel) -> Result<Arc<EngineHost>, HostError> {
         let mut hosts = self.hosts.lock()?;
-        if let Some(host) = hosts.get(&model) {
+        if let Some(host) = hosts.narrow.get(&model) {
             return Ok(Arc::clone(host));
         }
-        if hosts.len() >= self.config.max_models {
+        if hosts.total() >= self.config.max_models {
             return Err(HostError::TooManyModels {
                 limit: self.config.max_models,
             });
         }
-        let threads =
-            mvq_core::resolve_threads((self.config.threads > 0).then_some(self.config.threads));
-        let engine =
-            SynthesisEngine::with_threads(mvq_logic::GateLibrary::standard(3), model, threads);
+        let engine = SynthesisEngine::try_with_threads(
+            mvq_logic::GateLibrary::standard(3),
+            model,
+            self.threads(),
+        )?;
         let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
-        hosts.insert(model, Arc::clone(&host));
+        hosts.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
 
-    /// Stats snapshots for every live host, in model order.
+    /// The 4-wire host for `model`, creating a cold wide engine if this
+    /// is the model's first request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::host_for`].
+    pub fn wide_host_for(&self, model: CostModel) -> Result<Arc<EngineHost<Wide>>, HostError> {
+        let mut hosts = self.hosts.lock()?;
+        if let Some(host) = hosts.wide.get(&model) {
+            return Ok(Arc::clone(host));
+        }
+        if hosts.total() >= self.config.max_models {
+            return Err(HostError::TooManyModels {
+                limit: self.config.max_models,
+            });
+        }
+        let engine = WideSynthesisEngine::try_with_threads(
+            mvq_logic::GateLibrary::standard(4),
+            model,
+            self.threads(),
+        )?;
+        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        hosts.wide.insert(model, Arc::clone(&host));
+        Ok(host)
+    }
+
+    /// Stats snapshots for every live host, in (wires, model) order.
     ///
     /// # Errors
     ///
@@ -433,10 +532,12 @@ impl HostRegistry {
     pub fn stats(&self) -> Result<Vec<HostStats>, HostError> {
         let hosts = self.hosts.lock()?;
         let mut all: Vec<HostStats> = hosts
+            .narrow
             .values()
             .map(|h| h.stats())
+            .chain(hosts.wide.values().map(|h| h.stats()))
             .collect::<Result<_, _>>()?;
-        all.sort_by_key(|s| s.model);
+        all.sort_by_key(|s| (s.wires, s.model));
         Ok(all)
     }
 }
@@ -558,6 +659,69 @@ mod tests {
         let err = registry.host_for(CostModel::weighted(2, 2, 1)).unwrap_err();
         assert_eq!(err, HostError::TooManyModels { limit: 2 });
         assert_eq!(registry.stats().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wide_host_serves_4_wire_targets() {
+        let registry = HostRegistry::new(HostConfig {
+            max_cost_bound: 3,
+            threads: 1,
+            max_models: 4,
+        });
+        let host = registry.wide_host_for(CostModel::unit()).unwrap();
+        // The 4-wire CNOT D ^= A costs 1.
+        let target = mvq_core::known::parse_target_on("(9,10)(11,12)(13,14)(15,16)", 16).unwrap();
+        let syn = host.synthesize(&target, 2).unwrap().unwrap();
+        assert_eq!(syn.cost, 1);
+        let stats = host.stats().unwrap();
+        assert_eq!(stats.wires, 4);
+        // Narrow and wide hosts for the same model coexist and count
+        // toward one cap.
+        registry.host_for(CostModel::unit()).unwrap();
+        assert_eq!(registry.stats().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn model_cap_spans_both_widths() {
+        let registry = HostRegistry::new(HostConfig {
+            max_cost_bound: 3,
+            threads: 1,
+            max_models: 2,
+        });
+        registry.host_for(CostModel::unit()).unwrap();
+        registry.wide_host_for(CostModel::unit()).unwrap();
+        let err = registry.host_for(CostModel::weighted(1, 2, 3)).unwrap_err();
+        assert_eq!(err, HostError::TooManyModels { limit: 2 });
+        let err = registry
+            .wide_host_for(CostModel::weighted(1, 2, 3))
+            .unwrap_err();
+        assert_eq!(err, HostError::TooManyModels { limit: 2 });
+    }
+
+    #[test]
+    fn install_rejects_mismatched_wire_counts() {
+        // Regression: installing a 2-wire snapshot used to park it in
+        // the table that serves wires = 3 traffic, where the first
+        // request's target reduction would panic the worker.
+        let registry = HostRegistry::new(HostConfig {
+            threads: 1,
+            ..HostConfig::default()
+        });
+        let two_wire = SynthesisEngine::with_threads(
+            mvq_logic::GateLibrary::standard(2),
+            CostModel::unit(),
+            1,
+        );
+        let err = registry.install(two_wire).unwrap_err();
+        assert!(matches!(err, HostError::Engine(_)), "{err}");
+        let three_wire_wide = WideSynthesisEngine::with_threads(
+            mvq_logic::GateLibrary::standard(3),
+            CostModel::unit(),
+            1,
+        );
+        let err = registry.install_wide(three_wire_wide).unwrap_err();
+        assert!(matches!(err, HostError::Engine(_)), "{err}");
+        assert!(registry.stats().unwrap().is_empty());
     }
 
     #[test]

@@ -52,6 +52,35 @@ fn bad_request(detail: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, detail.into())
 }
 
+/// An oversized declared body — mapped to `413 Payload Too Large` by the
+/// transport (distinct from the 400s `InvalidData` produces).
+fn payload_too_large(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::FileTooLarge, detail.into())
+}
+
+/// Strictly validates a `Content-Length` value **before any body
+/// allocation or read**: ASCII digits only (no sign, no whitespace, no
+/// empty value — `usize::parse` would accept a leading `+`), and within
+/// [`MAX_BODY`].
+///
+/// # Errors
+///
+/// `InvalidData` (→ 400) for malformed values, `FileTooLarge` (→ 413)
+/// for well-formed lengths over the cap.
+fn parse_content_length(value: &str) -> io::Result<usize> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad_request(format!("bad content-length `{value}`")));
+    }
+    match value.parse::<usize>() {
+        Ok(n) if n <= MAX_BODY => Ok(n),
+        // Over the cap or too many digits to represent: either way the
+        // declared body is oversized.
+        _ => Err(payload_too_large(format!(
+            "declared body `{value}` exceeds {MAX_BODY} bytes"
+        ))),
+    }
+}
+
 /// Reads one `\n`-terminated line with a hard length cap, stripping the
 /// line ending. `Ok(None)` means clean EOF before any byte.
 fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
@@ -107,18 +136,21 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
             .ok_or_else(|| bad_request(format!("malformed header `{line}`")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| bad_request(format!("bad content-length `{v}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Err(bad_request(format!("body exceeds {MAX_BODY} bytes")));
+    // Chunked (or any) transfer coding is unsupported; silently
+    // treating such a request as body-less would leave the chunked
+    // body on the keep-alive socket to be parsed as the next request —
+    // the classic desync/smuggling vector. RFC 9112 §6.1: reject.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(bad_request("transfer-encoding is not supported"));
     }
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let content_length = match (lengths.next(), lengths.next()) {
+        (None, _) => 0,
+        (Some((_, v)), None) => parse_content_length(v)?,
+        // Duplicate Content-Length headers are a smuggling vector;
+        // reject rather than pick one.
+        (Some(_), Some(_)) => return Err(bad_request("multiple content-length headers")),
+    };
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(Some(Request {
@@ -135,6 +167,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -209,6 +242,74 @@ mod tests {
         assert!(parse("GET / SPDY/99\r\n\r\n").is_err());
         // Truncated body.
         assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn content_length_is_validated_strictly() {
+        // `usize::parse` would accept the signed forms; the parser must
+        // not (surrounding whitespace is already stripped as header OWS).
+        for bad in ["+4", "-4", "0x10", "4.0", "4,4", ""] {
+            let err = parse(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n{{}}{{}}"
+            ))
+            .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "`{bad}`: {err}");
+        }
+        // Plain digits still work.
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{}");
+        // Leading zeros are digits — tolerated.
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 02\r\n\r\n{}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_before_any_read() {
+        // Over the cap, a usize-overflowing digit string, and an
+        // absurdly long digit string: all fail with the 413 kind before
+        // the parser attempts a body allocation or read (there is no
+        // body here to read).
+        for huge in [
+            (MAX_BODY + 1).to_string(),
+            u128::MAX.to_string(),
+            "9".repeat(100),
+        ] {
+            let err = parse(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n"
+            ))
+            .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::FileTooLarge, "`{huge}`: {err}");
+        }
+        // Exactly at the cap the framing is accepted (the body itself is
+        // then read — truncated here, so an UnexpectedEof I/O error).
+        let err = parse(&format!(
+            "POST / HTTP/1.1\r\nContent-Length: {MAX_BODY}\r\n\r\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        // A chunked body must not be left on the socket to desync the
+        // next keep-alive request.
+        let err =
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n")
+                .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("transfer-encoding"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("multiple"), "{err}");
     }
 
     #[test]

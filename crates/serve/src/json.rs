@@ -67,13 +67,16 @@ fn optional<'de, T: Deserialize<'de>>(
 /// `POST /synthesize` body.
 #[derive(Debug, Clone)]
 pub struct SynthesizeRequest {
-    /// The target reversible function, in cycle notation over the 8
-    /// binary patterns (e.g. `"(5,7,6,8)"`).
+    /// The target reversible function, in cycle notation over the
+    /// `2^wires` binary patterns (e.g. `"(5,7,6,8)"`).
     pub target: String,
     /// Cost bound (defaults to the host's admission limit).
     pub cb: Option<u32>,
     /// Cost-model override (defaults to unit costs).
     pub model: Option<ModelSpec>,
+    /// Register size (defaults to the paper's 3; 4 routes to a wide
+    /// engine host).
+    pub wires: Option<usize>,
 }
 
 impl<'de> Deserialize<'de> for SynthesizeRequest {
@@ -85,6 +88,7 @@ impl<'de> Deserialize<'de> for SynthesizeRequest {
             target: String::deserialize(field(entries, "target")?)?,
             cb: optional(entries, "cb")?,
             model: optional(entries, "model")?,
+            wires: optional(entries, "wires")?,
         })
     }
 }
@@ -92,10 +96,14 @@ impl<'de> Deserialize<'de> for SynthesizeRequest {
 /// `POST /census` body.
 #[derive(Debug, Clone)]
 pub struct CensusRequest {
-    /// Highest cost level to report (defaults to the paper's 6).
+    /// Highest cost level to report (defaults to the paper's 6 on 3
+    /// wires; 4 on 4 wires, where the frontier grows ~11× per level).
     pub cb: Option<u32>,
     /// Cost-model override (defaults to unit costs).
     pub model: Option<ModelSpec>,
+    /// Register size (defaults to the paper's 3; 4 routes to a wide
+    /// engine host).
+    pub wires: Option<usize>,
 }
 
 impl<'de> Deserialize<'de> for CensusRequest {
@@ -106,6 +114,7 @@ impl<'de> Deserialize<'de> for CensusRequest {
         Ok(Self {
             cb: optional(entries, "cb")?,
             model: optional(entries, "model")?,
+            wires: optional(entries, "wires")?,
         })
     }
 }
@@ -185,6 +194,7 @@ impl Serialize for HostStats {
                     ("feynman", Content::U64(self.model.2.into())),
                 ]),
             ),
+            ("wires", Content::U64(self.wires as u64)),
             (
                 "synthesize_requests",
                 Content::U64(self.synthesize_requests),
@@ -239,6 +249,16 @@ mod tests {
         assert_eq!(req.target, "(5,7,6,8)");
         assert!(req.cb.is_none());
         assert!(req.model.is_none());
+        assert!(req.wires.is_none());
+    }
+
+    #[test]
+    fn requests_parse_the_wires_field() {
+        let req: SynthesizeRequest =
+            serde_json::from_str(r#"{"target": "(15,16)", "wires": 4}"#).unwrap();
+        assert_eq!(req.wires, Some(4));
+        let req: CensusRequest = serde_json::from_str(r#"{"cb": 2, "wires": 4}"#).unwrap();
+        assert_eq!(req.wires, Some(4));
     }
 
     #[test]

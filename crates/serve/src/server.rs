@@ -21,14 +21,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mvq_core::CostModel;
+use mvq_core::{CostModel, SearchWidth};
 
-use crate::host::{HostError, HostRegistry};
+use crate::host::{EngineHost, HostError, HostRegistry};
 use crate::http::{read_request, write_response, Request};
 use crate::json::{error_body, render, CensusRequest, SynthesizeReply, SynthesizeRequest};
 
 /// Per-connection read timeout: a stalled client cannot pin a worker.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default cost bound for 4-wire requests that omit `cb` (both
+/// endpoints): the wide frontier grows ~11× per unit-cost level, so the
+/// 3-wire-calibrated admission limit is not a safe implicit default.
+const WIDE_DEFAULT_CB: u32 = 4;
 
 /// A bound, not-yet-running service.
 #[derive(Debug)]
@@ -179,6 +184,10 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
                 write_response(&mut writer, 400, &error_body(&err.to_string()), false)?;
                 return Ok(());
             }
+            Err(err) if err.kind() == io::ErrorKind::FileTooLarge => {
+                write_response(&mut writer, 413, &error_body(&err.to_string()), false)?;
+                return Ok(());
+            }
             Err(err) => return Err(err),
         };
         let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
@@ -234,7 +243,7 @@ fn host_error(err: &HostError) -> (u16, String, bool) {
     let status = match err {
         HostError::CostBoundExceeded { .. } => 400,
         HostError::TooManyModels { .. } => 429,
-        HostError::Poisoned => 500,
+        HostError::Poisoned | HostError::Engine(_) => 500,
     };
     (status, error_body(&err.to_string()), false)
 }
@@ -243,27 +252,97 @@ fn resolve_model(spec: Option<crate::json::ModelSpec>) -> Result<CostModel, Stri
     spec.map_or(Ok(CostModel::unit()), crate::json::ModelSpec::to_model)
 }
 
+/// Validates the request's wire count; `Err` is the ready 400 reply.
+fn validate_wires(wires: Option<usize>) -> Result<usize, (u16, String, bool)> {
+    let wires = wires.unwrap_or(3);
+    if (3..=4).contains(&wires) {
+        Ok(wires)
+    } else {
+        Err((
+            400,
+            error_body(&format!(
+                "unsupported wires {wires} (the service hosts 3 or 4)"
+            )),
+            false,
+        ))
+    }
+}
+
+/// Runs the synthesize body against a host of either width (the
+/// target is parsed by the caller, before any host is created). A
+/// request without an explicit `cb` gets `default_cb` capped to the
+/// host's admission limit — an implicit bound must never be rejected
+/// by admission.
+fn synthesize_on<W: SearchWidth>(
+    host: Result<Arc<EngineHost<W>>, HostError>,
+    target: &mvq_perm::Perm,
+    cb: Option<u32>,
+    default_cb: u32,
+) -> (u16, String, bool) {
+    let host = match host {
+        Ok(host) => host,
+        Err(err) => return host_error(&err),
+    };
+    let cb = cb.unwrap_or_else(|| default_cb.min(host.cost_bound_limit()));
+    match host.synthesize(target, cb) {
+        Ok(synthesis) => (200, render(&SynthesizeReply { cb, synthesis }), false),
+        Err(err) => host_error(&err),
+    }
+}
+
 fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
     let body = String::from_utf8_lossy(&request.body);
     let parsed: SynthesizeRequest = match serde_json::from_str(&body) {
         Ok(parsed) => parsed,
         Err(err) => return (400, error_body(&err.to_string()), false),
     };
-    let target = match mvq_core::known::parse_binary_target(&parsed.target) {
-        Ok(target) => target,
-        Err(detail) => return (400, error_body(&detail), false),
-    };
     let model = match resolve_model(parsed.model) {
         Ok(model) => model,
         Err(detail) => return (400, error_body(&detail), false),
     };
-    let host = match ctx.registry.host_for(model) {
+    let wires = match validate_wires(parsed.wires) {
+        Ok(wires) => wires,
+        Err(reply) => return reply,
+    };
+    // Validate the target before resolving a host: a malformed request
+    // must not cost a model-cap slot on a cold registry.
+    let target = match mvq_core::known::parse_target_on(&parsed.target, 1 << wires) {
+        Ok(target) => target,
+        Err(detail) => return (400, error_body(&detail), false),
+    };
+    if wires == 4 {
+        // The admission limit is calibrated to 3-wire growth (the
+        // paper's bound of 7); the 4-wire frontier grows ~11× per
+        // level, so an *implicit* bound stays shallow — clients must
+        // ask for deep wide expansions explicitly.
+        synthesize_on(
+            ctx.registry.wide_host_for(model),
+            &target,
+            parsed.cb,
+            WIDE_DEFAULT_CB,
+        )
+    } else {
+        synthesize_on(ctx.registry.host_for(model), &target, parsed.cb, u32::MAX)
+    }
+}
+
+/// Runs the census body against a host of either width.
+fn census_on<W: SearchWidth>(
+    host: Result<Arc<EngineHost<W>>, HostError>,
+    parsed: &CensusRequest,
+    default_cb: u32,
+) -> (u16, String, bool) {
+    let host = match host {
         Ok(host) => host,
         Err(err) => return host_error(&err),
     };
-    let cb = parsed.cb.unwrap_or_else(|| host.cost_bound_limit());
-    match host.synthesize(&target, cb) {
-        Ok(synthesis) => (200, render(&SynthesizeReply { cb, synthesis }), false),
+    // An explicit bound goes through admission like /synthesize (over
+    // the limit → 400); only the default is capped by the limit.
+    let cb = parsed
+        .cb
+        .unwrap_or_else(|| default_cb.min(host.cost_bound_limit()));
+    match host.census(cb) {
+        Ok(reply) => (200, render(&reply), false),
         Err(err) => host_error(&err),
     }
 }
@@ -283,15 +362,9 @@ fn census(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
         Ok(model) => model,
         Err(detail) => return (400, error_body(&detail), false),
     };
-    let host = match ctx.registry.host_for(model) {
-        Ok(host) => host,
-        Err(err) => return host_error(&err),
-    };
-    // An explicit bound goes through admission like /synthesize (over
-    // the limit → 400); only the default is capped by the limit.
-    let cb = parsed.cb.unwrap_or_else(|| 6.min(host.cost_bound_limit()));
-    match host.census(cb) {
-        Ok(reply) => (200, render(&reply), false),
-        Err(err) => host_error(&err),
+    match validate_wires(parsed.wires) {
+        Ok(4) => census_on(ctx.registry.wide_host_for(model), &parsed, WIDE_DEFAULT_CB),
+        Ok(_) => census_on(ctx.registry.host_for(model), &parsed, 6),
+        Err(reply) => reply,
     }
 }

@@ -127,6 +127,102 @@ fn endpoints_answer_known_results() {
 }
 
 #[test]
+fn four_wire_requests_route_to_the_wide_host() {
+    let server = RunningServer::start(HostRegistry::new(HostConfig {
+        threads: 1,
+        max_cost_bound: 3,
+        ..HostConfig::default()
+    }));
+
+    // The 4-wire CNOT D ^= A: cost 1 through the wide host.
+    let (status, body) = server.request(
+        "POST",
+        "/synthesize",
+        r#"{"target":"(9,10)(11,12)(13,14)(15,16)","wires":4,"cb":2}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"found\":true"), "{body}");
+    assert!(body.contains("\"cost\":1"), "{body}");
+
+    // A defaulted (no-cb) wide request clamps its implicit bound to
+    // the host's admission limit (3 here) instead of being rejected.
+    let (status, body) = server.request(
+        "POST",
+        "/synthesize",
+        r#"{"target":"(9,10)(11,12)(13,14)(15,16)","wires":4}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cb\":3"), "{body}");
+    assert!(body.contains("\"cost\":1"), "{body}");
+
+    // The 4-wire census prefix.
+    let (status, body) = server.request("POST", "/census", r#"{"wires":4,"cb":2}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"g_counts\":[1,12,96]"), "{body}");
+
+    // A 4-wire target given without wires: rejected as a 3-wire parse.
+    let (status, body) = server.request(
+        "POST",
+        "/synthesize",
+        r#"{"target":"(9,10)(11,12)(13,14)(15,16)","cb":2}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+
+    // Unsupported wire counts are a clean 400.
+    let (status, body) = server.request("POST", "/census", r#"{"wires":5,"cb":2}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unsupported wires"), "{body}");
+
+    // Malformed requests never created a host: only the wide one is
+    // live so far (a bad target must not cost a model-cap slot).
+    let (status, body) = server.request("GET", "/stats", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"models\":1"), "{body}");
+    assert!(!body.contains("\"wires\":3"), "{body}");
+
+    // A valid 3-wire request spins up the narrow host alongside.
+    let (status, body) = server.request("POST", "/synthesize", r#"{"target":"(7,8)","cb":2}"#);
+    assert_eq!(status, 200, "{body}");
+
+    // Stats label each host with its wire count.
+    let (status, body) = server.request("GET", "/stats", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"wires\":3"), "{body}");
+    assert!(body.contains("\"wires\":4"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn oversized_content_length_gets_413_before_any_body_read() {
+    let server = RunningServer::start(HostRegistry::new(test_config()));
+    let mut stream = TcpStream::connect(server.handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    // Declare a 100 MiB body (over the 1 MiB cap) but send none: the
+    // strict validator must answer 413 immediately instead of waiting
+    // on (or allocating for) the declared body.
+    stream
+        .write_all(b"POST /synthesize HTTP/1.1\r\nHost: t\r\nContent-Length: 104857600\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(response.starts_with("HTTP/1.1 413 "), "{response}");
+
+    // A signed Content-Length is malformed: 400.
+    let mut stream = TcpStream::connect(server.handle.addr()).expect("connect");
+    stream
+        .write_all(b"POST /census HTTP/1.1\r\nHost: t\r\nContent-Length: +2\r\n\r\n{}")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+
+    server.shutdown();
+}
+
+#[test]
 fn malformed_requests_get_4xx_not_disconnects() {
     // A tight admission limit keeps the default-census check cheap.
     let server = RunningServer::start(HostRegistry::new(HostConfig {
