@@ -29,7 +29,9 @@ struct Shape {
 }
 
 /// The steady-state mix: mostly warm synthesis lookups over a spread of
-/// targets, a census read, and a health probe.
+/// targets, two deep (cost-7) targets served past the warm frontier —
+/// one forced bidirectional, one through the `auto` planner — a census
+/// read, and a health probe.
 const MIX: &[Shape] = &[
     Shape {
         kind: "synth_toffoli",
@@ -54,6 +56,18 @@ const MIX: &[Shape] = &[
         method: "POST",
         path: "/synthesize",
         body: r#"{"target":"(2,3)(5,8)","cb":5}"#,
+    },
+    Shape {
+        kind: "synth_fredkin_bidi",
+        method: "POST",
+        path: "/synthesize",
+        body: r#"{"target":"(6,7)","cb":7,"strategy":"bidi"}"#,
+    },
+    Shape {
+        kind: "synth_deep_auto",
+        method: "POST",
+        path: "/synthesize",
+        body: r#"{"target":"(3,5)(4,6,8)","cb":7,"strategy":"auto"}"#,
     },
     Shape {
         kind: "census_cb5",

@@ -562,6 +562,68 @@ mod tests {
     }
 
     #[test]
+    fn synth_snapshot_bidi_roundtrip() {
+        // A snapshot warm-starts the *forward* frontier of a
+        // bidirectional run exactly like a unidirectional one (the
+        // backward frontier is per-query and never snapshotted), and a
+        // bidi run that deepens the forward levels writes them back.
+        let path = std::env::temp_dir().join(format!("mvq_cli_bidi_{}.snap", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        // Seed a shallow snapshot (levels ≤ 1).
+        assert!(run(&["census", "--cb", "1", "--snapshot", &path]).is_ok());
+        assert_eq!(
+            SynthesisEngine::load_snapshot(&path)
+                .unwrap()
+                .completed_cost(),
+            Some(1)
+        );
+        // Toffoli costs 5: the adaptive split grows the warm forward
+        // frontier past the loaded depth, so the run writes back.
+        assert!(run(&[
+            "synth",
+            "(7,8)",
+            "--cb",
+            "5",
+            "--snapshot",
+            &path,
+            "--strategy",
+            "bidi"
+        ])
+        .is_ok());
+        let after = SynthesisEngine::load_snapshot(&path).unwrap();
+        let depth = after.completed_cost().expect("levels present");
+        assert!(
+            depth >= 2,
+            "bidi run should write back deeper levels, got {depth}"
+        );
+        // The written snapshot reloads and warm-starts either strategy.
+        assert!(run(&[
+            "synth",
+            "(7,8)",
+            "--cb",
+            "5",
+            "--snapshot",
+            &path,
+            "--strategy",
+            "bidi"
+        ])
+        .is_ok());
+        assert!(run(&[
+            "synth",
+            "(7,8)",
+            "--cb",
+            "5",
+            "--snapshot",
+            &path,
+            "--strategy",
+            "uni"
+        ])
+        .is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn snapshot_flag_rejects_garbage_files() {
         let path =
             std::env::temp_dir().join(format!("mvq_cli_garbage_{}.snap", std::process::id()));

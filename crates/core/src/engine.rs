@@ -218,6 +218,11 @@ pub struct SearchEngine<W: SearchWidth> {
     binary_rank: Vec<u8>,
     /// Degree of parallelism for level expansion (1 = serial).
     threads: usize,
+    /// Persistent expansion workers (spawned lazily on the first
+    /// parallel bucket; shared by the forward frontier, the backward
+    /// frontier, and the meet-in-the-middle join, so hot paths never
+    /// re-spawn threads).
+    pub(crate) pool: par::WorkerPool,
     /// Every discovered element of `A[∞]` with its metadata, sharded by
     /// word hash so parallel expansion can insert without locks.
     pub(crate) seen: ShardedSeen<W::Word, Meta>,
@@ -385,6 +390,7 @@ impl<W: SearchWidth> SearchEngine<W> {
             binary0,
             binary_rank,
             threads,
+            pool: par::WorkerPool::new(threads),
             seen,
             pending,
             deferred_frontier: None,
@@ -420,6 +426,7 @@ impl<W: SearchWidth> SearchEngine<W> {
     pub fn set_threads(&mut self, threads: usize) {
         let threads = threads.max(1);
         self.threads = threads;
+        self.pool = par::WorkerPool::new(threads);
         self.seen.reshard_for_threads(threads);
     }
 
@@ -515,6 +522,17 @@ impl<W: SearchWidth> SearchEngine<W> {
         }
     }
 
+    /// Expands exactly one FMCF cost level (the public single-step
+    /// counterpart of [`Self::expand_to_cost`]). Returns `false` when
+    /// the reachable space is exhausted and no level was expanded.
+    ///
+    /// Long-lived hosts use this to climb level by level, releasing
+    /// their engine lock and re-checking target resolution between
+    /// steps, so a shallow query never pays for a deep bound.
+    pub fn expand_one_level(&mut self) -> bool {
+        self.expand_next_level()
+    }
+
     /// Expands exactly one cost level. Returns `false` when the reachable
     /// space is exhausted.
     ///
@@ -537,7 +555,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         // this bucket's cost is final (Dijkstra).
         let bucket: Vec<W::Word> = if parallel {
             let seen = &self.seen;
-            par::par_filter(self.threads, raw_bucket, |w| {
+            par::par_filter(&self.pool, raw_bucket, |w| {
                 seen.get(w).expect("pending word is seen").cost == cost
             })
         } else {
@@ -559,7 +577,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         let traces: Vec<W::Trace> = if parallel {
             let engine = &*self;
             let prepared: Vec<(W::Trace, Option<W::Word>)> =
-                par::par_map(self.threads, &bucket, |_, w| {
+                par::par_map(&engine.pool, &bucket, |_, w| {
                     (engine.trace_of(w), engine.restrict(w))
                 });
             for (word, &(_, restriction)) in bucket.iter().zip(&prepared) {
@@ -594,7 +612,7 @@ impl<W: SearchWidth> SearchEngine<W> {
             let binary_len = self.binary0.len();
             let traces = &traces;
             let pushes = par::expand_bucket(
-                self.threads,
+                &self.pool,
                 &bucket,
                 &mut self.seen,
                 expected_new,

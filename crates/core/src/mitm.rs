@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, HashSet};
 use mvq_logic::Gate;
 use mvq_perm::Perm;
 
-use crate::engine::{trace_mask, SearchEngine};
+use crate::engine::{trace_mask, SearchEngine, TraceIndex};
 use crate::par::{self, FrontierMeta, ShardedSeen};
 use crate::width::{MaskRepr, SearchWidth, TraceRepr, WordRepr};
 use crate::word::FnvBuildHasher;
@@ -117,7 +117,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
         // superseded by a cheaper rediscovery.
         let bucket: Vec<W::Trace> = if parallel {
             let seen = &self.seen;
-            par::par_filter(self.threads, raw_bucket, |t| {
+            par::par_filter(&engine.pool, raw_bucket, |t| {
                 seen.get(t).expect("pending trace is seen").cost == cost
             })
         } else {
@@ -134,7 +134,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
                 engine.gate_images.len(),
             );
             let pushes = par::expand_bucket(
-                self.threads,
+                &engine.pool,
                 &bucket,
                 &mut self.seen,
                 expected_new,
@@ -203,29 +203,35 @@ impl<W: SearchWidth> BackwardFrontier<W> {
         indices
     }
 
-    /// *Every* minimal gate chain leading from `start` to the target
-    /// trace, found by walking the dist-consistent edges of the Dijkstra
-    /// DAG (a trace may admit several minimal suffixes; distinct
-    /// cascades that share the trace path can still differ on non-binary
-    /// domain points, so witness counting needs them all).
-    fn minimal_suffix_chains(&self, start: W::Trace, engine: &SearchEngine<W>) -> Vec<Vec<u8>> {
-        let mut chains = Vec::new();
+    /// Streams *every* minimal gate chain leading from `start` to the
+    /// target trace through the visitor `f`, found by walking the
+    /// dist-consistent edges of the Dijkstra DAG (a trace may admit
+    /// several minimal suffixes; distinct cascades that share the trace
+    /// path can still differ on non-binary domain points, so witness
+    /// counting needs them all). Visiting instead of materializing a
+    /// `Vec<Vec<u8>>` keeps the join loop's allocation flat at
+    /// witness-heavy depths.
+    fn for_each_minimal_chain(
+        &self,
+        start: W::Trace,
+        engine: &SearchEngine<W>,
+        mut f: impl FnMut(&[u8]),
+    ) {
         let mut stack = Vec::new();
-        self.enumerate_chains(start, engine, &mut stack, &mut chains);
-        chains
+        self.visit_minimal_chains(start, engine, &mut stack, &mut f);
     }
 
-    fn enumerate_chains(
+    fn visit_minimal_chains(
         &self,
         trace: W::Trace,
         engine: &SearchEngine<W>,
         stack: &mut Vec<u8>,
-        out: &mut Vec<Vec<u8>>,
+        f: &mut impl FnMut(&[u8]),
     ) {
         let dist = self.seen.get(&trace).expect("trace was discovered").cost;
         if dist == 0 {
             // Only the target trace has cost 0 (gate costs are positive).
-            out.push(stack.clone());
+            f(stack);
             return;
         }
         let mask = trace_mask::<W>(trace, self.k);
@@ -245,7 +251,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
                 .is_some_and(|meta| meta.cost == dist - gate_cost)
             {
                 stack.push(gate_idx as u8);
-                self.enumerate_chains(next, engine, stack, out);
+                self.visit_minimal_chains(next, engine, stack, f);
                 stack.pop();
             }
         }
@@ -294,16 +300,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         let n = self.library.domain().wires();
         let (key, not_layer) = self.reduce_target(target);
         let k = self.binary0.len();
-        // The target's trace: the 0-based domain index each binary
-        // pattern must map to.
-        let binary = self.library.binary_set();
-        let target_trace = key
-            .as_slice()
-            .iter()
-            .enumerate()
-            .fold(W::Trace::ZERO, |acc, (i, &rank)| {
-                acc.or_byte(i, (binary[rank as usize] - 1) as u8)
-            });
+        let target_trace = self.target_trace(&key);
         let mut back: BackwardFrontier<W> = BackwardFrontier::new(target_trace, k, self.threads());
         let max_gate = self.max_gate_cost();
 
@@ -343,41 +340,16 @@ impl<W: SearchWidth> SearchEngine<W> {
 
             let fwd_done = self.completed.map_or(0, |v| v);
             let back_done = back.completed.map_or(0, |v| v);
-            let mut first: Option<(W::Word, W::Trace)> = None;
-            let mut distinct: HashSet<W::Word, FnvBuildHasher> = HashSet::default();
+            // Build the join indexes up front: `join_at_cost` runs on a
+            // shared reference so the per-bucket scan can shard across
+            // the worker pool.
             for b in 0..=back_done.min(c) {
                 let f = c - b;
-                if f > fwd_done {
-                    continue;
-                }
-                if back.levels[b as usize].is_empty() {
-                    continue;
-                }
-                self.ensure_trace_index(f);
-                let index = self.trace_index_ref(f);
-                for &trace in &back.levels[b as usize] {
-                    let Some(matches) = index.get(&trace) else {
-                        continue;
-                    };
-                    // All minimal suffixes, not just the canonical one:
-                    // cascades sharing a trace path can differ on
-                    // non-binary points, and each yields its own witness.
-                    let chains = back.minimal_suffix_chains(trace, self);
-                    for &word_idx in matches {
-                        let u = self.levels[f as usize][word_idx as usize];
-                        for chain in &chains {
-                            let joined = chain
-                                .iter()
-                                .fold(u, |w, &g| w.map_through(&self.gate_images[g as usize]));
-                            distinct.insert(joined);
-                        }
-                        if first.is_none() {
-                            first = Some((u, trace));
-                        }
-                    }
+                if f <= fwd_done && !back.levels[b as usize].is_empty() {
+                    self.ensure_trace_index(f);
                 }
             }
-            if let Some((u, trace)) = first {
+            if let Some((u, trace, count)) = self.join_at_cost(&back, c, fwd_done, back_done) {
                 let mut gates = not_layer.clone();
                 gates.extend(self.reconstruct(&u));
                 gates.extend(back.suffix_gates(trace, self));
@@ -386,7 +358,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                     circuit: Circuit::new(n, gates),
                     cost: c,
                     not_layer,
-                    implementation_count: distinct.len(),
+                    implementation_count: count,
                 });
             }
             // Both frontiers exhausted and out of joinable range: the
@@ -397,6 +369,225 @@ impl<W: SearchWidth> SearchEngine<W> {
         }
         None
     }
+
+    /// Read-only meet-in-the-middle MCE against the engine's cached
+    /// forward levels: the backward frontier is per-query (never shared),
+    /// so concurrent readers can serve deep targets without taking a
+    /// write lock.
+    ///
+    /// Resolution is cost- and count-identical to
+    /// [`Self::synthesize_bidirectional`]: the forward depth is pinned to
+    /// what the cache already holds (capped at `cb`), and only the
+    /// backward frontier grows until the coverage invariant holds.
+    /// Definitive `None` is sound even when the backward frontier
+    /// exhausts first: joining the identity word (forward level 0)
+    /// against a full suffix chain bounds any reachable target's minimal
+    /// cost by the deepest backward level, so nothing below `cb` is
+    /// missed.
+    ///
+    /// Returns [`CachedBidirectional::NeedsPreparation`] when shared
+    /// state only a writer may build is missing — forward level 0 on a
+    /// cold engine, or a level's S-trace join index. Call
+    /// [`Self::prepare_bidirectional`] under a write lock, then retry.
+    pub fn synthesize_bidirectional_cached(&self, target: &Perm, cb: u32) -> CachedBidirectional {
+        let Some(fwd_done) = self.completed else {
+            return CachedBidirectional::NeedsPreparation;
+        };
+        let usable = fwd_done.min(cb);
+        if (0..=usable).any(|f| self.trace_index[f as usize].is_none()) {
+            return CachedBidirectional::NeedsPreparation;
+        }
+        let n = self.library.domain().wires();
+        let (key, not_layer) = self.reduce_target(target);
+        let k = self.binary0.len();
+        let mut back: BackwardFrontier<W> =
+            BackwardFrontier::new(self.target_trace(&key), k, self.threads());
+        back.expand_to_cost(0, self);
+        let max_gate = self.max_gate_cost();
+        for c in 0..=cb {
+            // Fixed forward depth: grow only the backward frontier until
+            // the coverage invariant holds for cost c (the split choice
+            // never changes costs or witness counts, only where the work
+            // lands).
+            loop {
+                let back_done = back.completed.map_or(0, |v| v);
+                if usable + back_done >= c + (max_gate - 1) || back_done >= c || usable >= c {
+                    break;
+                }
+                if !back.expand_next_level(self) {
+                    break; // backward space exhausted: every trace known
+                }
+            }
+            let back_done = back.completed.map_or(0, |v| v);
+            if let Some((u, trace, count)) = self.join_at_cost(&back, c, usable, back_done) {
+                let mut gates = not_layer.clone();
+                gates.extend(self.reconstruct(&u));
+                gates.extend(back.suffix_gates(trace, self));
+                debug_assert_eq!(self.cost_model().cascade_cost(&gates), c);
+                return CachedBidirectional::Resolved(Some(Synthesis {
+                    circuit: Circuit::new(n, gates),
+                    cost: c,
+                    not_layer,
+                    implementation_count: count,
+                }));
+            }
+        }
+        CachedBidirectional::Resolved(None)
+    }
+
+    /// Builds the shared state [`Self::synthesize_bidirectional_cached`]
+    /// reads: forward level 0 on a cold engine, plus the S-trace join
+    /// index of every cached level up to `cb`. Idempotent; returns the
+    /// number of forward levels expanded (0 or 1) so hosts can meter the
+    /// work.
+    pub fn prepare_bidirectional(&mut self, cb: u32) -> usize {
+        let mut expanded = 0;
+        if self.completed.is_none() && self.expand_next_level() {
+            expanded = 1;
+        }
+        let top = self.completed.map_or(0, |c| c.min(cb));
+        for f in 0..=top {
+            self.ensure_trace_index(f);
+        }
+        expanded
+    }
+
+    /// The S-trace pinned by a reduced target word: the 0-based domain
+    /// index each binary pattern must map to.
+    fn target_trace(&self, key: &W::Word) -> W::Trace {
+        let binary = self.library.binary_set();
+        key.as_slice()
+            .iter()
+            .enumerate()
+            .fold(W::Trace::ZERO, |acc, (i, &rank)| {
+                acc.or_byte(i, (binary[rank as usize] - 1) as u8)
+            })
+    }
+
+    /// Joins the cached forward levels against the backward frontier at
+    /// total cost `c`: returns the first witness (word, backward trace)
+    /// in deterministic scan order plus the count of distinct minimal
+    /// cascades, or `None` when nothing joins at this cost.
+    ///
+    /// Requires the S-trace index of every joinable forward level
+    /// (`ensure_trace_index`) to be built already — the scan runs on a
+    /// shared reference so large backward buckets shard across the
+    /// engine's worker pool, each shard folding a private distinct set
+    /// and first-witness candidate, merged in shard order for
+    /// bit-identical results to the serial scan at any thread count.
+    fn join_at_cost(
+        &self,
+        back: &BackwardFrontier<W>,
+        c: u32,
+        fwd_done: u32,
+        back_done: u32,
+    ) -> Option<(W::Word, W::Trace, usize)> {
+        let mut first: Option<(W::Word, W::Trace)> = None;
+        let mut distinct: HashSet<W::Word, FnvBuildHasher> = HashSet::default();
+        for b in 0..=back_done.min(c) {
+            let f = c - b;
+            if f > fwd_done {
+                continue;
+            }
+            let bucket = &back.levels[b as usize];
+            if bucket.is_empty() {
+                continue;
+            }
+            let index = self.trace_index_ref(f);
+            let level = &self.levels[f as usize];
+            if self.threads() > 1 && bucket.len() >= par::PAR_MIN_BUCKET {
+                let workers = par::workers_for(self.threads(), bucket.len());
+                let ranges: Vec<(usize, usize)> =
+                    par::chunk_ranges(bucket.len(), workers).collect();
+                type Partial<W> = (
+                    HashSet<<W as SearchWidth>::Word, FnvBuildHasher>,
+                    Option<(<W as SearchWidth>::Word, <W as SearchWidth>::Trace)>,
+                );
+                let mut partials: Vec<Partial<W>> = Vec::new();
+                partials.resize_with(ranges.len(), Default::default);
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                    .iter()
+                    .zip(partials.iter_mut())
+                    .map(|(&(start, end), slot)| {
+                        let chunk = &bucket[start..end];
+                        Box::new(move || {
+                            let (local, local_first) = slot;
+                            for &trace in chunk {
+                                self.join_trace(back, trace, index, level, local, local_first);
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                self.pool.run(tasks);
+                // Deterministic merge in shard order: the distinct set is
+                // order-insensitive, and the first shard holding a
+                // witness holds the serial scan's first witness.
+                for (local, local_first) in partials {
+                    if distinct.is_empty() {
+                        distinct = local;
+                    } else {
+                        distinct.extend(local);
+                    }
+                    if first.is_none() {
+                        first = local_first;
+                    }
+                }
+            } else {
+                for &trace in bucket {
+                    self.join_trace(back, trace, index, level, &mut distinct, &mut first);
+                }
+            }
+        }
+        first.map(|(u, trace)| (u, trace, distinct.len()))
+    }
+
+    /// Folds one backward trace into the join accumulators: every
+    /// forward word matching the trace, pushed through every minimal
+    /// suffix chain (cascades sharing a trace path can differ on
+    /// non-binary points, and each yields its own witness).
+    fn join_trace(
+        &self,
+        back: &BackwardFrontier<W>,
+        trace: W::Trace,
+        index: &TraceIndex<W::Trace>,
+        level: &[W::Word],
+        distinct: &mut HashSet<W::Word, FnvBuildHasher>,
+        first: &mut Option<(W::Word, W::Trace)>,
+    ) {
+        let Some(matches) = index.get(&trace) else {
+            return;
+        };
+        back.for_each_minimal_chain(trace, self, |chain| {
+            for &word_idx in matches {
+                let u = level[word_idx as usize];
+                let joined = chain
+                    .iter()
+                    .fold(u, |w, &g| w.map_through(&self.gate_images[g as usize]));
+                distinct.insert(joined);
+            }
+        });
+        if first.is_none() {
+            if let Some(&word_idx) = matches.first() {
+                *first = Some((level[word_idx as usize], trace));
+            }
+        }
+    }
+}
+
+/// The outcome of a read-only
+/// [`SearchEngine::synthesize_bidirectional_cached`] query.
+#[derive(Debug, Clone)]
+pub enum CachedBidirectional {
+    /// The cached forward levels (plus a per-query backward frontier)
+    /// decide the query: a minimal circuit within the bound, or a
+    /// definitive `None` — cost- and count-identical to a mutable
+    /// [`SearchEngine::synthesize_bidirectional`] call.
+    Resolved(Option<Synthesis>),
+    /// Shared state only a writer may build is missing (forward level 0
+    /// or a level's S-trace join index). Call
+    /// [`SearchEngine::prepare_bidirectional`] under a write lock, then
+    /// retry.
+    NeedsPreparation,
 }
 
 #[cfg(test)]
@@ -597,6 +788,51 @@ mod tests {
         assert_eq!(b.cost, u.cost);
         assert_eq!(b.implementation_count, u.implementation_count);
         assert!(b.circuit.verify_against_binary_perm(&target));
+    }
+
+    #[test]
+    fn cached_bidirectional_matches_mutable_path() {
+        let mut e = SynthesisEngine::unit_cost();
+        // Cold engine: the read path must refuse rather than mutate.
+        assert!(matches!(
+            e.synthesize_bidirectional_cached(&known::fredkin_perm(), 7),
+            CachedBidirectional::NeedsPreparation
+        ));
+        assert_eq!(e.prepare_bidirectional(7), 1);
+        // Forward level 0 alone now decides any query read-only; the
+        // backward frontier carries the full depth per query.
+        let CachedBidirectional::Resolved(Some(syn)) =
+            e.synthesize_bidirectional_cached(&known::fredkin_perm(), 7)
+        else {
+            panic!("prepared engine must resolve");
+        };
+        assert_eq!(syn.cost, 7);
+        assert_eq!(syn.implementation_count, 16);
+        assert!(syn
+            .circuit
+            .verify_against_binary_perm(&known::fredkin_perm()));
+        // Under-bound queries resolve to a definitive None.
+        let CachedBidirectional::Resolved(missed) =
+            e.synthesize_bidirectional_cached(&known::fredkin_perm(), 6)
+        else {
+            panic!("prepared engine must resolve");
+        };
+        assert!(missed.is_none());
+        // Deepening the forward cache invalidates the missing indexes;
+        // re-preparation is cheap (no expansion) and the warmer levels
+        // shorten the backward legs.
+        e.expand_to_cost(3);
+        assert_eq!(e.prepare_bidirectional(7), 0);
+        let CachedBidirectional::Resolved(Some(again)) =
+            e.synthesize_bidirectional_cached(&known::toffoli_perm(), 7)
+        else {
+            panic!("prepared engine must resolve");
+        };
+        assert_eq!(again.cost, 5);
+        assert_eq!(again.implementation_count, 4);
+        assert!(again
+            .circuit
+            .verify_against_binary_perm(&known::toffoli_perm()));
     }
 
     #[test]

@@ -31,7 +31,11 @@
 
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 use crate::width::ShardKey;
 use crate::word::FnvBuildHasher;
@@ -75,6 +79,209 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A batch task after lifetime erasure (see [`WorkerPool::run`]).
+type Task = Box<dyn FnOnce() + Send>;
+
+/// One `WorkerPool::run` call's completion state.
+struct Batch {
+    /// Tasks enqueued but not yet finished executing.
+    remaining: Mutex<usize>,
+    /// Signalled when `remaining` reaches zero.
+    done: Condvar,
+    /// A task panicked; the submitting caller re-panics after the batch
+    /// drains (panics never cross thread boundaries silently).
+    panicked: AtomicBool,
+}
+
+/// The queue shared between submitters and workers.
+struct PoolQueue {
+    tasks: VecDeque<(Arc<Batch>, Task)>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when tasks are enqueued or shutdown is requested.
+    work_ready: Condvar,
+}
+
+/// The lazily-spawned worker threads and their shared queue.
+struct PoolInner {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A persistent worker pool for level expansion: `threads − 1` OS
+/// threads spawned once (lazily, on the first parallel batch) plus the
+/// submitting caller, replacing the per-level `thread::scope` spawns so
+/// hot paths — notably the serve loop, which expands and joins levels on
+/// every cache miss — never pay thread-creation latency.
+///
+/// Batches may be submitted concurrently from `&self` (the engine's
+/// read-path queries share one pool); the caller helps execute queued
+/// tasks, then blocks until its own batch completes. Task panics are
+/// caught, recorded, and re-raised on the submitting thread after the
+/// batch drains, so a poisoned closure cannot strand other batches.
+pub(crate) struct WorkerPool {
+    threads: usize,
+    inner: OnceLock<PoolInner>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("spawned", &self.inner.get().is_some())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool targeting `threads` total workers (including the caller).
+    /// No OS threads are spawned until the first parallel batch runs.
+    pub(crate) fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            inner: OnceLock::new(),
+        }
+    }
+
+    /// The pool's degree of parallelism (caller included).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn inner(&self) -> &PoolInner {
+        self.inner.get_or_init(|| {
+            let shared = Arc::new(PoolShared {
+                queue: Mutex::new(PoolQueue {
+                    tasks: VecDeque::new(),
+                    shutdown: false,
+                }),
+                work_ready: Condvar::new(),
+            });
+            let workers = (1..self.threads)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+                .collect();
+            PoolInner { shared, workers }
+        })
+    }
+
+    /// Runs `tasks` to completion across the pool (the caller executes
+    /// tasks too). Returns only after every task has finished and been
+    /// dropped; re-panics if any task panicked.
+    ///
+    /// Tasks may borrow caller-local data: the completion wait is what
+    /// makes the internal lifetime erasure sound.
+    pub(crate) fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let inner = self.inner();
+        let batch = Arc::new(Batch {
+            remaining: Mutex::new(tasks.len()),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        // SAFETY: this call does not return until `remaining` hits zero,
+        // i.e. every erased task has been executed (consuming its `Box`)
+        // or dropped on a panic path inside `execute_task`; either way no
+        // task — and no borrow it captured — outlives this stack frame.
+        // `Box<dyn FnOnce + Send + 'scope>` and the `'static` form are
+        // layout-identical fat pointers differing only in the lifetime
+        // bound being erased.
+        #[allow(unsafe_code)]
+        let erased: Vec<Task> = tasks
+            .into_iter()
+            .map(|task| unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
+            })
+            .collect();
+        {
+            let mut queue = inner.shared.queue.lock().expect("pool queue intact");
+            for task in erased {
+                queue.tasks.push_back((Arc::clone(&batch), task));
+            }
+        }
+        inner.shared.work_ready.notify_all();
+        // Help: drain queued tasks (any batch) until the queue is empty.
+        loop {
+            let entry = {
+                let mut queue = inner.shared.queue.lock().expect("pool queue intact");
+                queue.tasks.pop_front()
+            };
+            match entry {
+                Some((owner, task)) => execute_task(&owner, task),
+                None => break,
+            }
+        }
+        // Wait for stragglers still executing this batch's tasks.
+        let mut remaining = batch.remaining.lock().expect("batch counter intact");
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).expect("batch counter intact");
+        }
+        drop(remaining);
+        assert!(
+            !batch.panicked.load(Ordering::Relaxed),
+            "worker pool task panicked"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            {
+                let mut queue = inner.shared.queue.lock().expect("pool queue intact");
+                queue.shutdown = true;
+            }
+            inner.shared.work_ready.notify_all();
+            for worker in inner.workers {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+fn execute_task(batch: &Batch, task: Task) {
+    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+        batch.panicked.store(true, Ordering::Relaxed);
+    }
+    let mut remaining = batch.remaining.lock().expect("batch counter intact");
+    *remaining -= 1;
+    if *remaining == 0 {
+        drop(remaining);
+        batch.done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let entry = {
+            let mut queue = shared.queue.lock().expect("pool queue intact");
+            loop {
+                if let Some(entry) = queue.tasks.pop_front() {
+                    break Some(entry);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue intact");
+            }
+        };
+        match entry {
+            Some((batch, task)) => execute_task(&batch, task),
+            None => return,
+        }
+    }
 }
 
 /// Frontier metadata common to both search directions: an exact cost and
@@ -186,81 +393,85 @@ fn shard_count_for(threads: usize) -> usize {
 
 /// Contiguous near-equal partition of `0..len` into at most `parts`
 /// non-empty ranges.
-fn chunk_ranges(len: usize, parts: usize) -> impl Iterator<Item = (usize, usize)> {
+pub(crate) fn chunk_ranges(len: usize, parts: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..parts)
         .map(move |w| (len * w / parts, len * (w + 1) / parts))
         .filter(|(start, end)| end > start)
 }
 
-fn workers_for(threads: usize, items: usize) -> usize {
+pub(crate) fn workers_for(threads: usize, items: usize) -> usize {
     threads.min(items / MIN_ITEMS_PER_WORKER).max(1)
 }
 
 /// Order-preserving parallel map over contiguous chunks: the output is
 /// identical to `items.iter().enumerate().map(f)` for any thread count.
-pub(crate) fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+pub(crate) fn par_map<T, U, F>(pool: &WorkerPool, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = workers_for(threads, items.len());
+    let workers = workers_for(pool.threads(), items.len());
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunk_ranges(items.len(), workers)
-            .map(|(start, end)| {
-                let chunk = &items[start..end];
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| f(start + i, t))
-                        .collect::<Vec<U>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for handle in handles {
-            out.extend(handle.join().expect("map worker panicked"));
-        }
-        out
-    })
+    let ranges: Vec<(usize, usize)> = chunk_ranges(items.len(), workers).collect();
+    let mut outputs: Vec<Vec<U>> = Vec::new();
+    outputs.resize_with(ranges.len(), Vec::new);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+        .iter()
+        .zip(outputs.iter_mut())
+        .map(|(&(start, end), slot)| {
+            let chunk = &items[start..end];
+            Box::new(move || {
+                *slot = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(start + i, t))
+                    .collect();
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(tasks);
+    let mut out = Vec::with_capacity(items.len());
+    for chunk_out in outputs {
+        out.extend(chunk_out);
+    }
+    out
 }
 
 /// Order-preserving parallel filter (used for the lazy decrease-key
 /// stale-copy drop at the head of every level).
-pub(crate) fn par_filter<T, P>(threads: usize, items: Vec<T>, keep: P) -> Vec<T>
+pub(crate) fn par_filter<T, P>(pool: &WorkerPool, items: Vec<T>, keep: P) -> Vec<T>
 where
     T: Copy + Send + Sync,
     P: Fn(&T) -> bool + Sync,
 {
-    let workers = workers_for(threads, items.len());
+    let workers = workers_for(pool.threads(), items.len());
     if workers <= 1 {
         return items.into_iter().filter(|t| keep(t)).collect();
     }
     let keep = &keep;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunk_ranges(items.len(), workers)
-            .map(|(start, end)| {
-                let chunk = &items[start..end];
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .copied()
-                        .filter(|t| keep(t))
-                        .collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for handle in handles {
-            out.extend(handle.join().expect("filter worker panicked"));
-        }
-        out
-    })
+    let ranges: Vec<(usize, usize)> = chunk_ranges(items.len(), workers).collect();
+    let mut outputs: Vec<Vec<T>> = Vec::new();
+    outputs.resize_with(ranges.len(), Vec::new);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+        .iter()
+        .zip(outputs.iter_mut())
+        .map(|(&(start, end), slot)| {
+            let chunk = &items[start..end];
+            Box::new(move || {
+                *slot = chunk.iter().copied().filter(|t| keep(t)).collect();
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(tasks);
+    let mut out = Vec::with_capacity(items.len());
+    for chunk_out in outputs {
+        out.extend(chunk_out);
+    }
+    out
 }
 
 /// Estimated fresh `seen` insertions a level will make, extrapolated
@@ -321,9 +532,10 @@ struct Pushed<K> {
 /// and returns the accepted pushes per cost, in exactly the order the
 /// serial loop would have pushed them.
 ///
-/// Requires `threads >= 2`; the serial engines keep their inline loop.
+/// Requires a pool with `threads >= 2`; the serial engines keep their
+/// inline loop.
 pub(crate) fn expand_bucket<K, M, G>(
-    threads: usize,
+    pool: &WorkerPool,
     bucket: &[K],
     seen: &mut ShardedSeen<K, M>,
     expected_new: usize,
@@ -334,9 +546,9 @@ where
     M: FrontierMeta,
     G: Fn(usize, &K, &mut dyn FnMut(K, u32, u8)) + Sync,
 {
-    debug_assert!(threads >= 2, "serial expansion uses the inline loop");
+    debug_assert!(pool.threads() >= 2, "serial expansion uses the inline loop");
     let shard_count = seen.shard_count();
-    let workers = workers_for(threads, bucket.len());
+    let workers = workers_for(pool.threads(), bucket.len());
     seen.reserve(expected_new);
     let mut staged: Vec<Vec<Pushed<K>>> = (0..shard_count).map(|_| Vec::new()).collect();
     let generate = &generate;
@@ -346,12 +558,17 @@ where
 
         // Phase 1 — generate: workers scan disjoint contiguous chunks and
         // route successors into per-chunk, per-shard buffers.
-        let seen_ro = &*seen;
-        let buffers: Vec<Vec<Vec<Generated<K>>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunk_ranges(block.len(), workers)
-                .map(|(start, end)| {
+        let ranges: Vec<(usize, usize)> = chunk_ranges(block.len(), workers).collect();
+        let mut buffers: Vec<Vec<Vec<Generated<K>>>> = Vec::new();
+        buffers.resize_with(ranges.len(), Vec::new);
+        {
+            let seen_ro = &*seen;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                .iter()
+                .zip(buffers.iter_mut())
+                .map(|(&(start, end), slot)| {
                     let chunk = &block[start..end];
-                    scope.spawn(move || {
+                    Box::new(move || {
                         let mut bufs: Vec<Vec<Generated<K>>> =
                             (0..shard_count).map(|_| Vec::new()).collect();
                         for (offset, element) in chunk.iter().enumerate() {
@@ -369,28 +586,25 @@ where
                             });
                             debug_assert!(emitted < (1 << 16), "seq tag overflow");
                         }
-                        bufs
-                    })
+                        *slot = bufs;
+                    }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("generation worker panicked"))
-                .collect()
-        });
+            pool.run(tasks);
+        }
 
         // Phase 2 — adjudicate: workers own contiguous shard ranges and
         // drain every chunk's buffer for their shards in chunk order.
         // Chunks are contiguous index ranges, so concatenating their
         // buffers visits a shard's records in global sequence order —
         // the serial adjudication order.
-        std::thread::scope(|scope| {
+        {
             let buffers = &buffers;
             let mut shard_slices: &mut [HashMap<K, M, FnvBuildHasher>] = &mut seen.shards;
             let mut staged_slices: &mut [Vec<Pushed<K>>] = &mut staged;
             let owners = workers.min(shard_count);
             let mut taken = 0usize;
-            let mut handles = Vec::new();
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
             for owner in 0..owners {
                 let end = shard_count * (owner + 1) / owners;
                 let count = end - taken;
@@ -403,7 +617,7 @@ where
                 if count == 0 {
                     continue;
                 }
-                handles.push(scope.spawn(move || {
+                tasks.push(Box::new(move || {
                     for (offset, (shard, stage)) in
                         own_shards.iter_mut().zip(own_staged.iter_mut()).enumerate()
                     {
@@ -422,10 +636,8 @@ where
                     }
                 }));
             }
-            for handle in handles {
-                handle.join().expect("shard worker panicked");
-            }
-        });
+            pool.run(tasks);
+        }
     }
 
     merge_staged(staged)
@@ -510,7 +722,8 @@ mod tests {
     fn par_map_preserves_order() {
         let items: Vec<u64> = (0..5000).collect();
         for threads in [1, 2, 4, 8] {
-            let doubled = par_map(threads, &items, |i, &x| {
+            let pool = WorkerPool::new(threads);
+            let doubled = par_map(&pool, &items, |i, &x| {
                 assert_eq!(i as u64, x);
                 x * 2
             });
@@ -523,10 +736,65 @@ mod tests {
     fn par_filter_preserves_order() {
         let items: Vec<u64> = (0..5000).collect();
         for threads in [1, 2, 4, 8] {
-            let evens = par_filter(threads, items.clone(), |&x| x % 2 == 0);
+            let pool = WorkerPool::new(threads);
+            let evens = par_filter(&pool, items.clone(), |&x| x % 2 == 0);
             assert_eq!(evens.len(), 2500);
             assert!(evens.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn pool_spawns_lazily_and_is_reusable() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        assert!(pool.inner.get().is_none(), "no batch yet, no threads");
+        // Single-task batches run inline without spawning.
+        let mut hit = false;
+        pool.run(vec![Box::new(|| hit = true)]);
+        assert!(hit);
+        assert!(pool.inner.get().is_none());
+        // A real batch spawns once; repeated batches reuse the workers.
+        for round in 0..50u64 {
+            let items: Vec<u64> = (0..1000).map(|i| i + round).collect();
+            let sum: u64 = par_map(&pool, &items, |_, &x| x * 2).iter().sum();
+            assert_eq!(sum, items.iter().sum::<u64>() * 2);
+        }
+        assert!(pool.inner.get().is_some());
+        assert_eq!(pool.inner.get().unwrap().workers.len(), 3);
+    }
+
+    #[test]
+    fn pool_runs_concurrent_batches_from_shared_ref() {
+        // Read-path queries share the engine's pool via `&self`: batches
+        // submitted from several threads at once must all complete.
+        let pool = WorkerPool::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        let items: Vec<u64> = (0..500).map(|i| i * t + round).collect();
+                        let got = par_map(pool, &items, |_, &x| x + 1);
+                        assert!(got.iter().zip(&items).all(|(g, i)| *g == i + 1));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pool_task_panic_propagates_to_submitter() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                .map(|i| Box::new(move || assert!(i != 2, "boom")) as Box<dyn FnOnce() + Send>)
+                .collect();
+            pool.run(tasks);
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool survives a panicked batch.
+        let items: Vec<u64> = (0..1000).collect();
+        assert_eq!(par_map(&pool, &items, |_, &x| x).len(), 1000);
     }
 
     #[test]
@@ -583,8 +851,9 @@ mod tests {
         let reference = serial_reference(&bucket, &mut reference_seen);
         assert!(!reference.is_empty());
         for threads in [2, 4, 8] {
+            let pool = WorkerPool::new(threads);
             let mut seen: ShardedSeen<u64, TestMeta> = ShardedSeen::for_threads(threads);
-            let pushes = expand_bucket(threads, &bucket, &mut seen, 1000, |_, &word, emit| {
+            let pushes = expand_bucket(&pool, &bucket, &mut seen, 1000, |_, &word, emit| {
                 for gate in 0..6u8 {
                     let (next, cost) = toy_successor(word, gate);
                     emit(next, cost, gate);

@@ -6,10 +6,18 @@
 //! side and run concurrently through
 //! [`SynthesisEngine::synthesize_cached`]. Cache misses — targets whose
 //! class lives in a level not yet expanded — go through a **single
-//! flight**: of all the requests needing the same `expand_to_cost`
-//! level, exactly one acquires the write lock and expands, while the
-//! rest wait on a condvar and re-run their read when it lands. Repeated
-//! misses therefore cost one expansion, not one per request.
+//! flight**: of all the requests needing deeper levels, exactly one
+//! acquires the write lock and expands **one level**, while the rest
+//! wait on a condvar; everyone re-runs their read when the level lands,
+//! so a shallow target never pays for depth only its bound (not its
+//! cost) asked for, and repeated misses cost one climb, not one per
+//! request.
+//!
+//! Deep targets can skip the climb altogether: the bidirectional
+//! serving strategy ([`ServeStrategy::Bidi`], picked automatically by
+//! [`ServeStrategy::Auto`] for targets past the warm frontier) pins the
+//! forward depth to the warm cache and meets a per-query backward
+//! frontier on the read side.
 //!
 //! Admission control keeps the flight short: every query carries a cost
 //! bound, and bounds above the host's limit are rejected up front, so a
@@ -22,10 +30,55 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use mvq_core::{
-    CachedSynthesis, CostModel, EngineError, Narrow, SearchEngine, SearchWidth, Synthesis,
-    SynthesisEngine, Wide, WideSynthesisEngine,
+    CachedBidirectional, CachedSynthesis, CostModel, EngineError, Narrow, SearchEngine,
+    SearchWidth, Synthesis, SynthesisEngine, Wide, WideSynthesisEngine,
 };
 use mvq_perm::Perm;
+
+/// How a host answers a `/synthesize` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeStrategy {
+    /// Serve from the shared forward levels, expanding them (one level
+    /// at a time, single-flight) up to the target's cost on a miss.
+    Uni,
+    /// Meet in the middle: pin the forward depth to whatever the cache
+    /// already holds and run a per-query backward frontier entirely on
+    /// the read side — deep targets never deepen the shared levels.
+    Bidi,
+    /// The planner default: targets the warm frontier already resolves
+    /// are served as plain cache hits; anything past it (estimated
+    /// depth exceeds the expanded levels) switches to the
+    /// bidirectional path instead of paying for deeper forward levels.
+    #[default]
+    Auto,
+}
+
+impl std::str::FromStr for ServeStrategy {
+    type Err = String;
+
+    /// Accepts `uni`/`unidirectional`, `bidi`/`bidirectional`, and
+    /// `auto` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "unidirectional" | "uni" => Ok(Self::Uni),
+            "bidirectional" | "bidi" => Ok(Self::Bidi),
+            "auto" => Ok(Self::Auto),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected `uni`, `bidi`, or `auto`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ServeStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Uni => "uni",
+            Self::Bidi => "bidi",
+            Self::Auto => "auto",
+        })
+    }
+}
 
 /// Tuning knobs for an [`EngineHost`] / [`HostRegistry`].
 #[derive(Debug, Clone, Copy)]
@@ -145,7 +198,8 @@ pub struct HostStats {
     pub cache_hits: u64,
     /// Queries that needed at least one expansion.
     pub cache_misses: u64,
-    /// Write-side `expand_to_cost` calls actually performed.
+    /// Write-side level expansions actually performed (one per landed
+    /// level, plus bidirectional preparation's level-0 expansions).
     pub expansions: u64,
     /// Times a request waited on another request's in-flight expansion
     /// instead of expanding itself.
@@ -244,10 +298,48 @@ impl<W: SearchWidth> EngineHost<W> {
     /// [`HostError::CostBoundExceeded`] when `cb` exceeds the admission
     /// limit; [`HostError::Poisoned`] after a panicked writer.
     pub fn synthesize(&self, target: &Perm, cb: u32) -> Result<Option<Synthesis>, HostError> {
+        self.synthesize_with_strategy(target, cb, ServeStrategy::Uni)
+    }
+
+    /// [`Self::synthesize`] with an explicit serving strategy (see
+    /// [`ServeStrategy`]); costs and witness counts are identical across
+    /// strategies — only where the search work lands differs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::synthesize`].
+    pub fn synthesize_with_strategy(
+        &self,
+        target: &Perm,
+        cb: u32,
+        strategy: ServeStrategy,
+    ) -> Result<Option<Synthesis>, HostError> {
         self.admit(cb)?;
         self.counters
             .synthesize_requests
             .fetch_add(1, Ordering::Relaxed);
+        match strategy {
+            ServeStrategy::Uni => self.serve_uni(target, cb),
+            ServeStrategy::Bidi => self.serve_bidi(target, cb, false),
+            ServeStrategy::Auto => {
+                // Planner: one read-side peek at the warm frontier. A
+                // resolved answer is a plain cache hit; a target whose
+                // estimated depth exceeds the expanded levels goes
+                // bidirectional rather than deepening the shared cache.
+                {
+                    let engine = self.engine.read()?;
+                    if let CachedSynthesis::Resolved(result) = engine.synthesize_cached(target, cb)
+                    {
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(result);
+                    }
+                }
+                self.serve_bidi(target, cb, true)
+            }
+        }
+    }
+
+    fn serve_uni(&self, target: &Perm, cb: u32) -> Result<Option<Synthesis>, HostError> {
         let mut missed = false;
         loop {
             {
@@ -265,6 +357,54 @@ impl<W: SearchWidth> EngineHost<W> {
             missed = true;
             self.expand_shared(cb)?;
         }
+    }
+
+    /// The bidirectional read path: the backward frontier is per-query,
+    /// so everything past one-time shared preparation (forward level 0
+    /// plus the cached levels' join indexes) runs under the read lock.
+    fn serve_bidi(
+        &self,
+        target: &Perm,
+        cb: u32,
+        mut missed: bool,
+    ) -> Result<Option<Synthesis>, HostError> {
+        loop {
+            {
+                let engine = self.engine.read()?;
+                if let CachedBidirectional::Resolved(result) =
+                    engine.synthesize_bidirectional_cached(target, cb)
+                {
+                    let outcome = if missed {
+                        &self.counters.cache_misses
+                    } else {
+                        &self.counters.cache_hits
+                    };
+                    outcome.fetch_add(1, Ordering::Relaxed);
+                    return Ok(result);
+                }
+            }
+            missed = true;
+            self.prepare_bidi(cb)?;
+        }
+    }
+
+    /// Builds the bidirectional path's shared state (idempotent, so
+    /// concurrent misses just serialize on the write lock and all but
+    /// the first no-op). Counts any forward expansion it performs.
+    fn prepare_bidi(&self, cb: u32) -> Result<(), HostError> {
+        let (expanded, completed) = {
+            let mut engine = self.engine.write()?;
+            let expanded = engine.prepare_bidirectional(cb);
+            (expanded, engine.completed_cost())
+        };
+        if expanded > 0 {
+            self.counters
+                .expansions
+                .fetch_add(expanded as u64, Ordering::Relaxed);
+            let mut flight = self.flight.lock()?;
+            flight.completed = completed;
+        }
+        Ok(())
     }
 
     /// The census counts up to `cb`, expanding (single-flight) only if
@@ -342,40 +482,46 @@ impl<W: SearchWidth> EngineHost<W> {
         Ok(())
     }
 
-    /// The single-flight expansion path: ensure the engine's levels cover
-    /// `cb` (or the space is exhausted), expanding at most once across
-    /// all concurrent callers that need it.
+    /// The single-flight expansion path: advance the engine **one level
+    /// per call** toward `cb` (or until the space is exhausted), with at
+    /// most one expander across all concurrent callers.
+    ///
+    /// Expanding level-by-level — instead of one monolithic
+    /// `expand_to_cost(cb)` — matters twice over: the caller's read loop
+    /// re-checks its query between levels, so a cost-2 target asked with
+    /// a deep bound stops expanding the moment level 2 lands instead of
+    /// riding the bound to level `cb`; and the write lock is released
+    /// between levels, so concurrent reads interleave with a long climb.
     fn expand_shared(&self, cb: u32) -> Result<(), HostError> {
         let mut flight = self.flight.lock()?;
-        loop {
-            if flight.exhausted || flight.completed.is_some_and(|c| c >= cb) {
-                return Ok(());
-            }
-            if flight.expanding {
-                self.counters
-                    .single_flight_waits
-                    .fetch_add(1, Ordering::Relaxed);
-                flight = self.landed.wait(flight)?;
-                continue;
-            }
-            flight.expanding = true;
-            drop(flight);
-            let reset = FlightReset(self);
-            let (completed, exhausted) = {
-                let mut engine = self.engine.write()?;
-                engine.expand_to_cost(cb);
-                let completed = engine.completed_cost();
-                (completed, completed.is_none_or(|c| c < cb))
-            };
-            self.counters.expansions.fetch_add(1, Ordering::Relaxed);
-            {
-                let mut flight = self.flight.lock()?;
-                flight.completed = completed;
-                flight.exhausted = exhausted;
-            }
-            drop(reset); // clears `expanding`, wakes waiters
+        if flight.exhausted || flight.completed.is_some_and(|c| c >= cb) {
             return Ok(());
         }
+        if flight.expanding {
+            self.counters
+                .single_flight_waits
+                .fetch_add(1, Ordering::Relaxed);
+            let _flight = self.landed.wait(flight)?;
+            // A level landed (or the expander bailed); let the caller
+            // re-run its read before asking for more depth.
+            return Ok(());
+        }
+        flight.expanding = true;
+        drop(flight);
+        let reset = FlightReset(self);
+        let (completed, exhausted) = {
+            let mut engine = self.engine.write()?;
+            let advanced = engine.expand_one_level();
+            (engine.completed_cost(), !advanced)
+        };
+        self.counters.expansions.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut flight = self.flight.lock()?;
+            flight.completed = completed;
+            flight.exhausted = exhausted;
+        }
+        drop(reset); // clears `expanding`, wakes waiters
+        Ok(())
     }
 }
 
@@ -608,14 +754,83 @@ mod tests {
     #[test]
     fn hits_and_misses_are_counted() {
         let host = unit_host(7);
-        host.synthesize(&known::peres_perm(), 5).unwrap(); // miss: expands to 5
+        host.synthesize(&known::peres_perm(), 5).unwrap(); // miss: climbs to 4
         host.synthesize(&known::peres_perm(), 5).unwrap(); // hit
-        host.synthesize(&known::toffoli_perm(), 5).unwrap(); // hit: levels cover 5
+        host.synthesize(&known::toffoli_perm(), 5).unwrap(); // miss: climbs to 5
         let stats = host.stats().unwrap();
-        assert_eq!(stats.cache_hits, 2);
-        assert_eq!(stats.cache_misses, 1);
-        assert_eq!(stats.expansions, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        // Levels 0–4 for Peres (which resolves at its cost, not its
+        // bound), then level 5 for Toffoli: one expansion per level.
+        assert_eq!(stats.expansions, 6);
         assert_eq!(stats.synthesize_requests, 3);
+    }
+
+    #[test]
+    fn shallow_miss_with_deep_bound_stops_at_the_target_cost() {
+        // Regression: the expander used to run one monolithic
+        // `expand_to_cost(cb)` under the write lock, so a cost-4 target
+        // asked with the full cb = 7 bound paid for levels 5–7 nobody
+        // needed. Level-by-level expansion re-checks resolution between
+        // levels and stops the climb at the target's cost.
+        let host = unit_host(7);
+        let syn = host.synthesize(&known::peres_perm(), 7).unwrap().unwrap();
+        assert_eq!(syn.cost, 4);
+        let stats = host.stats().unwrap();
+        assert_eq!(stats.completed, Some(4));
+        assert_eq!(stats.expansions, 5); // levels 0–4, nothing deeper
+    }
+
+    #[test]
+    fn bidi_strategy_serves_deep_targets_without_deep_levels() {
+        let host = unit_host(7);
+        let syn = host
+            .synthesize_with_strategy(&known::fredkin_perm(), 7, ServeStrategy::Bidi)
+            .unwrap()
+            .unwrap();
+        assert_eq!(syn.cost, 7);
+        assert_eq!(syn.implementation_count, 16);
+        assert!(syn
+            .circuit
+            .verify_against_binary_perm(&known::fredkin_perm()));
+        let stats = host.stats().unwrap();
+        // Preparation expanded forward level 0 only; the depth lived in
+        // the per-query backward frontier.
+        assert_eq!(stats.completed, Some(0));
+        assert_eq!(stats.expansions, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn auto_strategy_hits_warm_cache_and_goes_bidi_past_it() {
+        let host = unit_host(7);
+        host.census(4).unwrap(); // warm to cost 4
+        let peres = host
+            .synthesize_with_strategy(&known::peres_perm(), 7, ServeStrategy::Auto)
+            .unwrap()
+            .unwrap();
+        assert_eq!(peres.cost, 4);
+        let warm_stats = host.stats().unwrap();
+        assert_eq!(warm_stats.cache_hits, 1); // peres (census climbed, a miss)
+                                              // Fredkin (cost 7) lies past the warm frontier: auto switches to
+                                              // the bidirectional path instead of expanding levels 5–7.
+        let deep = host
+            .synthesize_with_strategy(&known::fredkin_perm(), 7, ServeStrategy::Auto)
+            .unwrap()
+            .unwrap();
+        assert_eq!(deep.cost, 7);
+        assert_eq!(deep.implementation_count, 16);
+        let stats = host.stats().unwrap();
+        assert_eq!(stats.completed, Some(4));
+        assert_eq!(stats.cache_misses, 2); // the census climb + fredkin
+                                           // Uni answers for targets within the warm frontier agree with
+                                           // auto answers (cost and witness count).
+        let uni = host
+            .synthesize_with_strategy(&known::peres_perm(), 7, ServeStrategy::Uni)
+            .unwrap()
+            .unwrap();
+        assert_eq!(uni.cost, peres.cost);
+        assert_eq!(uni.implementation_count, peres.implementation_count);
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub struct SynthesizeRequest {
     /// Register size (defaults to the paper's 3; 4 routes to a wide
     /// engine host).
     pub wires: Option<usize>,
+    /// Serving strategy: `"uni"`, `"bidi"`, or `"auto"` (the default —
+    /// the planner serves warm-frontier targets from the cache and
+    /// routes deeper ones through the bidirectional path). Validated
+    /// against [`crate::ServeStrategy`] by the server.
+    pub strategy: Option<String>,
 }
 
 impl<'de> Deserialize<'de> for SynthesizeRequest {
@@ -89,6 +94,7 @@ impl<'de> Deserialize<'de> for SynthesizeRequest {
             cb: optional(entries, "cb")?,
             model: optional(entries, "model")?,
             wires: optional(entries, "wires")?,
+            strategy: optional(entries, "strategy")?,
         })
     }
 }
@@ -250,6 +256,18 @@ mod tests {
         assert!(req.cb.is_none());
         assert!(req.model.is_none());
         assert!(req.wires.is_none());
+        assert!(req.strategy.is_none());
+    }
+
+    #[test]
+    fn synthesize_request_parses_the_strategy_field() {
+        let req: SynthesizeRequest =
+            serde_json::from_str(r#"{"target": "(7,8)", "strategy": "bidi"}"#).unwrap();
+        assert_eq!(req.strategy.as_deref(), Some("bidi"));
+        // JSON null means "use the default", like an absent field.
+        let req: SynthesizeRequest =
+            serde_json::from_str(r#"{"target": "(7,8)", "strategy": null}"#).unwrap();
+        assert!(req.strategy.is_none());
     }
 
     #[test]

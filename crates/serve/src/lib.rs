@@ -12,7 +12,9 @@
 //!    misses funnel through a single-flight expansion path, so N
 //!    concurrent requests needing the same level pay for one expansion.
 //!    Per-query cost-bound admission keeps deep queries from starving
-//!    shallow ones.
+//!    shallow ones, and a per-query serving strategy ([`ServeStrategy`])
+//!    lets deep targets meet in the middle on the read side instead of
+//!    deepening the shared forward levels.
 //! 2. **Snapshots** (in `mvq_core`): the service cold-starts warm by
 //!    loading a level-cache snapshot, and can be pointed at the same
 //!    file the one-shot CLI (`mvq census --snapshot …`) maintains.
@@ -48,7 +50,9 @@ mod http;
 mod json;
 mod server;
 
-pub use host::{CensusReply, EngineHost, HostConfig, HostError, HostRegistry, HostStats};
+pub use host::{
+    CensusReply, EngineHost, HostConfig, HostError, HostRegistry, HostStats, ServeStrategy,
+};
 pub use http::{read_request, write_response, Request};
 pub use json::{CensusRequest, ModelSpec, SynthesizeReply, SynthesizeRequest};
 pub use server::{Server, ServerHandle};

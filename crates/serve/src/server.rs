@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use mvq_core::{CostModel, SearchWidth};
 
-use crate::host::{EngineHost, HostError, HostRegistry};
+use crate::host::{EngineHost, HostError, HostRegistry, ServeStrategy};
 use crate::http::{read_request, write_response, Request};
 use crate::json::{error_body, render, CensusRequest, SynthesizeReply, SynthesizeRequest};
 
@@ -278,13 +278,14 @@ fn synthesize_on<W: SearchWidth>(
     target: &mvq_perm::Perm,
     cb: Option<u32>,
     default_cb: u32,
+    strategy: ServeStrategy,
 ) -> (u16, String, bool) {
     let host = match host {
         Ok(host) => host,
         Err(err) => return host_error(&err),
     };
     let cb = cb.unwrap_or_else(|| default_cb.min(host.cost_bound_limit()));
-    match host.synthesize(target, cb) {
+    match host.synthesize_with_strategy(target, cb, strategy) {
         Ok(synthesis) => (200, render(&SynthesizeReply { cb, synthesis }), false),
         Err(err) => host_error(&err),
     }
@@ -304,6 +305,11 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
         Ok(wires) => wires,
         Err(reply) => return reply,
     };
+    let strategy = match parsed.strategy.as_deref().map(str::parse) {
+        None => ServeStrategy::Auto,
+        Some(Ok(strategy)) => strategy,
+        Some(Err(detail)) => return (400, error_body(&detail), false),
+    };
     // Validate the target before resolving a host: a malformed request
     // must not cost a model-cap slot on a cold registry.
     let target = match mvq_core::known::parse_target_on(&parsed.target, 1 << wires) {
@@ -320,9 +326,16 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
             &target,
             parsed.cb,
             WIDE_DEFAULT_CB,
+            strategy,
         )
     } else {
-        synthesize_on(ctx.registry.host_for(model), &target, parsed.cb, u32::MAX)
+        synthesize_on(
+            ctx.registry.host_for(model),
+            &target,
+            parsed.cb,
+            u32::MAX,
+            strategy,
+        )
     }
 }
 

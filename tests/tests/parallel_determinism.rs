@@ -7,7 +7,9 @@
 
 use std::sync::{Mutex, OnceLock};
 
-use mvq_core::{known, CostModel, SynthesisEngine, SynthesisStrategy};
+use mvq_core::{
+    known, CostModel, Narrow, SearchEngine, SearchWidth, SynthesisEngine, SynthesisStrategy, Wide,
+};
 use mvq_logic::GateLibrary;
 use mvq_perm::Perm;
 use proptest::prelude::*;
@@ -136,6 +138,83 @@ fn cold_bidirectional_deep_target_identical_across_thread_counts() {
         assert!(syn
             .circuit
             .verify_against_binary_perm(&known::fredkin_perm()));
+    }
+}
+
+#[test]
+fn bidirectional_join_matrix_bit_identical_across_threads() {
+    // The sharded bidirectional join: threads {1,2,4,8} ×
+    // {unit, weighted(1,2,3)} × {warm, cold} × {3-wire, 4-wire} must
+    // reproduce the serial join's cost, witness count, AND circuit
+    // exactly (the shard-order merge keeps the first-witness scan order,
+    // and the distinct-witness sets are merged without loss).
+    fn case<W: SearchWidth>(
+        wires: usize,
+        model: CostModel,
+        target: &Perm,
+        cb: u32,
+        warm: bool,
+        label: &str,
+    ) {
+        let run = |threads: usize| {
+            let mut engine =
+                SearchEngine::<W>::with_threads(GateLibrary::standard(wires), model, threads);
+            if warm {
+                engine.expand_to_cost(2);
+            }
+            engine
+                .synthesize_bidirectional(target, cb)
+                .map(|s| (s.cost, s.implementation_count, s.circuit.to_string()))
+        };
+        let reference = run(1);
+        assert!(reference.is_some(), "{label}: reference found no witness");
+        for threads in PARALLEL_THREADS {
+            assert_eq!(run(threads), reference, "{label}: threads={threads}");
+        }
+    }
+
+    let unit = CostModel::unit();
+    let weighted = CostModel::weighted(1, 2, 3);
+    let weighted3: Perm = "(3,5)(4,6)".parse::<Perm>().unwrap().extended(8);
+    // Toffoli embedded on 4 wires (flip C when A = B = 1), and the
+    // 4-wire CNOT — whose weighted(1,2,3) minimum is a cost-2 double-V,
+    // exercising gap levels in the wide join.
+    let toffoli4 = known::parse_target_on("(13,15)(14,16)", 16).unwrap();
+    let cnot4 = known::parse_target_on("(9,10)(11,12)(13,14)(15,16)", 16).unwrap();
+    for warm in [false, true] {
+        let w = if warm { "warm" } else { "cold" };
+        case::<Narrow>(
+            3,
+            unit,
+            &known::fredkin_perm(),
+            7,
+            warm,
+            &format!("3-wire unit fredkin, {w}"),
+        );
+        case::<Narrow>(
+            3,
+            weighted,
+            &weighted3,
+            8,
+            warm,
+            &format!("3-wire weighted(1,2,3), {w}"),
+        );
+        case::<Wide>(
+            4,
+            unit,
+            &toffoli4,
+            5,
+            warm,
+            &format!("4-wire unit toffoli, {w}"),
+        );
+        case::<Wide>(
+            4,
+            weighted,
+            &cnot4,
+            4,
+            warm,
+            &format!("4-wire weighted(1,2,3) cnot, {w}"),
+        );
     }
 }
 

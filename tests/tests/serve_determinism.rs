@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use mvq_core::{known, SynthesisEngine};
 use mvq_perm::Perm;
-use mvq_serve::EngineHost;
+use mvq_serve::{EngineHost, ServeStrategy};
 
 const CLIENTS: usize = 8;
 const CB: u32 = 5;
@@ -128,6 +128,39 @@ fn snapshot_roundtrip_preserves_service_results() {
     assert_eq!(want, got, "snapshot-backed host diverges from serial");
     // The snapshot already covers every queried level: zero expansions.
     assert_eq!(host.stats().unwrap().expansions, 0);
+}
+
+#[test]
+fn auto_strategy_matches_forced_uni() {
+    // The serving planner must never change answers: "auto"
+    // (cache-hit-or-bidirectional) and a forced "uni" agree on cost,
+    // witness count, and reachability for the whole mix — including
+    // Fredkin's definitive `None` at cb = 5 — even though the two
+    // strategies may surface different (equally minimal) witness
+    // circuits.
+    let targets = query_mix();
+    let uni_host = EngineHost::new(SynthesisEngine::unit_cost_with_threads(1), 7);
+    let auto_host = EngineHost::new(SynthesisEngine::unit_cost_with_threads(1), 7);
+    for target in &targets {
+        let uni = uni_host
+            .synthesize_with_strategy(target, CB, ServeStrategy::Uni)
+            .expect("admitted");
+        let auto = auto_host
+            .synthesize_with_strategy(target, CB, ServeStrategy::Auto)
+            .expect("admitted");
+        assert_eq!(
+            uni.as_ref().map(|s| (s.cost, s.implementation_count)),
+            auto.as_ref().map(|s| (s.cost, s.implementation_count)),
+            "strategy divergence on {target}"
+        );
+        if let Some(syn) = &auto {
+            assert!(syn.circuit.verify_against_binary_perm(target), "{target}");
+        }
+    }
+    // The auto host never deepened its shared forward levels past the
+    // one preparation level; the uni host climbed to the bound.
+    assert_eq!(auto_host.stats().unwrap().completed, Some(0));
+    assert_eq!(uni_host.stats().unwrap().completed, Some(5));
 }
 
 #[test]
