@@ -204,10 +204,14 @@ fn census_run<W: SearchWidth>(args: &Args, wires: usize) -> CommandResult {
     let model = model_arg(args)?;
     let threads = thread_count(args)?;
     let (mut engine, loaded_depth) = snapshot_engine::<W>(args, wires, model, threads)?;
+    // Wall-clock is measured here, at the edge: `mvq_core`'s
+    // search-state modules are clock-free by lint rule.
+    let start = std::time::Instant::now();
     let census = Census::compute_with(&mut engine, cb);
+    let elapsed = start.elapsed();
     snapshot_writeback(args, &mut engine, loaded_depth)?;
     println!("{census}");
-    println!("(wires: {wires}, threads: {threads})");
+    println!("(wires: {wires}, threads: {threads}, elapsed: {elapsed:.2?})");
     if wires == 3 && model == CostModel::unit() {
         println!();
         println!("paper (printed): {PAPER_TABLE_2:?}");

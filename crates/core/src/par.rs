@@ -191,18 +191,19 @@ impl WorkerPool {
             done: Condvar::new(),
             panicked: AtomicBool::new(false),
         });
-        // SAFETY: this call does not return until `remaining` hits zero,
-        // i.e. every erased task has been executed (consuming its `Box`)
-        // or dropped on a panic path inside `execute_task`; either way no
-        // task — and no borrow it captured — outlives this stack frame.
-        // `Box<dyn FnOnce + Send + 'scope>` and the `'static` form are
-        // layout-identical fat pointers differing only in the lifetime
-        // bound being erased.
         #[allow(unsafe_code)]
         let erased: Vec<Task> = tasks
             .into_iter()
-            .map(|task| unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
+            .map(|task| {
+                // SAFETY: `run` does not return until `remaining` hits
+                // zero, i.e. every erased task has been executed
+                // (consuming its `Box`) or dropped on a panic path inside
+                // `execute_task`; either way no task — and no borrow it
+                // captured — outlives the `run` stack frame. `Box<dyn
+                // FnOnce + Send + 'scope>` and the `'static` form are
+                // layout-identical fat pointers differing only in the
+                // lifetime bound being erased.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) }
             })
             .collect();
         {

@@ -1,0 +1,8 @@
+//! Fixture: a search-state module reading the ambient clock.
+//! Seeded violation: `Instant::now()` inside reproducible state.
+
+pub fn timed_count(levels: &[usize]) -> (usize, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let total = levels.iter().sum();
+    (total, start.elapsed())
+}

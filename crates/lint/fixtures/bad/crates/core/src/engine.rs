@@ -1,0 +1,21 @@
+//! Fixture: a search-state module hashing with the std default.
+//! Seeded violations: `HashMap` without a deterministic hasher (field
+//! type) and `HashMap::new()` (RandomState constructor).
+
+use std::collections::HashMap;
+
+pub struct LevelTable {
+    seen: HashMap<u64, u32>,
+}
+
+impl LevelTable {
+    pub fn new() -> Self {
+        Self {
+            seen: HashMap::new(),
+        }
+    }
+
+    pub fn insert(&mut self, key: u64, cost: u32) {
+        self.seen.insert(key, cost);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no adjacent justification.
+//! Seeded violation: missing `SAFETY` comment.
+
+pub fn truth_table_bit(table: &[u8], index: usize) -> u8 {
+    unsafe { *table.get_unchecked(index) }
+}

@@ -1,0 +1,13 @@
+//! Fixture: serve request-path code that can take a worker down.
+//! Seeded violations: an unannotated `.unwrap()` and a `panic!`.
+
+pub fn content_length(header: Option<&str>) -> usize {
+    header.unwrap().parse().unwrap_or(0)
+}
+
+pub fn route(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "ok",
+        other => panic!("no handler for {other}"),
+    }
+}

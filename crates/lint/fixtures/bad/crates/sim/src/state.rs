@@ -1,0 +1,6 @@
+//! Fixture: ad-hoc threading outside the worker pool.
+//! Seeded violation: `thread::spawn` in a non-allowlisted module.
+
+pub fn evolve_in_background(state: Vec<f64>) -> std::thread::JoinHandle<Vec<f64>> {
+    std::thread::spawn(move || state.iter().map(|x| x * 2.0).collect())
+}

@@ -1,0 +1,9 @@
+//! Fixture counterpart: `par.rs` is the allowlisted home of thread
+//! creation — the same call that is a violation anywhere else.
+
+pub fn run_sharded(shards: usize) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards).map(|i| scope.spawn(move || i)).collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    })
+}

@@ -1,0 +1,9 @@
+//! Fixture counterpart: every `unsafe` carries an adjacent `SAFETY`
+//! justification.
+
+pub fn truth_table_bit(table: &[u8], index: usize) -> u8 {
+    assert!(index < table.len());
+    // SAFETY: the assert above establishes `index < table.len()`, so
+    // the unchecked access is in bounds.
+    unsafe { *table.get_unchecked(index) }
+}

@@ -1,0 +1,19 @@
+//! Fixture counterpart: request-path code returns typed errors, and
+//! the one intentional panic site carries an annotated justification.
+
+pub fn content_length(header: Option<&str>) -> Result<usize, String> {
+    let raw = header.ok_or("missing Content-Length")?;
+    raw.parse().map_err(|_| format!("bad Content-Length {raw}"))
+}
+
+pub fn route(path: &str) -> Result<&'static str, u16> {
+    match path {
+        "/healthz" => Ok("ok"),
+        _ => Err(404),
+    }
+}
+
+pub fn queue_guard(lock: &std::sync::Mutex<u32>) -> u32 {
+    // lint: allow(panic) the queue mutex is never poisoned: no panic occurs under it
+    *lock.lock().expect("queue mutex intact")
+}

@@ -1,0 +1,18 @@
+//! Fixture counterpart: production code routes parallel work through
+//! the worker pool; only test code may spawn ad hoc.
+
+pub fn evolve(state: &[f64]) -> Vec<f64> {
+    state.iter().map(|x| x * 2.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evolution_is_thread_safe() {
+        let state = vec![1.0, 2.0];
+        let handle = std::thread::spawn(move || evolve(&state));
+        assert_eq!(handle.join().unwrap(), vec![2.0, 4.0]);
+    }
+}

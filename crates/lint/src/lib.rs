@@ -1,0 +1,167 @@
+//! `mvq_lint` — the workspace invariant checker.
+//!
+//! Clippy's `-D warnings` gate cannot express this repo's
+//! project-specific correctness rules, and the offline container rules
+//! out syn/miri/loom, so the pass is hand-rolled: a small comment- and
+//! string-aware lexer ([`lexer`]) feeds four rule passes ([`rules`]):
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `determinism` | `mvq_core` search-state modules | `HashMap`/`HashSet` name `FnvBuildHasher`; no `Instant`/`SystemTime`/randomness |
+//! | `panic` | `crates/serve/src` request path | no `unwrap`/`expect`/`panic!`/`unreachable!` without `// lint: allow(panic) <reason>` |
+//! | `unsafe` | workspace-wide (tests included) | every `unsafe` carries an adjacent `// SAFETY:` comment |
+//! | `threads` | workspace-wide | `thread::spawn`/`scope` only in `par.rs` and the serve accept loop |
+//!
+//! The binary (`cargo run -p mvq_lint --release -- --workspace`) exits
+//! non-zero on any violation and is wired into CI as a hard gate; the
+//! fixture corpus under `fixtures/` locks each rule from both sides.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_source, Rule, Violation, ALL_RULES};
+
+/// Directory names never descended into: build output, the lint
+/// fixture corpus (deliberately seeded with violations), and the
+/// vendored third-party dependency shims (stand-ins for crates-io code,
+/// not project code).
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", "shims"];
+
+/// The outcome of linting a tree.
+#[derive(Debug)]
+pub struct Report {
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// `true` iff the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation counts per rule (zero-count rules included, so the
+    /// summary always shows the full gate).
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            ALL_RULES.iter().map(|r| (r.name(), 0)).collect();
+        for violation in &self.violations {
+            *counts.entry(violation.rule.name()).or_default() += 1;
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Report {
+    /// The CI-facing summary: every finding, then a per-rule count line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for violation in &self.violations {
+            writeln!(f, "{violation}")?;
+        }
+        let counts: Vec<String> = self
+            .rule_counts()
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        write!(
+            f,
+            "mvq_lint: {} file(s) scanned, {} rule(s), {} violation(s) [{}]",
+            self.files_scanned,
+            ALL_RULES.len(),
+            self.violations.len(),
+            counts.join(", ")
+        )
+    }
+}
+
+/// Lints the workspace rooted at `root`: every `.rs` file under
+/// `crates/`, `tests/`, and `examples/` (skipping [`SKIP_DIRS`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a missing top-level directory is not
+/// an error (fixture trees carry only `crates/`).
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = workspace_relative(root, path);
+        let source = fs::read_to_string(path)?;
+        violations.extend(check_source(&rel, &source));
+    }
+    violations.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(Report {
+        files_scanned: files.len(),
+        violations,
+    })
+}
+
+fn workspace_relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_summary_lists_every_rule() {
+        let report = Report {
+            files_scanned: 3,
+            violations: vec![],
+        };
+        let text = report.to_string();
+        assert!(text.contains("3 file(s) scanned"), "{text}");
+        assert!(text.contains("4 rule(s)"), "{text}");
+        for rule in ALL_RULES {
+            assert!(text.contains(&format!("{}: 0", rule.name())), "{text}");
+        }
+    }
+
+    #[test]
+    fn workspace_relative_uses_forward_slashes() {
+        let root = Path::new("/repo");
+        let path = Path::new("/repo/crates/core/src/engine.rs");
+        assert_eq!(workspace_relative(root, path), "crates/core/src/engine.rs");
+    }
+}

@@ -1,0 +1,54 @@
+//! The `mvq_lint` binary: lints the workspace and exits non-zero on any
+//! violation.
+//!
+//! ```text
+//! cargo run -p mvq_lint --release -- --workspace   # lint the repo (CI gate)
+//! cargo run -p mvq_lint --release -- PATH          # lint a tree rooted at PATH
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The workspace root when invoked through cargo: two levels above this
+/// crate's manifest.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn main() -> ExitCode {
+    let mut root = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => root = Some(default_root()),
+            "--help" | "-h" => {
+                println!("usage: mvq_lint [--workspace | PATH]");
+                println!("lints the mvq workspace invariants; exits 1 on any violation");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("mvq_lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    match mvq_lint::check_workspace(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("mvq_lint: cannot lint {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! The project-invariant rule passes.
+//!
+//! Each rule walks the token stream of one file (see [`crate::lexer`])
+//! with the file's workspace-relative path deciding which rules apply.
+//! Test code — files under `tests/` or `benches/`, and `#[cfg(test)]` /
+//! `#[test]` items inside `src` files — is exempt from the behavioural
+//! rules (determinism, panic-freedom, concurrency) but **not** from the
+//! unsafe audit: a SAFETY justification is owed everywhere.
+
+use std::fmt;
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// The rule a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Search-state modules must hash deterministically and never read
+    /// ambient time or randomness.
+    Determinism,
+    /// Request-path code in `crates/serve` must not panic without an
+    /// annotated justification.
+    PanicFreedom,
+    /// Every `unsafe` needs an adjacent `// SAFETY:` comment.
+    UnsafeAudit,
+    /// Threads are spawned only by `par::WorkerPool` and the serve
+    /// accept loop.
+    Concurrency,
+}
+
+/// Every rule, in reporting order.
+pub const ALL_RULES: [Rule; 4] = [
+    Rule::Determinism,
+    Rule::PanicFreedom,
+    Rule::UnsafeAudit,
+    Rule::Concurrency,
+];
+
+impl Rule {
+    /// The short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicFreedom => "panic",
+            Rule::UnsafeAudit => "unsafe",
+            Rule::Concurrency => "threads",
+        }
+    }
+
+    /// The key accepted by `// lint: allow(<key>) <reason>`.
+    /// [`Rule::UnsafeAudit`] has no allow-key: the escape hatch *is* the
+    /// `// SAFETY:` comment the rule demands.
+    fn allow_key(self) -> Option<&'static str> {
+        match self {
+            Rule::Determinism => Some("determinism"),
+            Rule::PanicFreedom => Some("panic"),
+            Rule::Concurrency => Some("threads"),
+            Rule::UnsafeAudit => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What went wrong, with the fix spelled out.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The `mvq_core` modules that hold reproducible search state: the
+/// engine's level tables, both meet-in-the-middle frontiers, the
+/// sharded parallel expansion, the census, and the snapshot codec.
+/// Bit-identical state at every thread count is the repo's headline
+/// claim, so these modules may not hash nondeterministically nor read
+/// ambient time/randomness.
+const DETERMINISM_MODULES: [&str; 5] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/mitm.rs",
+    "crates/core/src/par.rs",
+    "crates/core/src/census.rs",
+    "crates/core/src/snapshot.rs",
+];
+
+/// Files allowed to call `thread::spawn` / `thread::scope`: the worker
+/// pool that everything else must route through, and the serve accept
+/// loop (connection handlers are not expansion work).
+const THREAD_ALLOWLIST: [&str; 2] = ["crates/core/src/par.rs", "crates/serve/src/server.rs"];
+
+/// How far above an `unsafe` token a `// SAFETY:` comment may end and
+/// still count as adjacent (attributes and a multi-line justification
+/// fit; a stale comment three screens up does not).
+const SAFETY_WINDOW: u32 = 8;
+
+/// Which rules apply to a file, derived from its workspace-relative
+/// path.
+#[derive(Debug, Clone, Copy)]
+struct FileClass {
+    /// Whole file is test/bench code.
+    test_class: bool,
+    determinism: bool,
+    panic_free: bool,
+    thread_allowed: bool,
+}
+
+impl FileClass {
+    fn of(rel: &str) -> Self {
+        let test_class = rel
+            .split('/')
+            .any(|part| part == "tests" || part == "benches");
+        Self {
+            test_class,
+            determinism: DETERMINISM_MODULES.contains(&rel),
+            panic_free: rel.starts_with("crates/serve/src/"),
+            thread_allowed: test_class
+                || THREAD_ALLOWLIST.contains(&rel)
+                || rel.starts_with("crates/bench/"),
+        }
+    }
+}
+
+/// Lints one source file. `rel` is the workspace-relative path with
+/// forward slashes (it selects the applicable rules).
+pub fn check_source(rel: &str, source: &str) -> Vec<Violation> {
+    let class = FileClass::of(rel);
+    let lexed = lex(source);
+    let file = FileCheck {
+        rel,
+        class,
+        test_spans: find_test_spans(&lexed.tokens),
+        allows: Allows::parse(&lexed.comments),
+        lexed: &lexed,
+        violations: Vec::new(),
+    };
+    file.run()
+}
+
+/// Parsed `// lint: allow(<key>) <reason>` annotations, by line.
+struct Allows {
+    /// `(line the comment ends on, key, reason_present)`.
+    entries: Vec<(u32, String, bool)>,
+}
+
+impl Allows {
+    fn parse(comments: &[Comment]) -> Self {
+        let entries = comments
+            .iter()
+            .filter_map(|c| {
+                let rest = c.text.strip_prefix("lint:")?.trim_start();
+                let rest = rest.strip_prefix("allow(")?;
+                let (key, reason) = rest.split_once(')')?;
+                Some((
+                    c.end_line,
+                    key.trim().to_string(),
+                    !reason.trim().is_empty(),
+                ))
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Whether `line` (or the line above it) carries `allow(key)`.
+    /// Returns `Some(reason_present)` so the caller can reject a
+    /// reason-less annotation.
+    fn lookup(&self, line: u32, key: &str) -> Option<bool> {
+        self.entries
+            .iter()
+            .find(|(l, k, _)| (*l == line || *l + 1 == line) && k == key)
+            .map(|(_, _, has_reason)| *has_reason)
+    }
+}
+
+struct FileCheck<'a> {
+    rel: &'a str,
+    class: FileClass,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(usize, usize)>,
+    allows: Allows,
+    lexed: &'a Lexed,
+    violations: Vec<Violation>,
+}
+
+impl FileCheck<'_> {
+    fn run(mut self) -> Vec<Violation> {
+        // Indexing (not iterating) because every rule pass borrows
+        // `self` mutably while peeking neighbouring tokens by index.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.lexed.tokens.len() {
+            if self.lexed.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let in_test = self.class.test_class || self.in_test_span(i);
+            if self.class.determinism && !in_test {
+                self.determinism(i);
+            }
+            if self.class.panic_free && !in_test {
+                self.panic_freedom(i);
+            }
+            self.unsafe_audit(i);
+            if !self.class.thread_allowed && !in_test {
+                self.concurrency(i);
+            }
+        }
+        self.violations
+    }
+
+    fn in_test_span(&self, idx: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&idx))
+    }
+
+    /// Records `idx`'s token as a violation of `rule` unless an
+    /// annotation with a reason covers its line.
+    fn report(&mut self, idx: usize, rule: Rule, message: String) {
+        let line = self.lexed.tokens[idx].line;
+        match rule
+            .allow_key()
+            .and_then(|key| self.allows.lookup(line, key))
+        {
+            Some(true) => {}
+            Some(false) => self.violations.push(Violation {
+                file: self.rel.to_string(),
+                line,
+                rule,
+                message: format!(
+                    "`// lint: allow({})` needs a reason after the closing paren",
+                    rule.allow_key().unwrap_or_default()
+                ),
+            }),
+            None => self.violations.push(Violation {
+                file: self.rel.to_string(),
+                line,
+                rule,
+                message,
+            }),
+        }
+    }
+
+    fn tok(&self, idx: usize) -> Option<&Token> {
+        self.lexed.tokens.get(idx)
+    }
+
+    fn is_path_sep(&self, idx: usize) -> bool {
+        self.tok(idx).is_some_and(|t| t.is_punct(':'))
+            && self.tok(idx + 1).is_some_and(|t| t.is_punct(':'))
+    }
+
+    // ── Rule 1: determinism ────────────────────────────────────────
+
+    fn determinism(&mut self, i: usize) {
+        let tokens = &self.lexed.tokens;
+        let text = tokens[i].text.as_str();
+        match text {
+            "HashMap" | "HashSet" => {
+                // `HashMap<…>` / `HashMap::<…>`: the generic args must
+                // name a deterministic hasher.
+                let open = if self.tok(i + 1).is_some_and(|t| t.is_punct('<')) {
+                    Some(i + 1)
+                } else if self.is_path_sep(i + 1)
+                    && self.tok(i + 3).is_some_and(|t| t.is_punct('<'))
+                {
+                    Some(i + 3)
+                } else {
+                    None
+                };
+                if let Some(open) = open {
+                    if !self.generic_args_name_fnv(open) {
+                        self.report(
+                            i,
+                            Rule::Determinism,
+                            format!(
+                                "`{text}` in a search-state module must name a deterministic \
+                                 hasher (e.g. `{text}<…, FnvBuildHasher>`) — the std default \
+                                 `RandomState` makes iteration order differ between runs"
+                            ),
+                        );
+                    }
+                } else if self.is_path_sep(i + 1)
+                    && self
+                        .tok(i + 3)
+                        .is_some_and(|t| t.text == "new" || t.text == "with_capacity")
+                {
+                    // `HashMap::new()` / `with_capacity()` only exist for
+                    // the RandomState default.
+                    self.report(
+                        i,
+                        Rule::Determinism,
+                        format!(
+                            "`{text}::{}` pins the nondeterministic `RandomState` hasher; \
+                             use `{text}::default()` on an `FnvBuildHasher`-typed binding \
+                             (or `with_capacity_and_hasher`)",
+                            self.tok(i + 3).map_or("new", |t| t.text.as_str()),
+                        ),
+                    );
+                }
+            }
+            "Instant" | "SystemTime" => {
+                self.report(
+                    i,
+                    Rule::Determinism,
+                    format!(
+                        "`{text}` is an ambient time source; search-state modules must be \
+                         reproducible — measure wall-clock at the caller (CLI/bench/serve) instead"
+                    ),
+                );
+            }
+            "thread_rng" | "random" => {
+                self.report(
+                    i,
+                    Rule::Determinism,
+                    format!("`{text}` injects ambient randomness into reproducible search state"),
+                );
+            }
+            "rand" if self.is_path_sep(i + 1) => {
+                self.report(
+                    i,
+                    Rule::Determinism,
+                    "the `rand` crate must not be used from search-state modules".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Scans the balanced `<…>` starting at `open` (which holds `<`) and
+    /// reports whether any identifier inside names an FNV hasher.
+    fn generic_args_name_fnv(&self, open: usize) -> bool {
+        let tokens = &self.lexed.tokens;
+        let mut depth = 0i32;
+        let mut saw_fnv = false;
+        // Bounded scan: a `<` that is really a comparison never closes,
+        // and we must not walk the rest of the file.
+        for j in open..tokens.len().min(open + 256) {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                // `->` in fn-pointer types does not close a bracket.
+                if j > 0 && tokens[j - 1].is_punct('-') {
+                    continue;
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return saw_fnv;
+                }
+            } else if t.kind == TokenKind::Ident && t.text.starts_with("Fnv") {
+                saw_fnv = true;
+            }
+        }
+        // Unclosed: treat as "not a generic application" (comparison
+        // expression) rather than a violation.
+        true
+    }
+
+    // ── Rule 2: panic-freedom in serve ─────────────────────────────
+
+    fn panic_freedom(&mut self, i: usize) {
+        let tokens = &self.lexed.tokens;
+        let text = tokens[i].text.as_str();
+        let followed_by_bang = self.tok(i + 1).is_some_and(|t| t.is_punct('!'));
+        let method_call = i > 0
+            && tokens[i - 1].is_punct('.')
+            && self.tok(i + 1).is_some_and(|t| t.is_punct('('));
+        match text {
+            "unwrap" | "expect" if method_call => {
+                self.report(
+                    i,
+                    Rule::PanicFreedom,
+                    format!(
+                        "`.{text}()` on the serve request path can take the whole worker down; \
+                         return a typed `HostError` / map to a 4xx instead, or justify with \
+                         `// lint: allow(panic) <reason>`"
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if followed_by_bang => {
+                self.report(
+                    i,
+                    Rule::PanicFreedom,
+                    format!(
+                        "`{text}!` in serve request-path code; return a typed error, or justify \
+                         with `// lint: allow(panic) <reason>`"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // ── Rule 3: unsafe audit ───────────────────────────────────────
+
+    fn unsafe_audit(&mut self, i: usize) {
+        let token = &self.lexed.tokens[i];
+        if token.text != "unsafe" {
+            return;
+        }
+        let line = token.line;
+        let justified = self.lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= line && c.end_line + SAFETY_WINDOW >= line
+        });
+        if !justified {
+            self.violations.push(Violation {
+                file: self.rel.to_string(),
+                line,
+                rule: Rule::UnsafeAudit,
+                message: format!(
+                    "`unsafe` without an adjacent `// SAFETY:` comment (within {SAFETY_WINDOW} \
+                     lines above) stating why the invariants hold"
+                ),
+            });
+        }
+    }
+
+    // ── Rule 4: concurrency discipline ─────────────────────────────
+
+    fn concurrency(&mut self, i: usize) {
+        let token = &self.lexed.tokens[i];
+        if token.text != "thread" || !self.is_path_sep(i + 1) {
+            return;
+        }
+        let Some(callee) = self.tok(i + 3) else {
+            return;
+        };
+        if callee.text == "spawn" || callee.text == "scope" {
+            self.report(
+                i,
+                Rule::Concurrency,
+                format!(
+                    "`thread::{}` outside `par.rs` / the serve accept loop; route parallel \
+                     work through `par::WorkerPool` so thread counts stay centrally resolved",
+                    callee.text
+                ),
+            );
+        }
+    }
+}
+
+/// Finds token-index ranges belonging to `#[cfg(test)]` / `#[test]` /
+/// `#[cfg(all(test, …))]` items: the attribute, then (skipping any
+/// further attributes) the next item through its closing brace or
+/// semicolon.
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') || !tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, mentions_test) = scan_attribute(tokens, i + 1);
+        if !mentions_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = attr_end + 1;
+        while j < tokens.len()
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = scan_attribute(tokens, j + 1).0 + 1;
+        }
+        // The item body: through the matching `}` of its first brace, or
+        // a top-level `;` (e.g. `#[cfg(test)] use …;`).
+        let mut depth = 0i32;
+        let mut end = j;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        spans.push((i, end));
+        i = end + 1;
+    }
+    spans
+}
+
+/// Scans a `[…]` attribute starting at `open` (the `[`); returns the
+/// index of the closing `]` and whether the ident `test` appears inside.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut mentions_test = false;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (j, mentions_test);
+            }
+        } else if t.is_ident("test") {
+            mentions_test = true;
+        }
+    }
+    (tokens.len().saturating_sub(1), mentions_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel: &str, source: &str) -> Vec<Violation> {
+        check_source(rel, source)
+    }
+
+    const CORE: &str = "crates/core/src/engine.rs";
+    const SERVE: &str = "crates/serve/src/host.rs";
+
+    #[test]
+    fn hashmap_without_fnv_is_flagged() {
+        let v = check(CORE, "struct S { m: HashMap<u64, u32> }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Determinism);
+        assert!(check(CORE, "struct S { m: HashMap<u64, u32, FnvBuildHasher> }").is_empty());
+        assert!(check(CORE, "type T = Vec<HashMap<K, V, FnvBuildHasher>>;").is_empty());
+    }
+
+    #[test]
+    fn hashmap_new_is_flagged_but_default_is_not() {
+        assert_eq!(check(CORE, "fn f() { let m = HashMap::new(); }").len(), 1);
+        assert_eq!(
+            check(CORE, "fn f() { let m = HashMap::with_capacity(8); }").len(),
+            1
+        );
+        assert!(check(CORE, "fn f() { let m: Seen = HashMap::default(); }").is_empty());
+        assert!(check(
+            CORE,
+            "fn f() { let m: Seen = HashMap::with_capacity_and_hasher(8, Default::default()); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn comparisons_are_not_generic_args() {
+        // `a < b` must not start a runaway bracket scan that eats `>`.
+        assert!(check(CORE, "fn f(a: usize) { if a < 3 { g(); } }").is_empty());
+    }
+
+    #[test]
+    fn ambient_time_is_flagged_outside_tests() {
+        let v = check(CORE, "fn f() { let t = Instant::now(); }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("ambient time"));
+        assert!(check(
+            CORE,
+            "#[cfg(test)]\nmod tests { #[test] fn t() { let t = Instant::now(); } }"
+        )
+        .is_empty());
+        // Other files may time freely.
+        assert!(check("crates/cli/src/commands.rs", "fn f() { Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn serve_unwrap_needs_annotation() {
+        assert_eq!(check(SERVE, "fn f() { x.unwrap(); }").len(), 1);
+        assert!(check(
+            SERVE,
+            "fn f() {\n    // lint: allow(panic) poisoned only by a panicked writer\n    x.unwrap();\n}"
+        )
+        .is_empty());
+        // Same-line annotation also counts.
+        assert!(check(
+            SERVE,
+            "fn f() { x.unwrap(); } // lint: allow(panic) infallible by construction"
+        )
+        .is_empty());
+        // A reason is mandatory.
+        let v = check(SERVE, "// lint: allow(panic)\nfn f() { x.unwrap(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn serve_panic_macros_are_flagged_and_unwrap_or_is_not() {
+        assert_eq!(check(SERVE, "fn f() { panic!(\"boom\"); }").len(), 1);
+        assert_eq!(check(SERVE, "fn f() { unreachable!() }").len(), 1);
+        assert!(check(SERVE, "fn f() { x.unwrap_or(0); y.unwrap_or_else(g); }").is_empty());
+        // unwrap inside #[cfg(test)] is test code.
+        assert!(check(
+            SERVE,
+            "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment_even_in_tests() {
+        let v = check(CORE, "fn f() { unsafe { g() } }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnsafeAudit);
+        assert!(check(
+            CORE,
+            "fn f() {\n    // SAFETY: g has no invariants here\n    unsafe { g() }\n}"
+        )
+        .is_empty());
+        let v = check(
+            CORE,
+            "#[cfg(test)]\nmod tests { fn t() { unsafe { g() } } }",
+        );
+        assert_eq!(v.len(), 1, "unsafe audit applies to test code too");
+    }
+
+    #[test]
+    fn safety_comment_too_far_away_does_not_count() {
+        let far = format!("// SAFETY: stale\n{}unsafe {{ g() }}", "\n".repeat(12));
+        assert_eq!(check(CORE, &far).len(), 1);
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attribute_is_not_an_unsafe_token() {
+        assert!(check(CORE, "#![forbid(unsafe_code)]").is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_is_flagged_outside_the_allowlist() {
+        let v = check(
+            "crates/sim/src/state.rs",
+            "fn f() { std::thread::spawn(|| {}); }",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Concurrency);
+        assert!(check(
+            "crates/core/src/par.rs",
+            "fn f() { std::thread::spawn(|| {}); }"
+        )
+        .iter()
+        .all(|v| v.rule != Rule::Concurrency));
+        assert!(check(
+            "crates/serve/src/server.rs",
+            "fn f() { std::thread::scope(|s| {}); }"
+        )
+        .is_empty());
+        assert!(check(
+            "crates/bench/src/bin/serve_load.rs",
+            "fn f() { std::thread::scope(|s| {}); }"
+        )
+        .is_empty());
+        // Test files and #[cfg(test)] regions may spawn.
+        assert!(check("tests/tests/x.rs", "fn f() { std::thread::spawn(|| {}); }").is_empty());
+        assert!(check(
+            "crates/sim/src/state.rs",
+            "#[cfg(test)]\nmod tests { fn t() { std::thread::scope(|s| {}); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        assert!(check(
+            SERVE,
+            r#"fn f() { let s = "x.unwrap() panic!"; } // .unwrap()"#
+        )
+        .is_empty());
+        assert!(check(CORE, r#"fn f() { let s = "Instant::now"; }"#).is_empty());
+    }
+
+    #[test]
+    fn violations_render_with_path_and_line() {
+        let v = check(CORE, "\n\nfn f() { let t = SystemTime::now(); }");
+        assert_eq!(v[0].line, 3);
+        let text = v[0].to_string();
+        assert!(
+            text.starts_with("crates/core/src/engine.rs:3: [determinism]"),
+            "{text}"
+        );
+    }
+}

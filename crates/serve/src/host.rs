@@ -27,8 +27,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 
+use crate::lockrank::{
+    RankedCondvar, RankedMutex, RankedRwLock, ENGINE_RANK, FLIGHT_RANK, REGISTRY_RANK,
+};
 use mvq_core::{
     CachedBidirectional, CachedSynthesis, CostModel, EngineError, Narrow, SearchEngine,
     SearchWidth, Synthesis, SynthesisEngine, Wide, WideSynthesisEngine,
@@ -238,9 +241,9 @@ pub struct CensusReply {
 /// 4).
 #[derive(Debug)]
 pub struct EngineHost<W: SearchWidth = Narrow> {
-    engine: RwLock<SearchEngine<W>>,
-    flight: Mutex<Flight>,
-    landed: Condvar,
+    engine: RankedRwLock<SearchEngine<W>>,
+    flight: RankedMutex<Flight>,
+    landed: RankedCondvar,
     limit: u32,
     counters: Counters,
 }
@@ -272,9 +275,9 @@ impl<W: SearchWidth> EngineHost<W> {
             exhausted: false,
         };
         Self {
-            engine: RwLock::new(engine),
-            flight: Mutex::new(flight),
-            landed: Condvar::new(),
+            engine: RankedRwLock::new(ENGINE_RANK, engine),
+            flight: RankedMutex::new(FLIGHT_RANK, flight),
+            landed: RankedCondvar::new(),
             limit: max_cost_bound,
             counters: Counters::default(),
         }
@@ -544,7 +547,7 @@ impl HostTables {
 #[derive(Debug)]
 pub struct HostRegistry {
     config: HostConfig,
-    hosts: Mutex<HostTables>,
+    hosts: RankedMutex<HostTables>,
 }
 
 impl HostRegistry {
@@ -553,7 +556,7 @@ impl HostRegistry {
     pub fn new(config: HostConfig) -> Self {
         Self {
             config,
-            hosts: Mutex::new(HostTables::default()),
+            hosts: RankedMutex::new(REGISTRY_RANK, HostTables::default()),
         }
     }
 
@@ -578,11 +581,11 @@ impl HostRegistry {
                 "the service hosts 3-wire engines in its narrow table, got {wires} wires"
             )));
         }
+        // Read the model before the engine moves into the host: taking
+        // `host.engine.read()` (rank 20) before `hosts.lock()` (rank 10)
+        // here would invert the acquisition order that `stats()` uses.
+        let model = *engine.cost_model();
         let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
-        let model = {
-            let engine = host.engine.read()?;
-            *engine.cost_model()
-        };
         self.hosts.lock()?.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -603,11 +606,9 @@ impl HostRegistry {
                 "the service hosts 4-wire engines in its wide table, got {wires} wires"
             )));
         }
+        // Same rank discipline as `install`: model first, lock second.
+        let model = *engine.cost_model();
         let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
-        let model = {
-            let engine = host.engine.read()?;
-            *engine.cost_model()
-        };
         self.hosts.lock()?.wide.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -937,6 +938,31 @@ mod tests {
         let err = registry.install_wide(three_wire_wide).unwrap_err();
         assert!(matches!(err, HostError::Engine(_)), "{err}");
         assert!(registry.stats().unwrap().is_empty());
+    }
+
+    /// The debug-build witness turns a latent deadlock (flight before
+    /// engine inverts the documented rank order) into an immediate
+    /// panic, on any schedule, with no second thread needed.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order inversion")]
+    fn witness_panics_on_inverted_lock_acquisition() {
+        let host = unit_host(3);
+        let _flight = host.flight.lock().unwrap(); // rank 30
+        let _engine = host.engine.read().unwrap(); // rank 20: inversion
+    }
+
+    /// The registry order (`hosts` rank 10 before `engine` rank 20,
+    /// as `stats()` nests them) passes the witness.
+    #[test]
+    fn registry_then_engine_acquisition_is_legal() {
+        let registry = HostRegistry::new(HostConfig {
+            threads: 1,
+            ..HostConfig::default()
+        });
+        registry.host_for(CostModel::unit()).unwrap();
+        let stats = registry.stats().unwrap();
+        assert_eq!(stats.len(), 1);
     }
 
     #[test]

@@ -228,8 +228,13 @@ impl Serialize for HostStats {
 
 /// Renders any [`Serialize`] value to a JSON string (infallible for the
 /// integer/string trees this module builds).
+///
+/// If serialization ever does fail (it cannot for the trees this module
+/// builds — no non-finite floats), the reply degrades to a hand-built
+/// error object rather than panicking the worker thread.
 pub fn render<T: Serialize>(value: &T) -> String {
-    serde_json::to_string(value).expect("service replies contain no non-finite floats")
+    serde_json::to_string(value)
+        .unwrap_or_else(|_| r#"{"error":"internal: reply serialization failed"}"#.to_string())
 }
 
 struct ErrorReply<'a>(&'a str);

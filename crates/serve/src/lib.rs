@@ -48,6 +48,7 @@
 mod host;
 mod http;
 mod json;
+mod lockrank;
 mod server;
 
 pub use host::{

@@ -1,0 +1,488 @@
+//! Debug-build lock-order witnesses for the serve-side locks.
+//!
+//! Every lock in this crate carries a [`Rank`], and a per-thread stack
+//! records the ranks currently held. Under `cfg(debug_assertions)` each
+//! acquisition checks that its rank is **strictly greater** than the
+//! rank on top of the stack — acquiring downward (or re-acquiring the
+//! same rank) panics immediately with both lock names, turning a
+//! would-be deadlock interleaving into a deterministic test failure on
+//! *any* thread schedule that merely nests the locks wrongly, whether
+//! or not a second thread was racing.
+//!
+//! The rank map (low acquires first):
+//!
+//! | rank | lock                                     |
+//! |------|------------------------------------------|
+//! | 10   | `HostRegistry::hosts` (registry tables)  |
+//! | 20   | `EngineHost::engine` (the `RwLock`)      |
+//! | 30   | `EngineHost::flight` (single-flight)     |
+//!
+//! In release builds the wrappers compile to `#[repr(transparent)]`
+//! pass-throughs over the `std::sync` primitives: no thread-local, no
+//! stack, no branch — the witnesses cost nothing where the paper's
+//! throughput numbers are measured.
+//!
+//! [`RankedCondvar::wait`] releases its mutex for the duration of the
+//! wait, so the witness pops the rank before blocking and re-checks the
+//! ordering when the lock is re-acquired.
+
+use std::sync::{Condvar, LockResult, Mutex, MutexGuard, RwLock};
+
+#[cfg(debug_assertions)]
+use std::sync::PoisonError;
+
+/// A position in the global acquisition order, plus a name for the
+/// panic message.
+///
+/// Release builds discard the rank at lock construction, leaving both
+/// fields unread there.
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+pub(crate) struct Rank {
+    /// Acquisition order: a thread may only acquire strictly upward.
+    pub order: u32,
+    /// The lock's name as printed in inversion panics.
+    pub name: &'static str,
+}
+
+/// `HostRegistry::hosts` — the registry's model tables.
+pub(crate) const REGISTRY_RANK: Rank = Rank {
+    order: 10,
+    name: "registry.hosts",
+};
+
+/// `EngineHost::engine` — the shared engine's readers-writer lock.
+pub(crate) const ENGINE_RANK: Rank = Rank {
+    order: 20,
+    name: "host.engine",
+};
+
+/// `EngineHost::flight` — the single-flight bookkeeping mutex (and its
+/// condvar).
+pub(crate) const FLIGHT_RANK: Rank = Rank {
+    order: 30,
+    name: "host.flight",
+};
+
+#[cfg(debug_assertions)]
+mod stack {
+    //! The per-thread held-rank stack (debug builds only).
+
+    use super::Rank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<Rank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records an acquisition, panicking on a rank inversion. Called
+    /// *before* blocking on the lock so the witness fires even on
+    /// schedules where the deadlock would actually bite.
+    pub(super) fn push(rank: Rank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(top) = held.last() {
+                if top.order >= rank.order {
+                    // lint: allow(panic) the witness's whole job is to panic on inversion
+                    panic!(
+                        "lock-order inversion: acquiring `{}` (rank {}) while holding \
+                         `{}` (rank {}); locks must be acquired in ascending rank",
+                        rank.name, rank.order, top.name, top.order
+                    );
+                }
+            }
+            held.push(rank);
+        });
+    }
+
+    /// Records a release. Guards usually drop LIFO, but nothing forces
+    /// that, so the *last* held entry of this rank is removed.
+    pub(super) fn pop(rank: Rank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            match held.iter().rposition(|h| h.order == rank.order) {
+                Some(at) => {
+                    held.remove(at);
+                }
+                // lint: allow(panic) witness bookkeeping bug — fail loudly in debug builds
+                None => panic!(
+                    "lock-rank witness: releasing `{}` which is not held",
+                    rank.name
+                ),
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Debug builds: witnessing wrappers.
+// ---------------------------------------------------------------------
+
+/// A [`Mutex`] that participates in the acquisition-order witness.
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+pub(crate) struct RankedMutex<T> {
+    rank: Rank,
+    inner: Mutex<T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> RankedMutex<T> {
+    pub(crate) fn new(rank: Rank, value: T) -> Self {
+        Self {
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> LockResult<RankedMutexGuard<'_, T>> {
+        stack::push(self.rank);
+        wrap(self.inner.lock(), |guard| RankedMutexGuard {
+            rank: self.rank,
+            guard: Some(guard),
+        })
+    }
+}
+
+/// The guard of a [`RankedMutex`]; pops the rank when dropped.
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+pub(crate) struct RankedMutexGuard<'a, T> {
+    rank: Rank,
+    /// `None` only transiently, inside [`RankedCondvar::wait`], after
+    /// the std guard has been handed to the condvar.
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RankedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.guard.is_some() {
+            stack::pop(self.rank);
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::Deref for RankedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().unwrap_or_else(|| {
+            // lint: allow(panic) unreachable: the slot is only empty inside Condvar::wait
+            unreachable!("ranked guard used after its inner guard was taken")
+        })
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::DerefMut for RankedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().unwrap_or_else(|| {
+            // lint: allow(panic) unreachable: the slot is only empty inside Condvar::wait
+            unreachable!("ranked guard used after its inner guard was taken")
+        })
+    }
+}
+
+/// A [`RwLock`] that participates in the acquisition-order witness.
+/// Both the read and the write side push the same rank: a reader
+/// nesting another lock obeys the same global order as a writer.
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+pub(crate) struct RankedRwLock<T> {
+    rank: Rank,
+    inner: RwLock<T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> RankedRwLock<T> {
+    pub(crate) fn new(rank: Rank, value: T) -> Self {
+        Self {
+            rank,
+            inner: RwLock::new(value),
+        }
+    }
+
+    pub(crate) fn read(&self) -> LockResult<RankedReadGuard<'_, T>> {
+        stack::push(self.rank);
+        wrap(self.inner.read(), |guard| RankedReadGuard {
+            rank: self.rank,
+            guard,
+        })
+    }
+
+    pub(crate) fn write(&self) -> LockResult<RankedWriteGuard<'_, T>> {
+        stack::push(self.rank);
+        wrap(self.inner.write(), |guard| RankedWriteGuard {
+            rank: self.rank,
+            guard,
+        })
+    }
+}
+
+/// The shared guard of a [`RankedRwLock`].
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+pub(crate) struct RankedReadGuard<'a, T> {
+    rank: Rank,
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RankedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        stack::pop(self.rank);
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::Deref for RankedReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// The exclusive guard of a [`RankedRwLock`].
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+pub(crate) struct RankedWriteGuard<'a, T> {
+    rank: Rank,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for RankedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        stack::pop(self.rank);
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::Deref for RankedWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> std::ops::DerefMut for RankedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// A [`Condvar`] paired with [`RankedMutex`]: the wait releases the
+/// mutex, so the rank is popped for the duration of the block and the
+/// re-acquisition is re-checked against whatever the thread holds then.
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+pub(crate) struct RankedCondvar {
+    inner: Condvar,
+}
+
+#[cfg(debug_assertions)]
+impl RankedCondvar {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait<'a, T>(
+        &self,
+        mut guard: RankedMutexGuard<'a, T>,
+    ) -> LockResult<RankedMutexGuard<'a, T>> {
+        let rank = guard.rank;
+        let inner = guard.guard.take().unwrap_or_else(|| {
+            // lint: allow(panic) unreachable: every live guard owns its inner guard
+            unreachable!("ranked guard lost its inner guard before the wait")
+        });
+        // The mutex is released while blocked: not held, so not ranked.
+        stack::pop(rank);
+        drop(guard); // empty slot: the Drop impl skips the pop
+        let result = self.inner.wait(inner);
+        // Re-acquired — re-run the inversion check before resuming.
+        stack::push(rank);
+        wrap(result, |guard| RankedMutexGuard {
+            rank,
+            guard: Some(guard),
+        })
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Maps a `LockResult` through a guard constructor, preserving
+/// poisoning.
+#[cfg(debug_assertions)]
+fn wrap<G, R>(result: LockResult<G>, make: impl FnOnce(G) -> R) -> LockResult<R> {
+    match result {
+        Ok(guard) => Ok(make(guard)),
+        Err(poisoned) => Err(PoisonError::new(make(poisoned.into_inner()))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Release builds: transparent pass-throughs, zero overhead.
+// ---------------------------------------------------------------------
+
+/// Release builds: a plain [`Mutex`]; the rank is discarded at
+/// construction and every call forwards directly.
+#[cfg(not(debug_assertions))]
+#[derive(Debug)]
+#[repr(transparent)]
+pub(crate) struct RankedMutex<T> {
+    inner: Mutex<T>,
+}
+
+#[cfg(not(debug_assertions))]
+impl<T> RankedMutex<T> {
+    #[inline]
+    pub(crate) fn new(_rank: Rank, value: T) -> Self {
+        Self {
+            inner: Mutex::new(value),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        self.inner.lock()
+    }
+}
+
+/// Release builds: a plain [`RwLock`].
+#[cfg(not(debug_assertions))]
+#[derive(Debug)]
+#[repr(transparent)]
+pub(crate) struct RankedRwLock<T> {
+    inner: RwLock<T>,
+}
+
+#[cfg(not(debug_assertions))]
+impl<T> RankedRwLock<T> {
+    #[inline]
+    pub(crate) fn new(_rank: Rank, value: T) -> Self {
+        Self {
+            inner: RwLock::new(value),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn read(&self) -> LockResult<std::sync::RwLockReadGuard<'_, T>> {
+        self.inner.read()
+    }
+
+    #[inline]
+    pub(crate) fn write(&self) -> LockResult<std::sync::RwLockWriteGuard<'_, T>> {
+        self.inner.write()
+    }
+}
+
+/// Release builds: a plain [`Condvar`].
+#[cfg(not(debug_assertions))]
+#[derive(Debug)]
+#[repr(transparent)]
+pub(crate) struct RankedCondvar {
+    inner: Condvar,
+}
+
+#[cfg(not(debug_assertions))]
+impl RankedCondvar {
+    #[inline]
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        self.inner.wait(guard)
+    }
+
+    #[inline]
+    pub(crate) fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_is_silent() {
+        let low = RankedMutex::new(REGISTRY_RANK, 1);
+        let high = RankedMutex::new(FLIGHT_RANK, 2);
+        let a = low.lock().unwrap();
+        let b = high.lock().unwrap();
+        assert_eq!(*a + *b, 3);
+        drop(b);
+        drop(a);
+        // Released cleanly: the same order is reusable.
+        let _a = low.lock().unwrap();
+        let _b = high.lock().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn descending_acquisition_panics() {
+        let low = RankedMutex::new(REGISTRY_RANK, 1);
+        let high = RankedRwLock::new(ENGINE_RANK, 2);
+        let _b = high.read().unwrap();
+        let _a = low.lock().unwrap(); // 10 after 20: inversion
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn same_rank_reacquisition_panics() {
+        let a = RankedMutex::new(FLIGHT_RANK, 1);
+        let b = RankedMutex::new(FLIGHT_RANK, 2);
+        let _first = a.lock().unwrap();
+        let _second = b.lock().unwrap(); // equal ranks: no defined order
+    }
+
+    #[test]
+    fn out_of_order_release_is_tolerated() {
+        let low = RankedMutex::new(REGISTRY_RANK, 1);
+        let high = RankedMutex::new(FLIGHT_RANK, 2);
+        let a = low.lock().unwrap();
+        let b = high.lock().unwrap();
+        drop(a); // released below the top of the stack
+        drop(b);
+        let _again = low.lock().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_pops_and_repushes_the_rank() {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let pair = Arc::new((RankedMutex::new(FLIGHT_RANK, false), RankedCondvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = (&pair.0, &pair.1);
+                let mut ready = lock.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+                // The rank survived the wait cycle: an ascending
+                // acquisition after waking must still be legal...
+                drop(ready);
+                let _again = lock.lock().unwrap();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        *pair.0.lock().unwrap() = true;
+        pair.1.notify_all();
+        waiter.join().unwrap();
+    }
+}

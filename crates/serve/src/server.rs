@@ -35,6 +35,15 @@ const READ_TIMEOUT: Duration = Duration::from_secs(10);
 /// 3-wire-calibrated admission limit is not a safe implicit default.
 const WIDE_DEFAULT_CB: u32 = 4;
 
+/// Recovers the guard of the worker-queue mutex. That mutex only guards
+/// `Receiver::recv` and no code path can panic while holding it, so
+/// poisoning is unreachable; centralising the recovery keeps the panic
+/// to a single annotated site instead of scattering `expect` calls.
+fn lock_intact<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // lint: allow(panic) queue mutex cannot be poisoned: recv() does not panic
+    lock.lock().expect("worker queue intact")
+}
+
 /// A bound, not-yet-running service.
 #[derive(Debug)]
 pub struct Server {
@@ -138,7 +147,7 @@ impl Server {
                 let receiver = Arc::clone(&receiver);
                 let ctx = Arc::clone(&ctx);
                 scope.spawn(move || loop {
-                    let Ok(stream) = receiver.lock().expect("worker queue intact").recv() else {
+                    let Ok(stream) = lock_intact(&receiver).recv() else {
                         return; // sender dropped: shutdown
                     };
                     let _ = handle_connection(stream, &ctx);
