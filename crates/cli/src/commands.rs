@@ -40,9 +40,13 @@ COMMANDS:
                                     available parallelism (0 = auto)
     serve [--addr A] [--threads T]  long-lived synthesis service (HTTP/1.1 +
           [--snapshot FILE]         JSON): /synthesize /census /healthz
-          [--max-cb N]              /stats /shutdown; cold-starts warm from
-          [--workers W]             FILE; admission rejects cost bounds > N
-          [--max-models M]          (default 7); W handler threads (default 4)
+          [--max-cb N]              /stats /shutdown; warm-starts from FILE
+          [--workers W]             (falling back to FILE.bak, then cold, if
+          [--max-models M]          torn); admission rejects cost bounds > N
+          [--faults PLAN]           (default 7); W handler threads (default 4);
+                                    PLAN (or $MVQ_FAULTS) arms failpoints in
+                                    `fault-injection` builds, e.g.
+                                    \"snapshot.rename=err@2;pool.task=panic\"
     verify <circuit> <perm>         check a cascade (e.g. VCB*FBA*VCA*V+CB)
                                     against a target permutation, exactly
     gate <name>                     show a gate's domain permutation and
@@ -58,6 +62,9 @@ COMMANDS:
 /// Dispatches a raw argument vector to the matching subcommand.
 pub fn dispatch(argv: &[String]) -> CommandResult {
     let args = Args::parse(argv, &["all"])?;
+    // Every command honours `$MVQ_FAULTS`, so snapshot/expansion drills
+    // work on one-shot runs too; `serve --faults` re-arms over this.
+    arm_faults("")?;
     match args.positional(0) {
         None | Some("help") | Some("--help") => {
             println!("{USAGE}");
@@ -128,8 +135,23 @@ fn snapshot_engine<W: SearchWidth>(
     else {
         return Ok((cold()?, None));
     };
-    if std::path::Path::new(&path).exists() {
-        let engine = SearchEngine::<W>::load_snapshot_with_threads(&path, threads)?;
+    if std::path::Path::new(&path).exists() || mvq_core::snapshot_backup_path(&path).exists() {
+        let (engine, source) = match SearchEngine::<W>::load_snapshot_resilient(&path, threads) {
+            Ok(loaded) => loaded,
+            Err(err) if err.is_corruption() => {
+                // A torn snapshot (with no usable backup) must not kill
+                // the run: start cold and let the write-back replace it.
+                eprintln!("warning: snapshot {path} is unusable ({err}); starting cold");
+                return Ok((cold()?, None));
+            }
+            Err(err) => return Err(err.into()),
+        };
+        if let mvq_core::SnapshotSource::Backup { primary_error } = &source {
+            eprintln!(
+                "warning: snapshot {path} is unusable ({primary_error}); \
+                 loaded the last-good backup instead"
+            );
+        }
         if engine.library().domain().wires() != wires {
             return Err(Box::new(ParseArgsError::new(format!(
                 "snapshot {path} was built over {} wires, but --wires requests {wires}",
@@ -150,7 +172,13 @@ fn snapshot_engine<W: SearchWidth>(
             depth.map_or_else(|| "none".to_string(), |c| c.to_string()),
             engine.a_size()
         );
-        Ok((engine, depth.or(Some(0))))
+        // A backup load reports no prior depth, so the write-back always
+        // runs and repairs the torn primary file.
+        let loaded_depth = match source {
+            mvq_core::SnapshotSource::Primary => depth.or(Some(0)),
+            mvq_core::SnapshotSource::Backup { .. } => None,
+        };
+        Ok((engine, loaded_depth))
     } else {
         Ok((cold()?, None))
     }
@@ -297,30 +325,19 @@ fn serve(args: &Args) -> CommandResult {
     let workers: usize = args.option("workers", 4)?;
     let max_models: usize = args.option("max-models", 8)?;
     let snapshot: String = args.option("snapshot", String::new())?;
+    let faults: String = args.option("faults", String::new())?;
+    if !faults.is_empty() {
+        arm_faults(&faults)?;
+    }
     let registry = Arc::new(HostRegistry::new(HostConfig {
         max_cost_bound: max_cb,
         threads,
         max_models,
+        ..HostConfig::default()
     }));
     if !snapshot.is_empty() {
         let resolved = mvq_core::resolve_threads((threads > 0).then_some(threads));
-        // The file's recorded widths decide which engine loads it: one
-        // disk read, then try the narrow engine and fall back to the
-        // wide one on its (header-only) width mismatch.
-        let bytes = std::fs::read(&snapshot)?;
-        match SynthesisEngine::load_snapshot_from_bytes(&bytes, resolved) {
-            Ok(engine) => {
-                announce_snapshot(&snapshot, &engine);
-                registry.install(engine)?;
-            }
-            Err(SnapshotError::WidthMismatch { .. }) => {
-                let engine = WideSynthesisEngine::load_snapshot_from_bytes(&bytes, resolved)?;
-                announce_snapshot(&snapshot, &engine);
-                registry.install_wide(engine)?;
-            }
-            Err(err) => return Err(err.into()),
-        }
-        drop(bytes);
+        install_serve_snapshot(&registry, &snapshot, resolved)?;
     }
     let server = Server::bind(addr.as_str(), registry)?;
     println!(
@@ -331,6 +348,90 @@ fn serve(args: &Args) -> CommandResult {
     println!("endpoints: POST /synthesize /census /shutdown · GET /healthz /stats");
     server.run(workers)?;
     println!("mvq serve: shut down cleanly");
+    Ok(())
+}
+
+/// Arms the failpoint registry from `--faults` (or `$MVQ_FAULTS` when
+/// the flag is absent). Loud on every failure mode: a malformed plan,
+/// or any plan at all in a build without the `fault-injection` feature
+/// — a chaos drill must never run silently unarmed.
+fn arm_faults(plan: &str) -> CommandResult {
+    if plan.is_empty() {
+        let sites =
+            mvq_fault::arm_from_env().map_err(|err| ParseArgsError::new(err.to_string()))?;
+        if sites > 0 {
+            println!(
+                "fault plan armed: {sites} site(s) from ${}",
+                mvq_fault::ENV_VAR
+            );
+        }
+        return Ok(());
+    }
+    if !mvq_fault::enabled() {
+        return Err(Box::new(ParseArgsError::new(
+            "--faults needs a binary built with `--features fault-injection`",
+        )));
+    }
+    let sites = mvq_fault::arm(plan).map_err(|err| ParseArgsError::new(err.to_string()))?;
+    println!("fault plan armed: {sites} site(s) from --faults");
+    Ok(())
+}
+
+/// Warm-starts the serve registry with the degradation ladder: the
+/// primary snapshot, then its `.bak`, then a cold start with a
+/// diagnostic. A torn snapshot must not keep the service down; only a
+/// *healthy* snapshot that mismatches the configuration (an over-wide
+/// library, a full registry) stays fatal.
+fn install_serve_snapshot(
+    registry: &Arc<HostRegistry>,
+    path: &str,
+    threads: usize,
+) -> CommandResult {
+    // Ok(true) = installed; Ok(false) = unreadable or torn (keep
+    // degrading); Err = healthy but incompatible (fatal).
+    let attempt = |file: &std::path::Path| -> Result<bool, Box<dyn Error>> {
+        let shown = file.display();
+        let bytes = match std::fs::read(file) {
+            Ok(bytes) => bytes,
+            Err(err) => {
+                eprintln!("warning: snapshot {shown} unreadable ({err})");
+                return Ok(false);
+            }
+        };
+        // The file's recorded widths decide which engine loads it: try
+        // the narrow engine, fall back to the wide one on its
+        // (header-only) width mismatch.
+        let torn = match SynthesisEngine::load_snapshot_from_bytes(&bytes, threads) {
+            Ok(engine) => {
+                announce_snapshot(&shown.to_string(), &engine);
+                registry.install(engine)?;
+                return Ok(true);
+            }
+            Err(SnapshotError::WidthMismatch { .. }) => {
+                match WideSynthesisEngine::load_snapshot_from_bytes(&bytes, threads) {
+                    Ok(engine) => {
+                        announce_snapshot(&shown.to_string(), &engine);
+                        registry.install_wide(engine)?;
+                        return Ok(true);
+                    }
+                    Err(err) if err.is_corruption() => err,
+                    Err(err) => return Err(err.into()),
+                }
+            }
+            Err(err) if err.is_corruption() => err,
+            Err(err) => return Err(err.into()),
+        };
+        eprintln!("warning: snapshot {shown} is torn ({torn})");
+        Ok(false)
+    };
+    if attempt(std::path::Path::new(path))? {
+        return Ok(());
+    }
+    let backup = mvq_core::snapshot_backup_path(path);
+    if backup.exists() && attempt(&backup)? {
+        return Ok(());
+    }
+    eprintln!("warning: no usable snapshot at {path}; serving cold");
     Ok(())
 }
 
@@ -628,13 +729,48 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_flag_rejects_garbage_files() {
+    fn snapshot_flag_degrades_garbage_files_to_cold_start() {
         let path =
             std::env::temp_dir().join(format!("mvq_cli_garbage_{}.snap", std::process::id()));
         std::fs::write(&path, b"not a snapshot").unwrap();
         let path_text = path.to_string_lossy().to_string();
-        assert!(run(&["census", "--cb", "2", "--snapshot", &path_text]).is_err());
+        // A torn snapshot (no backup) degrades to a cold start instead
+        // of killing the run — and the write-back repairs the file.
+        assert!(run(&["census", "--cb", "2", "--snapshot", &path_text]).is_ok());
+        let repaired = SynthesisEngine::load_snapshot(&path).unwrap();
+        assert_eq!(repaired.completed_cost(), Some(2));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_snapshot_with_backup_warm_starts_and_repairs() {
+        let dir = std::env::temp_dir().join(format!("mvq_cli_bak_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("levels.snap");
+        let path_text = path.to_string_lossy().to_string();
+        // Seed a healthy snapshot, rotate it to .bak, tear the primary.
+        assert!(run(&["census", "--cb", "2", "--snapshot", &path_text]).is_ok());
+        let backup = mvq_core::snapshot_backup_path(&path);
+        std::fs::copy(&path, &backup).unwrap();
+        std::fs::write(&path, b"torn mid-write").unwrap();
+        // The run falls back to the backup (no cold recompute of the
+        // loaded levels) and the write-back repairs the primary.
+        assert!(run(&["census", "--cb", "3", "--snapshot", &path_text]).is_ok());
+        let repaired = SynthesisEngine::load_snapshot(&path).unwrap();
+        assert_eq!(repaired.completed_cost(), Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_faults_flag_is_validated_before_binding() {
+        if mvq_fault::enabled() {
+            // A malformed plan is rejected before the server binds.
+            assert!(run(&["serve", "--faults", "not-a-plan"]).is_err());
+        } else {
+            // Without the feature, any --faults request is refused
+            // loudly — a chaos drill must never run silently unarmed.
+            assert!(run(&["serve", "--faults", "snapshot.rename=err"]).is_err());
+        }
     }
 
     #[test]

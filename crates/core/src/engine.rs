@@ -541,6 +541,7 @@ impl<W: SearchWidth> SearchEngine<W> {
     /// results are bit-identical to this method's serial path (same
     /// levels, same bucket order, same lazy decrease-key outcomes).
     pub(crate) fn expand_next_level(&mut self) -> bool {
+        mvq_fault::point!("expand.level");
         self.ensure_frontier();
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;

@@ -60,7 +60,9 @@ pub use cost::{CostModel, ParseCostModelError};
 pub use engine::{CachedSynthesis, EngineError, SearchEngine, Synthesis, SynthesisStrategy};
 pub use mitm::CachedBidirectional;
 pub use par::resolve_threads;
-pub use snapshot::{SnapshotError, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION};
+pub use snapshot::{
+    snapshot_backup_path, SnapshotError, SnapshotSource, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
+};
 pub use spec::{synthesize_spec, QuaternarySpec, SpecError, SpecSynthesis};
 pub use spectrum::CostSpectrum;
 pub use width::{Mask256, MaskRepr, Narrow, SearchWidth, ShardKey, TraceRepr, Wide, WordRepr};

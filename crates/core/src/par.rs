@@ -179,6 +179,7 @@ impl WorkerPool {
     /// Tasks may borrow caller-local data: the completion wait is what
     /// makes the internal lifetime erasure sound.
     pub(crate) fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        mvq_fault::point!("pool.task");
         if self.threads <= 1 || tasks.len() <= 1 {
             for task in tasks {
                 task();

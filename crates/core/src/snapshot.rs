@@ -169,8 +169,136 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
+impl SnapshotError {
+    /// `true` for damage classes a last-good backup can repair: bad
+    /// magic, unreadable version, truncation, checksum or structural
+    /// corruption. Environment mismatches (width, library, permissions)
+    /// are `false` — the backup was written by the same process and
+    /// would fail the same way, so falling back would only mask a
+    /// configuration error.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            Self::NotASnapshot
+                | Self::UnsupportedVersion(_)
+                | Self::Truncated { .. }
+                | Self::ChecksumMismatch(_)
+                | Self::Corrupt(_)
+        )
+    }
+}
+
+/// Which file a resilient load actually read — see
+/// [`SearchEngine::load_snapshot_resilient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotSource {
+    /// The primary snapshot file was intact.
+    Primary,
+    /// The primary was missing or corrupt; the `.bak` sibling loaded.
+    Backup {
+        /// Why the primary was rejected (for the caller's diagnostic).
+        primary_error: String,
+    },
+}
+
+/// The last-good sibling kept beside every overwritten snapshot:
+/// `path` with `.bak` appended (`warm.snap` → `warm.snap.bak`).
+pub fn snapshot_backup_path(path: impl AsRef<Path>) -> std::path::PathBuf {
+    let mut backup = path.as_ref().as_os_str().to_owned();
+    backup.push(".bak");
+    std::path::PathBuf::from(backup)
+}
+
 fn corrupt(detail: impl Into<String>) -> SnapshotError {
     SnapshotError::Corrupt(detail.into())
+}
+
+/// Cheap structural sniff of an existing snapshot file: magic, version
+/// range, plausible header length, header checksum. Used to decide
+/// whether an about-to-be-overwritten primary is worth keeping as the
+/// `.bak` — a torn primary must never clobber a good backup.
+fn sniff_snapshot(path: &Path) -> bool {
+    let Ok(bytes) = std::fs::read(path) else {
+        return false;
+    };
+    let prefix_len = MAGIC.len() + 8;
+    if bytes.len() < prefix_len || &bytes[..MAGIC.len()] != MAGIC {
+        return false;
+    }
+    let version = u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
+        return false;
+    }
+    let header_len =
+        u32::from_le_bytes(bytes[MAGIC.len() + 4..prefix_len].try_into().unwrap()) as usize;
+    let Some(body_start) = prefix_len
+        .checked_add(header_len)
+        .and_then(|n| n.checked_add(8))
+    else {
+        return false;
+    };
+    if bytes.len() < body_start {
+        return false;
+    }
+    let header_bytes = &bytes[prefix_len..prefix_len + header_len];
+    let stored = u64::from_le_bytes(
+        bytes[prefix_len + header_len..body_start]
+            .try_into()
+            .unwrap(),
+    );
+    checksum64(header_bytes) == stored
+}
+
+/// Durably publish `bytes` at `path`: write a per-process-unique temp
+/// sibling, fsync it, rotate any intact existing file to `.bak`, rename
+/// the temp into place, and fsync the parent directory so the rename
+/// itself survives a crash. A failure at any step leaves the previous
+/// primary (or its `.bak`) loadable.
+fn durable_write(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    use std::io::Write;
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+
+    let write_result = (|| -> io::Result<()> {
+        mvq_fault::point!(
+            "snapshot.write",
+            return Err(io::Error::other("injected snapshot.write fault"))
+        );
+        // lint: allow(persistence) the durable-write helper itself: fsynced and renamed below
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        mvq_fault::point!(
+            "snapshot.rename",
+            return Err(io::Error::other("injected snapshot.rename fault"))
+        );
+        // Keep the last-good state reachable across the overwrite — but
+        // only rotate a primary that still sniffs as a snapshot, so a
+        // torn primary never replaces a good `.bak`.
+        if sniff_snapshot(path) {
+            std::fs::rename(path, snapshot_backup_path(path))?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // An fsync of the parent directory persists the rename itself;
+        // without it a crash can forget the new directory entry.
+        #[cfg(unix)]
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if write_result.is_err() {
+        // Best-effort cleanup; the error we report is the write failure.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write_result.map_err(SnapshotError::Io)
 }
 
 /// Section checksum: FNV-1a over 8-byte little-endian chunks (plus the
@@ -514,8 +642,12 @@ impl DeferredFrontier {
 // ---------------------------------------------------------------------
 
 impl<W: SearchWidth> SearchEngine<W> {
-    /// Serializes the engine's warm state to `path` (atomically: a
-    /// temporary sibling file is renamed into place).
+    /// Serializes the engine's warm state to `path` durably: a
+    /// per-process-unique temp sibling is written and fsynced, any
+    /// intact existing snapshot is rotated to `.bak`, the temp is
+    /// renamed into place, and the parent directory is fsynced so the
+    /// rename survives a crash. A failure mid-save leaves the previous
+    /// state loadable (via the primary or its `.bak`).
     ///
     /// Takes `&mut self` because an engine that was itself loaded from a
     /// snapshot must materialize its deferred frontier first.
@@ -528,12 +660,7 @@ impl<W: SearchWidth> SearchEngine<W> {
     pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
         let path = path.as_ref();
         let bytes = self.snapshot_to_bytes()?;
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        durable_write(path, &bytes)
     }
 
     /// [`Self::save_snapshot`] into an in-memory buffer.
@@ -666,8 +793,49 @@ impl<W: SearchWidth> SearchEngine<W> {
         path: impl AsRef<Path>,
         threads: usize,
     ) -> Result<Self, SnapshotError> {
+        mvq_fault::point!(
+            "snapshot.load",
+            return Err(corrupt("injected snapshot.load fault"))
+        );
         let bytes = std::fs::read(path)?;
         Self::load_snapshot_from_bytes(&bytes, threads)
+    }
+
+    /// [`Self::load_snapshot_with_threads`] with last-good fallback:
+    /// when the primary at `path` is missing or fails with a
+    /// corruption-class error ([`SnapshotError::is_corruption`]), the
+    /// `.bak` sibling written by [`Self::save_snapshot`] is tried before
+    /// giving up. The returned [`SnapshotSource`] says which file
+    /// actually loaded so callers can log the degradation.
+    ///
+    /// # Errors
+    ///
+    /// The primary's error when no fallback applies (environment
+    /// mismatches are never retried against the backup) or when the
+    /// backup also fails to load.
+    pub fn load_snapshot_resilient(
+        path: impl AsRef<Path>,
+        threads: usize,
+    ) -> Result<(Self, SnapshotSource), SnapshotError> {
+        let path = path.as_ref();
+        let primary_error = match Self::load_snapshot_with_threads(path, threads) {
+            Ok(engine) => return Ok((engine, SnapshotSource::Primary)),
+            Err(err) => err,
+        };
+        let missing =
+            matches!(&primary_error, SnapshotError::Io(io) if io.kind() == io::ErrorKind::NotFound);
+        if !primary_error.is_corruption() && !missing {
+            return Err(primary_error);
+        }
+        match Self::load_snapshot_with_threads(snapshot_backup_path(path), threads) {
+            Ok(engine) => Ok((
+                engine,
+                SnapshotSource::Backup {
+                    primary_error: primary_error.to_string(),
+                },
+            )),
+            Err(_) => Err(primary_error),
+        }
     }
 
     /// Rebuilds an engine from in-memory snapshot bytes.

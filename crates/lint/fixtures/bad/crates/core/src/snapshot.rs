@@ -1,0 +1,15 @@
+//! Fixture: the snapshot codec publishing files non-durably.
+//! Seeded violations: a bare `fs::write` and a bare `File::create` —
+//! neither fsyncs nor rotates the `.bak`, so a crash can publish a torn
+//! snapshot with no last-good fallback.
+
+use std::io;
+use std::path::Path;
+
+pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn open_for_save(path: &Path) -> io::Result<std::fs::File> {
+    std::fs::File::create(path)
+}

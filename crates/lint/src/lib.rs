@@ -3,7 +3,7 @@
 //! Clippy's `-D warnings` gate cannot express this repo's
 //! project-specific correctness rules, and the offline container rules
 //! out syn/miri/loom, so the pass is hand-rolled: a small comment- and
-//! string-aware lexer ([`lexer`]) feeds four rule passes ([`rules`]):
+//! string-aware lexer ([`lexer`]) feeds five rule passes ([`rules`]):
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -11,6 +11,7 @@
 //! | `panic` | `crates/serve/src` request path | no `unwrap`/`expect`/`panic!`/`unreachable!` without `// lint: allow(panic) <reason>` |
 //! | `unsafe` | workspace-wide (tests included) | every `unsafe` carries an adjacent `// SAFETY:` comment |
 //! | `threads` | workspace-wide | `thread::spawn`/`scope` only in `par.rs` and the serve accept loop |
+//! | `persistence` | snapshot codec | file publication goes through the durable-write helper, never bare `fs::write`/`File::create` |
 //!
 //! The binary (`cargo run -p mvq_lint --release -- --workspace`) exits
 //! non-zero on any violation and is wired into CI as a hard gate; the
@@ -152,7 +153,7 @@ mod tests {
         };
         let text = report.to_string();
         assert!(text.contains("3 file(s) scanned"), "{text}");
-        assert!(text.contains("4 rule(s)"), "{text}");
+        assert!(text.contains("5 rule(s)"), "{text}");
         for rule in ALL_RULES {
             assert!(text.contains(&format!("{}: 0", rule.name())), "{text}");
         }

@@ -25,14 +25,19 @@ pub enum Rule {
     /// Threads are spawned only by `par::WorkerPool` and the serve
     /// accept loop.
     Concurrency,
+    /// Snapshot-path writes must go through the durable-write helper
+    /// (no bare `fs::write` / `File::create`), so every published file
+    /// is fsynced and keeps its `.bak` sibling.
+    Persistence,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 4] = [
+pub const ALL_RULES: [Rule; 5] = [
     Rule::Determinism,
     Rule::PanicFreedom,
     Rule::UnsafeAudit,
     Rule::Concurrency,
+    Rule::Persistence,
 ];
 
 impl Rule {
@@ -43,6 +48,7 @@ impl Rule {
             Rule::PanicFreedom => "panic",
             Rule::UnsafeAudit => "unsafe",
             Rule::Concurrency => "threads",
+            Rule::Persistence => "persistence",
         }
     }
 
@@ -54,6 +60,7 @@ impl Rule {
             Rule::Determinism => Some("determinism"),
             Rule::PanicFreedom => Some("panic"),
             Rule::Concurrency => Some("threads"),
+            Rule::Persistence => Some("persistence"),
             Rule::UnsafeAudit => None,
         }
     }
@@ -107,6 +114,12 @@ const DETERMINISM_MODULES: [&str; 5] = [
 /// loop (connection handlers are not expansion work).
 const THREAD_ALLOWLIST: [&str; 2] = ["crates/core/src/par.rs", "crates/serve/src/server.rs"];
 
+/// Modules that publish files other processes load back (the snapshot
+/// codec). Every write there must go through the durable-write helper —
+/// a bare `fs::write` / `File::create` can publish a torn file and has
+/// no `.bak` rotation.
+const PERSISTENCE_MODULES: [&str; 1] = ["crates/core/src/snapshot.rs"];
+
 /// How far above an `unsafe` token a `// SAFETY:` comment may end and
 /// still count as adjacent (attributes and a multi-line justification
 /// fit; a stale comment three screens up does not).
@@ -121,6 +134,7 @@ struct FileClass {
     determinism: bool,
     panic_free: bool,
     thread_allowed: bool,
+    persistence: bool,
 }
 
 impl FileClass {
@@ -135,6 +149,7 @@ impl FileClass {
             thread_allowed: test_class
                 || THREAD_ALLOWLIST.contains(&rel)
                 || rel.starts_with("crates/bench/"),
+            persistence: PERSISTENCE_MODULES.contains(&rel),
         }
     }
 }
@@ -219,6 +234,9 @@ impl FileCheck<'_> {
             self.unsafe_audit(i);
             if !self.class.thread_allowed && !in_test {
                 self.concurrency(i);
+            }
+            if self.class.persistence && !in_test {
+                self.persistence(i);
             }
         }
         self.violations
@@ -454,6 +472,33 @@ impl FileCheck<'_> {
             );
         }
     }
+
+    // ── Rule 5: durable persistence ────────────────────────────────
+
+    fn persistence(&mut self, i: usize) {
+        let tokens = &self.lexed.tokens;
+        let text = tokens[i].text.as_str();
+        if i < 3 || !self.is_path_sep(i - 2) {
+            return;
+        }
+        let owner = tokens[i - 3].text.as_str();
+        let flagged = match text {
+            "write" => owner == "fs",
+            "create" | "create_new" => owner == "File",
+            _ => return,
+        };
+        if flagged {
+            self.report(
+                i,
+                Rule::Persistence,
+                format!(
+                    "`{owner}::{text}` in a persistence module publishes a file without fsync \
+                     or `.bak` rotation; route it through the durable-write helper, or justify \
+                     with `// lint: allow(persistence) <reason>`"
+                ),
+            );
+        }
+    }
 }
 
 /// Finds token-index ranges belonging to `#[cfg(test)]` / `#[test]` /
@@ -670,6 +715,50 @@ mod tests {
         assert!(check(
             "crates/sim/src/state.rs",
             "#[cfg(test)]\nmod tests { fn t() { std::thread::scope(|s| {}); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bare_snapshot_writes_are_flagged() {
+        const SNAP: &str = "crates/core/src/snapshot.rs";
+        let v = check(SNAP, "fn f() { std::fs::write(path, bytes)?; }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Persistence);
+        let v = check(SNAP, "fn f() { let file = File::create(path)?; }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Persistence);
+        // The sanctioned escape hatch (the durable-write helper itself).
+        assert!(check(
+            SNAP,
+            "fn f() {\n    // lint: allow(persistence) fsynced and renamed below\n    let file = File::create(path)?;\n}"
+        )
+        .is_empty());
+        // A reason is mandatory.
+        let v = check(
+            SNAP,
+            "// lint: allow(persistence)\nfn f() { std::fs::write(path, bytes)?; }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn persistence_rule_is_scoped_and_ignores_writer_methods() {
+        const SNAP: &str = "crates/core/src/snapshot.rs";
+        // Other modules may write files however they like.
+        assert!(check(
+            "crates/cli/src/commands.rs",
+            "fn f() { std::fs::write(path, bytes)?; }"
+        )
+        .is_empty());
+        // `Write::write` method calls and reads are not publications.
+        assert!(check(SNAP, "fn f() { file.write_all(bytes)?; }").is_empty());
+        assert!(check(SNAP, "fn f() { let b = std::fs::read(path)?; }").is_empty());
+        // Test code in the module is exempt.
+        assert!(check(
+            SNAP,
+            "#[cfg(test)]\nmod tests { fn t() { std::fs::write(p, b).unwrap(); } }"
         )
         .is_empty());
     }

@@ -17,10 +17,11 @@ fn fixture_root(tree: &str) -> PathBuf {
 #[test]
 fn bad_tree_flags_every_seeded_violation() {
     let report = check_workspace(&fixture_root("bad")).unwrap();
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 6);
     let expected = [
         ("crates/core/src/engine.rs", Rule::Determinism),
         ("crates/core/src/census.rs", Rule::Determinism),
+        ("crates/core/src/snapshot.rs", Rule::Persistence),
         ("crates/serve/src/http.rs", Rule::PanicFreedom),
         ("crates/logic/src/lib.rs", Rule::UnsafeAudit),
         ("crates/sim/src/state.rs", Rule::Concurrency),
@@ -36,20 +37,21 @@ fn bad_tree_flags_every_seeded_violation() {
         );
     }
     // The exact census: 2 hashing + 1 clock, unwrap + panic!, one
-    // unsafe, one spawn. A change here means a rule got looser or
-    // stricter — make it deliberate.
+    // unsafe, one spawn, one bare write + one bare create. A change
+    // here means a rule got looser or stricter — make it deliberate.
     let counts = report.rule_counts();
     assert_eq!(counts["determinism"], 3, "{:#?}", report.violations);
     assert_eq!(counts["panic"], 2, "{:#?}", report.violations);
     assert_eq!(counts["unsafe"], 1, "{:#?}", report.violations);
     assert_eq!(counts["threads"], 1, "{:#?}", report.violations);
+    assert_eq!(counts["persistence"], 2, "{:#?}", report.violations);
     assert!(!report.clean());
 }
 
 #[test]
 fn clean_tree_passes_via_the_sanctioned_escape_hatches() {
     let report = check_workspace(&fixture_root("clean")).unwrap();
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 7);
     assert!(
         report.clean(),
         "clean fixtures must lint clean, got: {:#?}",

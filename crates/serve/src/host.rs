@@ -28,9 +28,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::lockrank::{
-    RankedCondvar, RankedMutex, RankedRwLock, ENGINE_RANK, FLIGHT_RANK, REGISTRY_RANK,
+    LockGuard, RankedCondvar, RankedMutex, RankedRwLock, ReadGuard, WriteGuard, ENGINE_RANK,
+    FLIGHT_RANK, RECOVERY_RANK, REGISTRY_RANK,
 };
 use mvq_core::{
     CachedBidirectional, CachedSynthesis, CostModel, EngineError, Narrow, SearchEngine,
@@ -94,6 +96,10 @@ pub struct HostConfig {
     pub threads: usize,
     /// Most cost models a registry will host concurrently.
     pub max_models: usize,
+    /// The server-side cap on a request's `deadline_ms`: the longest a
+    /// request may block behind the single-flight expansion before it
+    /// sheds with a 503. Requests without a deadline get this default.
+    pub max_deadline_ms: u64,
 }
 
 impl Default for HostConfig {
@@ -104,6 +110,7 @@ impl Default for HostConfig {
             max_cost_bound: 7,
             threads: 0,
             max_models: 8,
+            max_deadline_ms: 30_000,
         }
     }
 }
@@ -129,6 +136,13 @@ pub enum HostError {
     /// (e.g. a library over the width's packed limits) — surfaced as a
     /// JSON error instead of a worker panic.
     Engine(String),
+    /// The request's (capped) deadline passed while it waited behind
+    /// the single-flight expansion — shed with 503 + `Retry-After`
+    /// rather than pinning a worker behind a deep miss.
+    DeadlineExceeded {
+        /// The effective budget the request ran under, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for HostError {
@@ -143,6 +157,11 @@ impl fmt::Display for HostError {
             }
             Self::Poisoned => write!(f, "engine lock poisoned by an earlier panic"),
             Self::Engine(detail) => write!(f, "engine construction failed: {detail}"),
+            Self::DeadlineExceeded { deadline_ms } => write!(
+                f,
+                "deadline of {deadline_ms} ms passed while waiting for the shared expansion; \
+                 retry shortly"
+            ),
         }
     }
 }
@@ -184,6 +203,8 @@ struct Counters {
     expansions: AtomicU64,
     single_flight_waits: AtomicU64,
     rejected: AtomicU64,
+    rebuilds: AtomicU64,
+    deadline_timeouts: AtomicU64,
 }
 
 /// A point-in-time view of one host's counters and engine state.
@@ -209,6 +230,12 @@ pub struct HostStats {
     pub single_flight_waits: u64,
     /// Requests rejected by cost-bound admission.
     pub rejected: u64,
+    /// Times a poisoned engine was quarantined and rebuilt from its
+    /// last-good state instead of failing every later request.
+    pub rebuilds: u64,
+    /// Requests shed (503) because their deadline passed while waiting
+    /// behind the single-flight expansion.
+    pub deadline_timeouts: u64,
     /// Highest fully expanded level.
     pub completed: Option<u32>,
     /// Distinct reversible classes discovered.
@@ -244,8 +271,25 @@ pub struct EngineHost<W: SearchWidth = Narrow> {
     engine: RankedRwLock<SearchEngine<W>>,
     flight: RankedMutex<Flight>,
     landed: RankedCondvar,
+    recovery: RankedMutex<Recovery>,
     limit: u32,
+    max_deadline_ms: u64,
     counters: Counters,
+}
+
+/// Everything a poisoned host needs to rebuild itself: the last-good
+/// engine state captured at construction (serialized snapshot bytes)
+/// plus the cold-rebuild parameters. Guarded by its own rank-15 mutex
+/// so concurrent victims of one poisoning serialize on a single rebuild.
+#[derive(Debug)]
+struct Recovery {
+    /// Serialized construction-time engine state (for a host that
+    /// started cold these are the bytes of a cold engine, so the rebuild
+    /// *is* a cold start); `None` when the engine's library cannot be
+    /// snapshotted (non-standard), in which case the host cannot
+    /// self-heal and stays failed.
+    last_good: Option<Vec<u8>>,
+    threads: usize,
 }
 
 /// Clears the `expanding` flag even if the expansion panicked, so
@@ -263,12 +307,37 @@ impl<W: SearchWidth> Drop for FlightReset<'_, W> {
 
 impl<W: SearchWidth> EngineHost<W> {
     /// Hosts `engine`, rejecting queries whose cost bound exceeds
-    /// `max_cost_bound`.
+    /// `max_cost_bound`. Requests run under the default 30-second
+    /// deadline cap; see [`Self::with_limits`].
     ///
     /// A snapshot-loaded engine's deferred frontier is materialized here,
     /// up front, so no query pays the merge cost mid-flight.
-    pub fn new(mut engine: SearchEngine<W>, max_cost_bound: u32) -> Self {
+    pub fn new(engine: SearchEngine<W>, max_cost_bound: u32) -> Self {
+        Self::with_limits(
+            engine,
+            max_cost_bound,
+            HostConfig::default().max_deadline_ms,
+        )
+    }
+
+    /// [`Self::new`] with an explicit deadline cap: no request waits
+    /// longer than `max_deadline_ms` behind the single-flight expansion
+    /// (a request's own `deadline_ms` can only shorten it).
+    ///
+    /// Construction also captures the engine's state as the host's
+    /// last-good rebuild source: if a later request panics while holding
+    /// the engine lock, the next request quarantines the poisoned engine
+    /// and rebuilds from these bytes instead of failing forever.
+    pub fn with_limits(
+        mut engine: SearchEngine<W>,
+        max_cost_bound: u32,
+        max_deadline_ms: u64,
+    ) -> Self {
         engine.ensure_frontier();
+        let recovery = Recovery {
+            last_good: engine.snapshot_to_bytes().ok(),
+            threads: engine.threads(),
+        };
         let flight = Flight {
             expanding: false,
             completed: engine.completed_cost(),
@@ -278,7 +347,9 @@ impl<W: SearchWidth> EngineHost<W> {
             engine: RankedRwLock::new(ENGINE_RANK, engine),
             flight: RankedMutex::new(FLIGHT_RANK, flight),
             landed: RankedCondvar::new(),
+            recovery: RankedMutex::new(RECOVERY_RANK, recovery),
             limit: max_cost_bound,
+            max_deadline_ms,
             counters: Counters::default(),
         }
     }
@@ -286,6 +357,104 @@ impl<W: SearchWidth> EngineHost<W> {
     /// The admission limit.
     pub fn cost_bound_limit(&self) -> u32 {
         self.limit
+    }
+
+    /// Acquires the engine read lock, healing a poisoned engine first
+    /// (see [`Self::heal`]) instead of failing the request.
+    fn engine_read(&self) -> Result<ReadGuard<'_, SearchEngine<W>>, HostError> {
+        if let Ok(guard) = self.engine.read() {
+            return Ok(guard);
+        }
+        self.heal()?;
+        self.engine.read().map_err(HostError::from)
+    }
+
+    /// Write-side counterpart of [`Self::engine_read`].
+    fn engine_write(&self) -> Result<WriteGuard<'_, SearchEngine<W>>, HostError> {
+        if let Ok(guard) = self.engine.write() {
+            return Ok(guard);
+        }
+        self.heal()?;
+        self.engine.write().map_err(HostError::from)
+    }
+
+    /// Acquires the single-flight mutex, healing on poison like
+    /// [`Self::engine_read`].
+    fn flight_lock(&self) -> Result<LockGuard<'_, Flight>, HostError> {
+        if let Ok(guard) = self.flight.lock() {
+            return Ok(guard);
+        }
+        self.heal()?;
+        self.flight.lock().map_err(HostError::from)
+    }
+
+    /// Quarantines a poisoned host and rebuilds it: the engine is
+    /// replaced by one reloaded from the last-good snapshot bytes
+    /// captured at construction (cold-built if the host started cold),
+    /// the flight state is reset, poison is cleared, and waiters are
+    /// woken. Concurrent victims serialize on the recovery lock — the
+    /// first rebuilds, the rest see an already-healed engine and return.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Engine`] when no rebuild source exists (the engine's
+    /// library could not be snapshotted) or the rebuild itself fails; the
+    /// host stays quarantined and the next request retries.
+    fn heal(&self) -> Result<(), HostError> {
+        let recovery = match self.recovery.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if !self.engine.is_poisoned() && !self.flight.is_poisoned() {
+            // Another victim healed while we waited on the recovery lock.
+            return Ok(());
+        }
+        let mut engine = match &recovery.last_good {
+            Some(bytes) => SearchEngine::<W>::load_snapshot_from_bytes(bytes, recovery.threads)
+                .map_err(|err| {
+                    HostError::Engine(format!("host rebuild from last-good state failed: {err}"))
+                })?,
+            None => {
+                return Err(HostError::Engine(
+                    "poisoned host has no last-good state to rebuild from \
+                     (non-standard library)"
+                        .to_string(),
+                ))
+            }
+        };
+        engine.ensure_frontier();
+        let completed = engine.completed_cost();
+        {
+            // Swap through the poisoned guard, then clear: readers keep
+            // seeing the poison (and queue up behind the recovery lock)
+            // until the replacement engine is fully in place.
+            let mut slot = match self.engine.write() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *slot = engine;
+        }
+        self.engine.clear_poison();
+        {
+            let mut flight = match self.flight.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            flight.expanding = false;
+            flight.completed = completed;
+            flight.exhausted = false;
+        }
+        self.flight.clear_poison();
+        self.landed.notify_all();
+        self.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+        drop(recovery);
+        Ok(())
+    }
+
+    /// The effective time budget for a request: its own `deadline_ms`
+    /// capped by the host's `max_deadline_ms` (absent means the cap).
+    fn budget_ms(&self, deadline_ms: Option<u64>) -> u64 {
+        deadline_ms.map_or(self.max_deadline_ms, |d| d.min(self.max_deadline_ms))
     }
 
     /// Minimal-cost synthesis of `target` within `cb`, served from the
@@ -317,12 +486,35 @@ impl<W: SearchWidth> EngineHost<W> {
         cb: u32,
         strategy: ServeStrategy,
     ) -> Result<Option<Synthesis>, HostError> {
+        self.synthesize_with_options(target, cb, strategy, None)
+    }
+
+    /// [`Self::synthesize_with_strategy`] with a per-request deadline:
+    /// once `deadline_ms` (capped by the host's `max_deadline_ms`)
+    /// passes while the request waits behind the single-flight
+    /// expansion, it sheds with [`HostError::DeadlineExceeded`] instead
+    /// of pinning a worker.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::synthesize`], plus
+    /// [`HostError::DeadlineExceeded`].
+    pub fn synthesize_with_options(
+        &self,
+        target: &Perm,
+        cb: u32,
+        strategy: ServeStrategy,
+        deadline_ms: Option<u64>,
+    ) -> Result<Option<Synthesis>, HostError> {
         self.admit(cb)?;
+        mvq_fault::point!("serve.read");
         self.counters
             .synthesize_requests
             .fetch_add(1, Ordering::Relaxed);
+        let budget_ms = self.budget_ms(deadline_ms);
+        let deadline = Instant::now() + Duration::from_millis(budget_ms);
         match strategy {
-            ServeStrategy::Uni => self.serve_uni(target, cb),
+            ServeStrategy::Uni => self.serve_uni(target, cb, deadline, budget_ms),
             ServeStrategy::Bidi => self.serve_bidi(target, cb, false),
             ServeStrategy::Auto => {
                 // Planner: one read-side peek at the warm frontier. A
@@ -330,7 +522,7 @@ impl<W: SearchWidth> EngineHost<W> {
                 // estimated depth exceeds the expanded levels goes
                 // bidirectional rather than deepening the shared cache.
                 {
-                    let engine = self.engine.read()?;
+                    let engine = self.engine_read()?;
                     if let CachedSynthesis::Resolved(result) = engine.synthesize_cached(target, cb)
                     {
                         self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -342,11 +534,17 @@ impl<W: SearchWidth> EngineHost<W> {
         }
     }
 
-    fn serve_uni(&self, target: &Perm, cb: u32) -> Result<Option<Synthesis>, HostError> {
+    fn serve_uni(
+        &self,
+        target: &Perm,
+        cb: u32,
+        deadline: Instant,
+        budget_ms: u64,
+    ) -> Result<Option<Synthesis>, HostError> {
         let mut missed = false;
         loop {
             {
-                let engine = self.engine.read()?;
+                let engine = self.engine_read()?;
                 if let CachedSynthesis::Resolved(result) = engine.synthesize_cached(target, cb) {
                     let outcome = if missed {
                         &self.counters.cache_misses
@@ -358,7 +556,7 @@ impl<W: SearchWidth> EngineHost<W> {
                 }
             }
             missed = true;
-            self.expand_shared(cb)?;
+            self.expand_shared(cb, deadline, budget_ms)?;
         }
     }
 
@@ -373,7 +571,7 @@ impl<W: SearchWidth> EngineHost<W> {
     ) -> Result<Option<Synthesis>, HostError> {
         loop {
             {
-                let engine = self.engine.read()?;
+                let engine = self.engine_read()?;
                 if let CachedBidirectional::Resolved(result) =
                     engine.synthesize_bidirectional_cached(target, cb)
                 {
@@ -396,7 +594,7 @@ impl<W: SearchWidth> EngineHost<W> {
     /// the first no-op). Counts any forward expansion it performs.
     fn prepare_bidi(&self, cb: u32) -> Result<(), HostError> {
         let (expanded, completed) = {
-            let mut engine = self.engine.write()?;
+            let mut engine = self.engine_write()?;
             let expanded = engine.prepare_bidirectional(cb);
             (expanded, engine.completed_cost())
         };
@@ -404,7 +602,7 @@ impl<W: SearchWidth> EngineHost<W> {
             self.counters
                 .expansions
                 .fetch_add(expanded as u64, Ordering::Relaxed);
-            let mut flight = self.flight.lock()?;
+            let mut flight = self.flight_lock()?;
             flight.completed = completed;
         }
         Ok(())
@@ -421,14 +619,16 @@ impl<W: SearchWidth> EngineHost<W> {
         self.counters
             .census_requests
             .fetch_add(1, Ordering::Relaxed);
+        let budget_ms = self.max_deadline_ms;
+        let deadline = Instant::now() + Duration::from_millis(budget_ms);
         let mut missed = false;
         loop {
             let ready = {
-                let flight = self.flight.lock()?;
+                let flight = self.flight_lock()?;
                 flight.exhausted || flight.completed.is_some_and(|c| c >= cb)
             };
             if ready {
-                let engine = self.engine.read()?;
+                let engine = self.engine_read()?;
                 let levels = engine.g_counts().len().min(cb as usize + 1);
                 let outcome = if missed {
                     &self.counters.cache_misses
@@ -445,7 +645,7 @@ impl<W: SearchWidth> EngineHost<W> {
                 });
             }
             missed = true;
-            self.expand_shared(cb)?;
+            self.expand_shared(cb, deadline, budget_ms)?;
         }
     }
 
@@ -455,7 +655,7 @@ impl<W: SearchWidth> EngineHost<W> {
     ///
     /// [`HostError::Poisoned`] after a panicked writer.
     pub fn stats(&self) -> Result<HostStats, HostError> {
-        let engine = self.engine.read()?;
+        let engine = self.engine_read()?;
         let c = &self.counters;
         Ok(HostStats {
             model: engine.cost_model().weights(),
@@ -467,6 +667,8 @@ impl<W: SearchWidth> EngineHost<W> {
             expansions: c.expansions.load(Ordering::Relaxed),
             single_flight_waits: c.single_flight_waits.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            rebuilds: c.rebuilds.load(Ordering::Relaxed),
+            deadline_timeouts: c.deadline_timeouts.load(Ordering::Relaxed),
             completed: engine.completed_cost(),
             classes_found: engine.classes_found(),
             a_size: engine.a_size(),
@@ -495,16 +697,34 @@ impl<W: SearchWidth> EngineHost<W> {
     /// a deep bound stops expanding the moment level 2 lands instead of
     /// riding the bound to level `cb`; and the write lock is released
     /// between levels, so concurrent reads interleave with a long climb.
-    fn expand_shared(&self, cb: u32) -> Result<(), HostError> {
-        let mut flight = self.flight.lock()?;
+    fn expand_shared(&self, cb: u32, deadline: Instant, budget_ms: u64) -> Result<(), HostError> {
+        let shed = |host: &Self| {
+            host.counters
+                .deadline_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            Err(HostError::DeadlineExceeded {
+                deadline_ms: budget_ms,
+            })
+        };
+        let mut flight = self.flight_lock()?;
         if flight.exhausted || flight.completed.is_some_and(|c| c >= cb) {
             return Ok(());
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return shed(self);
         }
         if flight.expanding {
             self.counters
                 .single_flight_waits
                 .fetch_add(1, Ordering::Relaxed);
-            let _flight = self.landed.wait(flight)?;
+            let (flight, timeout) = self.landed.wait_timeout(flight, remaining)?;
+            if timeout.timed_out() && flight.expanding {
+                // Still behind the same (or a newer) expansion with no
+                // budget left: shed instead of pinning the worker.
+                drop(flight);
+                return shed(self);
+            }
             // A level landed (or the expander bailed); let the caller
             // re-run its read before asking for more depth.
             return Ok(());
@@ -513,13 +733,14 @@ impl<W: SearchWidth> EngineHost<W> {
         drop(flight);
         let reset = FlightReset(self);
         let (completed, exhausted) = {
-            let mut engine = self.engine.write()?;
+            let mut engine = self.engine_write()?;
+            mvq_fault::point!("serve.write");
             let advanced = engine.expand_one_level();
             (engine.completed_cost(), !advanced)
         };
         self.counters.expansions.fetch_add(1, Ordering::Relaxed);
         {
-            let mut flight = self.flight.lock()?;
+            let mut flight = self.flight_lock()?;
             flight.completed = completed;
             flight.exhausted = exhausted;
         }
@@ -585,7 +806,11 @@ impl HostRegistry {
         // `host.engine.read()` (rank 20) before `hosts.lock()` (rank 10)
         // here would invert the acquisition order that `stats()` uses.
         let model = *engine.cost_model();
-        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        let host = Arc::new(EngineHost::with_limits(
+            engine,
+            self.config.max_cost_bound,
+            self.config.max_deadline_ms,
+        ));
         self.hosts.lock()?.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -608,7 +833,11 @@ impl HostRegistry {
         }
         // Same rank discipline as `install`: model first, lock second.
         let model = *engine.cost_model();
-        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        let host = Arc::new(EngineHost::with_limits(
+            engine,
+            self.config.max_cost_bound,
+            self.config.max_deadline_ms,
+        ));
         self.hosts.lock()?.wide.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -640,7 +869,11 @@ impl HostRegistry {
             model,
             self.threads(),
         )?;
-        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        let host = Arc::new(EngineHost::with_limits(
+            engine,
+            self.config.max_cost_bound,
+            self.config.max_deadline_ms,
+        ));
         hosts.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -666,7 +899,11 @@ impl HostRegistry {
             model,
             self.threads(),
         )?;
-        let host = Arc::new(EngineHost::new(engine, self.config.max_cost_bound));
+        let host = Arc::new(EngineHost::with_limits(
+            engine,
+            self.config.max_cost_bound,
+            self.config.max_deadline_ms,
+        ));
         hosts.wide.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -867,6 +1104,7 @@ mod tests {
             max_cost_bound: 7,
             threads: 1,
             max_models: 2,
+            ..HostConfig::default()
         });
         let unit = registry.host_for(CostModel::unit()).unwrap();
         let again = registry.host_for(CostModel::unit()).unwrap();
@@ -883,6 +1121,7 @@ mod tests {
             max_cost_bound: 3,
             threads: 1,
             max_models: 4,
+            ..HostConfig::default()
         });
         let host = registry.wide_host_for(CostModel::unit()).unwrap();
         // The 4-wire CNOT D ^= A costs 1.
@@ -903,6 +1142,7 @@ mod tests {
             max_cost_bound: 3,
             threads: 1,
             max_models: 2,
+            ..HostConfig::default()
         });
         registry.host_for(CostModel::unit()).unwrap();
         registry.wide_host_for(CostModel::unit()).unwrap();
@@ -976,5 +1216,67 @@ mod tests {
         registry.install(warm).unwrap();
         let host = registry.host_for(CostModel::unit()).unwrap();
         assert_eq!(host.stats().unwrap().completed, Some(4));
+    }
+
+    /// Regression for the self-healing path: a panic while holding the
+    /// engine write lock used to condemn the host forever (every later
+    /// request got `Poisoned`); now the first request to trip over the
+    /// poison rebuilds the engine from the last-good snapshot bytes and
+    /// is answered normally.
+    #[test]
+    fn poisoned_engine_heals_on_next_request() {
+        let host = Arc::new(unit_host(7));
+        host.synthesize(&known::peres_perm(), 5).unwrap(); // warm to 4
+        let panicked = std::thread::spawn({
+            let host = Arc::clone(&host);
+            move || {
+                let _guard = host.engine.write().unwrap();
+                panic!("injected writer panic");
+            }
+        })
+        .join();
+        assert!(panicked.is_err());
+        // The last-good bytes predate the warming census, so the healed
+        // engine is cold again — but it answers, and it answers the
+        // same: the rebuild replays the expansion it needs.
+        let syn = host.synthesize(&known::peres_perm(), 5).unwrap().unwrap();
+        assert_eq!(syn.cost, 4);
+        let stats = host.stats().unwrap();
+        assert_eq!(stats.rebuilds, 1);
+        // Healing is idempotent: later requests see a healthy host.
+        assert!(host
+            .synthesize(&known::toffoli_perm(), 5)
+            .unwrap()
+            .is_some());
+        assert_eq!(host.stats().unwrap().rebuilds, 1);
+    }
+
+    #[test]
+    fn deadline_sheds_waiters_but_not_cache_hits() {
+        let host = EngineHost::with_limits(SynthesisEngine::unit_cost_with_threads(1), 7, 200);
+        host.census(4).unwrap(); // warm to cost 4
+                                 // A zero budget is fine for a cache hit: no waiting happens.
+        let hit = host
+            .synthesize_with_options(&known::peres_perm(), 4, ServeStrategy::Uni, Some(0))
+            .unwrap();
+        assert!(hit.is_some());
+        // A miss with a zero budget sheds before expanding.
+        let err = host
+            .synthesize_with_options(&known::toffoli_perm(), 5, ServeStrategy::Uni, Some(0))
+            .unwrap_err();
+        assert_eq!(err, HostError::DeadlineExceeded { deadline_ms: 0 });
+        assert_eq!(host.stats().unwrap().deadline_timeouts, 1);
+        // Budgets are capped by the host's configured maximum: asking
+        // for more than the cap runs under the cap.
+        let capped = EngineHost::with_limits(SynthesisEngine::unit_cost_with_threads(1), 7, 0);
+        let err = capped
+            .synthesize_with_options(&known::toffoli_perm(), 5, ServeStrategy::Uni, Some(10_000))
+            .unwrap_err();
+        assert_eq!(err, HostError::DeadlineExceeded { deadline_ms: 0 });
+        // And the same miss succeeds once a real budget lets it expand.
+        assert!(host
+            .synthesize_with_options(&known::toffoli_perm(), 5, ServeStrategy::Uni, None)
+            .unwrap()
+            .is_some());
     }
 }

@@ -187,8 +187,31 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(writer, status, body, keep_alive, &[])
+}
+
+/// [`write_response`] with extra headers (e.g. `Retry-After` on a 503),
+/// still framed into a single `write_all`.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut extra = String::new();
+    for (name, value) in extra_headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
     let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{extra}\r\n{body}",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -329,5 +352,17 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_with(&mut out, 503, "{}", false, &[("Retry-After", "1")]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        // The header block still terminates with exactly one blank line.
+        assert_eq!(text.matches("\r\n\r\n").count(), 1, "{text}");
     }
 }

@@ -82,6 +82,11 @@ pub struct SynthesizeRequest {
     /// routes deeper ones through the bidirectional path). Validated
     /// against [`crate::ServeStrategy`] by the server.
     pub strategy: Option<String>,
+    /// The longest this request may block behind the single-flight
+    /// expansion, in milliseconds, before it sheds with a 503 +
+    /// `Retry-After`. Capped by the server's configured maximum, which
+    /// also serves as the default when the field is absent.
+    pub deadline_ms: Option<u64>,
 }
 
 impl<'de> Deserialize<'de> for SynthesizeRequest {
@@ -95,6 +100,7 @@ impl<'de> Deserialize<'de> for SynthesizeRequest {
             model: optional(entries, "model")?,
             wires: optional(entries, "wires")?,
             strategy: optional(entries, "strategy")?,
+            deadline_ms: optional(entries, "deadline_ms")?,
         })
     }
 }
@@ -214,6 +220,8 @@ impl Serialize for HostStats {
                 Content::U64(self.single_flight_waits),
             ),
             ("rejected", Content::U64(self.rejected)),
+            ("rebuilds", Content::U64(self.rebuilds)),
+            ("deadline_timeouts", Content::U64(self.deadline_timeouts)),
             (
                 "completed",
                 self.completed
@@ -262,6 +270,18 @@ mod tests {
         assert!(req.model.is_none());
         assert!(req.wires.is_none());
         assert!(req.strategy.is_none());
+        assert!(req.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn synthesize_request_parses_the_deadline_field() {
+        let req: SynthesizeRequest =
+            serde_json::from_str(r#"{"target": "(7,8)", "deadline_ms": 250}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        // JSON null means "use the server default", like an absent field.
+        let req: SynthesizeRequest =
+            serde_json::from_str(r#"{"target": "(7,8)", "deadline_ms": null}"#).unwrap();
+        assert!(req.deadline_ms.is_none());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | rank | lock                                     |
 //! |------|------------------------------------------|
 //! | 10   | `HostRegistry::hosts` (registry tables)  |
+//! | 15   | `EngineHost::recovery` (rebuild serializer) |
 //! | 20   | `EngineHost::engine` (the `RwLock`)      |
 //! | 30   | `EngineHost::flight` (single-flight)     |
 //!
@@ -49,6 +50,15 @@ pub(crate) struct Rank {
 pub(crate) const REGISTRY_RANK: Rank = Rank {
     order: 10,
     name: "registry.hosts",
+};
+
+/// `EngineHost::recovery` — serializes poisoned-engine rebuilds and
+/// guards the last-good snapshot bytes. Sits between the registry and
+/// the engine so a heal may run both from `stats()` (under the registry
+/// lock) and from request paths, then acquire the engine lock upward.
+pub(crate) const RECOVERY_RANK: Rank = Rank {
+    order: 15,
+    name: "host.recovery",
 };
 
 /// `EngineHost::engine` — the shared engine's readers-writer lock.
@@ -142,6 +152,14 @@ impl<T> RankedMutex<T> {
             guard: Some(guard),
         })
     }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    pub(crate) fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
 }
 
 /// The guard of a [`RankedMutex`]; pops the rank when dropped.
@@ -219,6 +237,14 @@ impl<T> RankedRwLock<T> {
             guard,
         })
     }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    pub(crate) fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
 }
 
 /// The shared guard of a [`RankedRwLock`].
@@ -293,6 +319,9 @@ impl RankedCondvar {
         }
     }
 
+    // Host code waits with a deadline these days; the untimed variant
+    // stays as the reference implementation the tests pin down.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn wait<'a, T>(
         &self,
         mut guard: RankedMutexGuard<'a, T>,
@@ -314,10 +343,60 @@ impl RankedCondvar {
         })
     }
 
+    /// [`Condvar::wait_timeout`] with the same rank bookkeeping as
+    /// [`Self::wait`]: popped while blocked, re-checked on wake.
+    pub(crate) fn wait_timeout<'a, T>(
+        &self,
+        mut guard: RankedMutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(RankedMutexGuard<'a, T>, std::sync::WaitTimeoutResult)> {
+        let rank = guard.rank;
+        let inner = guard.guard.take().unwrap_or_else(|| {
+            // lint: allow(panic) unreachable: every live guard owns its inner guard
+            unreachable!("ranked guard lost its inner guard before the wait")
+        });
+        // The mutex is released while blocked: not held, so not ranked.
+        stack::pop(rank);
+        drop(guard); // empty slot: the Drop impl skips the pop
+        let result = self.inner.wait_timeout(inner, dur);
+        // Re-acquired — re-run the inversion check before resuming.
+        stack::push(rank);
+        match result {
+            Ok((guard, timed_out)) => Ok((
+                RankedMutexGuard {
+                    rank,
+                    guard: Some(guard),
+                },
+                timed_out,
+            )),
+            Err(poisoned) => {
+                let (guard, timed_out) = poisoned.into_inner();
+                Err(PoisonError::new((
+                    RankedMutexGuard {
+                        rank,
+                        guard: Some(guard),
+                    },
+                    timed_out,
+                )))
+            }
+        }
+    }
+
     pub(crate) fn notify_all(&self) {
         self.inner.notify_all();
     }
 }
+
+/// The guard types host code names in helper signatures: the ranked
+/// wrappers in debug builds, the raw `std::sync` guards in release.
+#[cfg(debug_assertions)]
+pub(crate) type ReadGuard<'a, T> = RankedReadGuard<'a, T>;
+/// See [`ReadGuard`].
+#[cfg(debug_assertions)]
+pub(crate) type WriteGuard<'a, T> = RankedWriteGuard<'a, T>;
+/// See [`ReadGuard`].
+#[cfg(debug_assertions)]
+pub(crate) type LockGuard<'a, T> = RankedMutexGuard<'a, T>;
 
 /// Maps a `LockResult` through a guard constructor, preserving
 /// poisoning.
@@ -355,6 +434,16 @@ impl<T> RankedMutex<T> {
     pub(crate) fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
         self.inner.lock()
     }
+
+    #[inline]
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    #[inline]
+    pub(crate) fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
 }
 
 /// Release builds: a plain [`RwLock`].
@@ -383,6 +472,16 @@ impl<T> RankedRwLock<T> {
     pub(crate) fn write(&self) -> LockResult<std::sync::RwLockWriteGuard<'_, T>> {
         self.inner.write()
     }
+
+    #[inline]
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    #[inline]
+    pub(crate) fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
 }
 
 /// Release builds: a plain [`Condvar`].
@@ -402,9 +501,20 @@ impl RankedCondvar {
         }
     }
 
+    // See the debug-side note: kept as the reference the tests pin down.
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub(crate) fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
         self.inner.wait(guard)
+    }
+
+    #[inline]
+    pub(crate) fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, std::sync::WaitTimeoutResult)> {
+        self.inner.wait_timeout(guard, dur)
     }
 
     #[inline]
@@ -412,6 +522,17 @@ impl RankedCondvar {
         self.inner.notify_all();
     }
 }
+
+/// Release builds: the raw `std::sync` guard types (see the debug-side
+/// aliases of the same names).
+#[cfg(not(debug_assertions))]
+pub(crate) type ReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// See [`ReadGuard`].
+#[cfg(not(debug_assertions))]
+pub(crate) type WriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+/// See [`ReadGuard`].
+#[cfg(not(debug_assertions))]
+pub(crate) type LockGuard<'a, T> = MutexGuard<'a, T>;
 
 #[cfg(all(test, debug_assertions))]
 mod tests {
@@ -458,6 +579,21 @@ mod tests {
         drop(a); // released below the top of the stack
         drop(b);
         let _again = low.lock().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_pops_and_repushes_the_rank() {
+        use std::time::Duration;
+
+        let lock = RankedMutex::new(FLIGHT_RANK, ());
+        let cv = RankedCondvar::new();
+        let guard = lock.lock().unwrap();
+        let (guard, timed_out) = cv.wait_timeout(guard, Duration::from_millis(5)).unwrap();
+        assert!(timed_out.timed_out());
+        // The rank survived the timed-out wait: dropping and
+        // re-acquiring must still be legal.
+        drop(guard);
+        let _again = lock.lock().unwrap();
     }
 
     #[test]

@@ -17,18 +17,24 @@
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mvq_core::{CostModel, SearchWidth};
 
 use crate::host::{EngineHost, HostError, HostRegistry, ServeStrategy};
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_with, Request};
 use crate::json::{error_body, render, CensusRequest, SynthesizeReply, SynthesizeRequest};
 
 /// Per-connection read timeout: a stalled client cannot pin a worker.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Accept-queue depth per worker: connections beyond
+/// `workers × QUEUE_DEPTH_PER_WORKER` are shed with an immediate 503 +
+/// `Retry-After` instead of queueing unboundedly behind a slow flight.
+const QUEUE_DEPTH_PER_WORKER: usize = 64;
 
 /// Default cost bound for 4-wire requests that omit `cb` (both
 /// endpoints): the wide frontier grows ~11× per unit-cost level, so the
@@ -139,8 +145,9 @@ impl Server {
             shutdown: Arc::clone(&self.shutdown),
             started: self.started,
             addr: self.listener.local_addr()?,
+            sheds: AtomicU64::new(0),
         });
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let (sender, receiver) = mpsc::sync_channel::<TcpStream>(workers * QUEUE_DEPTH_PER_WORKER);
         let receiver = Arc::new(Mutex::new(receiver));
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -150,7 +157,11 @@ impl Server {
                     let Ok(stream) = lock_intact(&receiver).recv() else {
                         return; // sender dropped: shutdown
                     };
-                    let _ = handle_connection(stream, &ctx);
+                    // A handler that panics through the transport layer
+                    // must not take the worker thread (and its queue
+                    // slot) down with it; the poisoned host heals on the
+                    // next request it sees.
+                    let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &ctx)));
                 });
             }
             for stream in self.listener.incoming() {
@@ -158,9 +169,11 @@ impl Server {
                     break;
                 }
                 match stream {
-                    Ok(stream) => {
-                        let _ = sender.send(stream);
-                    }
+                    Ok(stream) => match sender.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(stream)) => shed_overload(stream, &ctx),
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    },
                     Err(err) if err.kind() == io::ErrorKind::ConnectionAborted => {}
                     Err(_) => {}
                 }
@@ -176,6 +189,25 @@ struct Ctx {
     shutdown: Arc<AtomicBool>,
     started: Instant,
     addr: SocketAddr,
+    /// Connections shed at the accept loop because the worker queue was
+    /// full (graceful degradation under overload).
+    sheds: AtomicU64,
+}
+
+/// Sheds a connection the worker queue has no room for: an immediate
+/// best-effort 503 + `Retry-After` on the accept thread, without ever
+/// reading the request (a slow client must not stall accepts).
+fn shed_overload(stream: TcpStream, ctx: &Ctx) {
+    ctx.sheds.fetch_add(1, Ordering::Relaxed);
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = write_response_with(
+        &mut stream,
+        503,
+        &error_body("server overloaded: accept queue full; retry shortly"),
+        false,
+        &[("Retry-After", "1")],
+    );
 }
 
 fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
@@ -200,8 +232,30 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
             Err(err) => return Err(err),
         };
         let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
-        let (status, body, shutdown_after) = route(&request, ctx);
-        write_response(&mut writer, status, &body, keep_alive && !shutdown_after)?;
+        // Contain handler panics (e.g. an engine panicking mid-expansion)
+        // to this request: the client still gets a response, the
+        // connection and worker survive, and the poisoned host rebuilds
+        // itself when the next request touches it.
+        let (status, body, shutdown_after) =
+            catch_unwind(AssertUnwindSafe(|| route(&request, ctx))).unwrap_or_else(|_| {
+                (
+                    503,
+                    error_body("request handler panicked; the host is rebuilding, retry shortly"),
+                    false,
+                )
+            });
+        let retry: &[(&str, &str)] = if status == 503 {
+            &[("Retry-After", "1")]
+        } else {
+            &[]
+        };
+        write_response_with(
+            &mut writer,
+            status,
+            &body,
+            keep_alive && !shutdown_after,
+            retry,
+        )?;
         if shutdown_after {
             ctx.shutdown.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(wake_addr(ctx.addr)); // wake the accept loop
@@ -230,9 +284,10 @@ fn route(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
                 (
                     200,
                     format!(
-                        r#"{{"uptime_ms":{},"models":{},"hosts":[{}]}}"#,
+                        r#"{{"uptime_ms":{},"models":{},"sheds":{},"hosts":[{}]}}"#,
                         ctx.started.elapsed().as_millis(),
                         hosts.len(),
+                        ctx.sheds.load(Ordering::Relaxed),
                         hosts.join(",")
                     ),
                     false,
@@ -253,6 +308,8 @@ fn host_error(err: &HostError) -> (u16, String, bool) {
         HostError::CostBoundExceeded { .. } => 400,
         HostError::TooManyModels { .. } => 429,
         HostError::Poisoned | HostError::Engine(_) => 500,
+        // A deadline shed is load, not failure: 503 so clients retry.
+        HostError::DeadlineExceeded { .. } => 503,
     };
     (status, error_body(&err.to_string()), false)
 }
@@ -288,13 +345,14 @@ fn synthesize_on<W: SearchWidth>(
     cb: Option<u32>,
     default_cb: u32,
     strategy: ServeStrategy,
+    deadline_ms: Option<u64>,
 ) -> (u16, String, bool) {
     let host = match host {
         Ok(host) => host,
         Err(err) => return host_error(&err),
     };
     let cb = cb.unwrap_or_else(|| default_cb.min(host.cost_bound_limit()));
-    match host.synthesize_with_strategy(target, cb, strategy) {
+    match host.synthesize_with_options(target, cb, strategy, deadline_ms) {
         Ok(synthesis) => (200, render(&SynthesizeReply { cb, synthesis }), false),
         Err(err) => host_error(&err),
     }
@@ -336,6 +394,7 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
             parsed.cb,
             WIDE_DEFAULT_CB,
             strategy,
+            parsed.deadline_ms,
         )
     } else {
         synthesize_on(
@@ -344,6 +403,7 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
             parsed.cb,
             u32::MAX,
             strategy,
+            parsed.deadline_ms,
         )
     }
 }
