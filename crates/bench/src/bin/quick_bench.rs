@@ -143,6 +143,32 @@ fn main() {
         e.g_counts().len() as u32
     }));
 
+    // Probed twins: the same cold census and warm lookup with a live
+    // `RegistryProbe` feeding an `mvq_obs::Registry`, exactly as `mvq
+    // serve` installs it. The probe contract is "a single branch when
+    // unset, atomics only when set"; the gate below holds the probed
+    // rows to ≤2% over their unprobed counterparts.
+    let obs_registry = mvq_obs::Registry::new();
+    let probe = mvq_core::ProbeHandle::new(std::sync::Arc::new(mvq_obs::RegistryProbe::new(
+        obs_registry.probe_metrics(),
+    )));
+    let census_probe = probe.clone();
+    rows.push(time("census_cb5_probed", auto, 5, move || {
+        let mut e = SynthesisEngine::unit_cost();
+        e.set_probe(census_probe.clone());
+        e.expand_to_cost(5);
+        e.g_counts().len() as u32
+    }));
+    let mut warm_probed = SynthesisEngine::unit_cost();
+    warm_probed.set_probe(probe.clone());
+    warm_probed.expand_to_cost(5);
+    rows.push(time("toffoli_warm_probed", auto, 2000, move || {
+        warm_probed
+            .synthesize(&known::toffoli_perm(), 6)
+            .expect("cost 5")
+            .cost
+    }));
+
     // Snapshot-warm rows: build the level-cache snapshot once, then each
     // sample pays load + query only — the cold→warm win of persistent
     // level-cache serialization, measurable even on a 1-core runner
@@ -236,6 +262,37 @@ fn main() {
     speedup("toffoli_cold_unidirectional", "toffoli_snapshot_warm");
     speedup("census_w4_cb3", "census_w4_snapshot_warm");
 
+    // Probe-overhead gate: each probed row must stay within 2% of its
+    // unprobed twin, by best-case (min) sample — the least
+    // noise-contaminated number either row produced. The absolute
+    // epsilon covers workloads so fast (the ~1 µs warm lookup) that 2%
+    // is below timer/scheduler resolution on a busy 1-core runner.
+    const PROBE_EPSILON_NS: u128 = 20_000;
+    let mut probe_gate_failures: Vec<String> = Vec::new();
+    let mut probe_gate = |base: &str, probed: &str| {
+        let (Some(b), Some(p)) = (
+            rows.iter().find(|r| r.name == base),
+            rows.iter().find(|r| r.name == probed),
+        ) else {
+            probe_gate_failures.push(format!("probe gate rows missing: {base} / {probed}"));
+            return;
+        };
+        let limit = b.min_ns + b.min_ns / 50 + PROBE_EPSILON_NS;
+        let overhead = 100.0 * (p.min_ns as f64 / b.min_ns.max(1) as f64 - 1.0);
+        println!(
+            "{probed}: min {} ns vs {base} min {} ns ({overhead:+.2}%, limit {limit} ns)",
+            p.min_ns, b.min_ns
+        );
+        if p.min_ns > limit {
+            probe_gate_failures.push(format!(
+                "{probed} min {} ns exceeds {base} min {} ns + 2% + {PROBE_EPSILON_NS} ns",
+                p.min_ns, b.min_ns
+            ));
+        }
+    };
+    probe_gate("census_cb5", "census_cb5_probed");
+    probe_gate("toffoli_warm_unidirectional", "toffoli_warm_probed");
+
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -260,4 +317,9 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json).expect("write perf snapshot");
     println!("\nwrote {out_path}");
+    assert!(
+        probe_gate_failures.is_empty(),
+        "probe overhead gate: {}",
+        probe_gate_failures.join("; ")
+    );
 }

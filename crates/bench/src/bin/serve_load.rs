@@ -7,9 +7,16 @@
 //! measurement needs no prior setup; point `--addr` at a running
 //! `mvq serve` to measure an external process instead.
 //!
+//! After the load, the server is judged from its **own** `/metrics`
+//! scrape (not client-side timing): `--slo` gates compare a server-side
+//! latency quantile against a threshold, fail the run (non-zero exit)
+//! when breached, and are recorded in the JSON artifact either way. A
+//! default `request_us:p99 ≤ 250000` gate is always present.
+//!
 //! Usage:
 //! `cargo run --release -p mvq_bench --bin serve_load -- \
-//!     [out.json] [--addr HOST:PORT] [--clients N] [--requests M] [--snapshot FILE]`
+//!     [out.json] [--addr HOST:PORT] [--clients N] [--requests M] [--snapshot FILE] \
+//!     [--slo [HISTOGRAM:]p99_us=MICROS]...`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -89,6 +96,7 @@ struct Args {
     clients: usize,
     requests: usize,
     snapshot: Option<String>,
+    slo: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -98,6 +106,7 @@ fn parse_args() -> Args {
         clients: 8,
         requests: 250,
         snapshot: None,
+        slo: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(token) = iter.next() {
@@ -110,11 +119,49 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value("clients").parse().expect("--clients"),
             "--requests" => args.requests = value("requests").parse().expect("--requests"),
             "--snapshot" => args.snapshot = Some(value("snapshot")),
+            "--slo" => args.slo.push(value("slo")),
             other if !other.starts_with('-') => args.out = other.to_string(),
             other => panic!("unknown option `{other}`"),
         }
     }
     args
+}
+
+/// One server-side SLO gate, parsed from `--slo [HISTOGRAM:]pNN[_us]=MICROS`
+/// (the histogram defaults to `request_us`). The quantile is evaluated on
+/// the server's own `/metrics` scrape, so the gate judges what the server
+/// measured about itself, not what the client happened to observe.
+struct SloGate {
+    histogram: String,
+    label: String,
+    quantile: f64,
+    threshold_us: u64,
+}
+
+fn parse_slo(spec: &str) -> SloGate {
+    let (lhs, rhs) = spec
+        .split_once('=')
+        .unwrap_or_else(|| panic!("--slo `{spec}`: expected [HISTOGRAM:]pNN_us=MICROS"));
+    let threshold_us = rhs
+        .parse()
+        .unwrap_or_else(|_| panic!("--slo `{spec}`: threshold `{rhs}` is not a µs integer"));
+    let (histogram, quantile_spec) = match lhs.split_once(':') {
+        Some((histogram, rest)) => (histogram, rest),
+        None => ("request_us", lhs),
+    };
+    let digits = quantile_spec
+        .strip_prefix('p')
+        .map(|rest| rest.strip_suffix("_us").unwrap_or(rest))
+        .filter(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+        .unwrap_or_else(|| panic!("--slo `{spec}`: quantile `{quantile_spec}` is not pNN[_us]"));
+    // p50 → 0.50, p99 → 0.99, p999 → 0.999: digits over 10^len.
+    let quantile = digits.parse::<f64>().expect("digits") / 10f64.powi(digits.len() as i32);
+    SloGate {
+        histogram: histogram.to_string(),
+        label: format!("{histogram}:p{digits}"),
+        quantile,
+        threshold_us,
+    }
 }
 
 /// Sends one request on an open keep-alive connection and reads the full
@@ -173,6 +220,9 @@ fn percentile(sorted_us: &[u128], p: f64) -> u128 {
 
 fn main() {
     let args = parse_args();
+    // The default gate is always present; `--slo` adds to it.
+    let mut gates = vec![parse_slo("request_us:p99=250000")];
+    gates.extend(args.slo.iter().map(|spec| parse_slo(spec)));
 
     // In-process server unless an external address was given.
     let mut in_process: Option<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> = None;
@@ -244,6 +294,22 @@ fn main() {
     });
     let wall = wall_start.elapsed();
 
+    // Scrape the server's own /metrics before shutting it down; the SLO
+    // gates and the attribution block both read from this snapshot.
+    const SCRAPE: Shape = Shape {
+        kind: "metrics",
+        method: "GET",
+        path: "/metrics",
+        body: "",
+    };
+    let scrape = {
+        let mut stream = TcpStream::connect(&addr).expect("connect for /metrics scrape");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let (status, body) = roundtrip(&mut stream, &mut reader, &SCRAPE).expect("scrape /metrics");
+        assert_eq!(status, 200, "GET /metrics returned {status}");
+        mvq_obs::parse_scrape(&body)
+    };
+
     if let Some((handle, runner)) = in_process {
         handle.shutdown();
         runner.join().expect("server thread").expect("server run");
@@ -292,6 +358,54 @@ fn main() {
         ));
     }
 
+    // Evaluate the SLO gates against the server-side histograms.
+    let mut slo_rows = String::new();
+    let mut slo_failed = false;
+    for (i, gate) in gates.iter().enumerate() {
+        let hist = scrape.histograms.get(&gate.histogram).unwrap_or_else(|| {
+            panic!(
+                "SLO gate {}: histogram `{}` is not in /metrics",
+                gate.label, gate.histogram
+            )
+        });
+        let observed = hist.quantile(gate.quantile);
+        let pass = observed <= gate.threshold_us;
+        slo_failed |= !pass;
+        println!(
+            "  slo {:<20} observed {:>8} µs (server-side), threshold {:>8} µs → {}",
+            gate.label,
+            observed,
+            gate.threshold_us,
+            if pass { "pass" } else { "FAIL" }
+        );
+        slo_rows.push_str(&format!(
+            "    {{\"gate\": \"{}\", \"threshold_us\": {}, \"observed_us\": {}, \"pass\": {}}}{}\n",
+            gate.label,
+            gate.threshold_us,
+            observed,
+            pass,
+            if i + 1 < gates.len() { "," } else { "" }
+        ));
+    }
+
+    // Server-side attribution block: where the wall time actually went
+    // (queue vs engine) and what the request mix resolved to.
+    let counter = |name: &str| scrape.counters.get(name).copied().unwrap_or(0);
+    let hist_p99 = |name: &str| scrape.histograms.get(name).map_or(0, |h| h.quantile(0.99));
+    let server_metrics = format!(
+        "{{\"synthesize_requests_total\": {}, \"census_requests_total\": {}, \
+         \"cache_hits_total\": {}, \"cache_misses_total\": {}, \"expansions_total\": {}, \
+         \"sheds_total\": {}, \"queue_wait_p99_us\": {}, \"engine_p99_us\": {}}}",
+        counter("synthesize_requests_total"),
+        counter("census_requests_total"),
+        counter("cache_hits_total"),
+        counter("cache_misses_total"),
+        counter("expansions_total"),
+        counter("sheds_total"),
+        hist_p99("queue_wait_us"),
+        hist_p99("engine_us"),
+    );
+
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -302,7 +416,8 @@ fn main() {
          \"clients\": {},\n  \"requests_per_client\": {},\n  \"total_requests\": {total},\n  \
          \"snapshot_warm\": {},\n  \"wall_ms\": {},\n  \"throughput_rps\": {throughput:.1},\n  \
          \"errors\": {errors},\n  \"latency_us\": {{\"mean\": {mean_us}, \"p50\": {p50}, \
-         \"p90\": {p90}, \"p99\": {p99}, \"max\": {}}},\n  \"per_kind\": [\n{per_kind}  ]\n}}\n",
+         \"p90\": {p90}, \"p99\": {p99}, \"max\": {}}},\n  \"per_kind\": [\n{per_kind}  ],\n  \
+         \"server_metrics\": {server_metrics},\n  \"slo\": [\n{slo_rows}  ]\n}}\n",
         args.clients,
         args.requests,
         args.snapshot.is_some(),
@@ -312,4 +427,11 @@ fn main() {
     std::fs::write(&args.out, json).expect("write load snapshot");
     println!("wrote {}", args.out);
     assert_eq!(errors, 0, "load run saw non-200 responses");
+    if slo_failed {
+        eprintln!(
+            "SLO gate(s) breached — see the \"slo\" block in {}",
+            args.out
+        );
+        std::process::exit(1);
+    }
 }

@@ -40,13 +40,16 @@ COMMANDS:
                                     available parallelism (0 = auto)
     serve [--addr A] [--threads T]  long-lived synthesis service (HTTP/1.1 +
           [--snapshot FILE]         JSON): /synthesize /census /healthz
-          [--max-cb N]              /stats /shutdown; warm-starts from FILE
-          [--workers W]             (falling back to FILE.bak, then cold, if
-          [--max-models M]          torn); admission rejects cost bounds > N
-          [--faults PLAN]           (default 7); W handler threads (default 4);
-                                    PLAN (or $MVQ_FAULTS) arms failpoints in
+          [--max-cb N]              /stats /metrics /debug/slow /shutdown;
+          [--workers W]             warm-starts from FILE (falling back to
+          [--max-models M]          FILE.bak, then cold, if torn); admission
+          [--faults PLAN]           rejects cost bounds > N (default 7); W
+          [--log LEVEL]             handler threads (default 4); PLAN (or
+                                    $MVQ_FAULTS) arms failpoints in
                                     `fault-injection` builds, e.g.
-                                    \"snapshot.rename=err@2;pool.task=panic\"
+                                    \"snapshot.rename=err@2;pool.task=panic\";
+                                    LEVEL (or $MVQ_LOG) is off | info | debug —
+                                    info emits one JSON trace line per request
     verify <circuit> <perm>         check a cascade (e.g. VCB*FBA*VCA*V+CB)
                                     against a target permutation, exactly
     gate <name>                     show a gate's domain permutation and
@@ -326,6 +329,20 @@ fn serve(args: &Args) -> CommandResult {
     let max_models: usize = args.option("max-models", 8)?;
     let snapshot: String = args.option("snapshot", String::new())?;
     let faults: String = args.option("faults", String::new())?;
+    let log: String = args.option("log", String::new())?;
+    // Resolve the trace level before binding: a typo'd level must fail
+    // loudly, not serve silently untraced.
+    let log = if log.is_empty() {
+        std::env::var("MVQ_LOG").unwrap_or_default()
+    } else {
+        log
+    };
+    let log_level = match log.as_str() {
+        "" => None,
+        level => Some(mvq_obs::LogLevel::parse(level).ok_or_else(|| {
+            ParseArgsError::new(format!("bad --log level `{level}` (off | info | debug)"))
+        })?),
+    };
     if !faults.is_empty() {
         arm_faults(&faults)?;
     }
@@ -340,12 +357,17 @@ fn serve(args: &Args) -> CommandResult {
         install_serve_snapshot(&registry, &snapshot, resolved)?;
     }
     let server = Server::bind(addr.as_str(), registry)?;
+    if let Some(level) = log_level {
+        server.obs().trace().set_level(level);
+    }
     println!(
         "mvq serve listening on http://{} ({} workers, admission cb ≤ {max_cb})",
         server.local_addr()?,
         workers.max(1)
     );
-    println!("endpoints: POST /synthesize /census /shutdown · GET /healthz /stats");
+    println!(
+        "endpoints: POST /synthesize /census /shutdown · GET /healthz /stats /metrics /debug/slow"
+    );
     server.run(workers)?;
     println!("mvq serve: shut down cleanly");
     Ok(())

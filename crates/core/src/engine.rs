@@ -3,6 +3,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use mvq_logic::{Gate, GateLibrary};
+use mvq_obs::ProbeHandle;
 use mvq_perm::Perm;
 
 use crate::par::{self, FrontierMeta, ShardedSeen};
@@ -252,6 +253,11 @@ pub struct SearchEngine<W: SearchWidth> {
     pub(crate) g_counts: Vec<usize>,
     /// `|B[k]|` for each completed cost level `k`.
     pub(crate) b_counts: Vec<usize>,
+    /// Optional observability probe (no-op when unset). The engine only
+    /// announces events through it — timing happens on the other side
+    /// of the trait boundary, so this module never reads the clock and
+    /// the determinism lint holds.
+    pub(crate) probe: ProbeHandle,
 }
 
 impl SearchEngine<Narrow> {
@@ -402,7 +408,21 @@ impl<W: SearchWidth> SearchEngine<W> {
             class_levels: Vec::new(),
             g_counts: Vec::new(),
             b_counts: Vec::new(),
+            probe: ProbeHandle::none(),
         })
+    }
+
+    /// Installs (or clears) the observability probe. The engine calls it
+    /// around level expansions, parallel bucket staging, bidirectional
+    /// split decisions, and snapshot sections; with the default empty
+    /// handle every hook is a single branch.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
+    }
+
+    /// The currently installed probe handle.
+    pub fn probe(&self) -> &ProbeHandle {
+        &self.probe
     }
 
     /// The gate library in use.
@@ -547,6 +567,7 @@ impl<W: SearchWidth> SearchEngine<W> {
             return false;
         };
         let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
+        self.probe.on(|p| p.level_started(cost));
         let parallel = self.threads > 1 && raw_bucket.len() >= par::PAR_MIN_BUCKET;
         // Lazy decrease-key: with non-uniform gate costs a word can be
         // re-admitted to a cheaper bucket after its first discovery; the
@@ -606,6 +627,7 @@ impl<W: SearchWidth> SearchEngine<W> {
             self.b_counts.last().copied().unwrap_or(0),
             self.gate_images.len(),
         );
+        let mut nodes_added = 0u64;
         if parallel {
             let gate_images = &self.gate_images;
             let gate_banned = &self.gate_banned;
@@ -617,6 +639,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                 &bucket,
                 &mut self.seen,
                 expected_new,
+                &self.probe,
                 |idx, word, emit| {
                     let image_mask = trace_mask::<W>(traces[idx], binary_len);
                     for gate_idx in 0..gate_images.len() {
@@ -632,6 +655,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                 },
             );
             for (next_cost, words) in pushes {
+                nodes_added += words.len() as u64;
                 self.pending.entry(next_cost).or_default().extend(words);
             }
         } else {
@@ -647,6 +671,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                     // New word, or a cheaper path found while the word is
                     // still pending (the old copy goes stale).
                     if par::admit(self.seen.entry(next), next_cost, gate_idx as u8) {
+                        nodes_added += 1;
                         self.pending.entry(next_cost).or_default().push(next);
                     }
                 }
@@ -670,6 +695,12 @@ impl<W: SearchWidth> SearchEngine<W> {
         self.trace_index.push(None);
         self.class_levels.push(g_new);
         self.completed = Some(cost);
+        if self.probe.is_set() {
+            // O(buckets), not O(words): Vec::len per pending bucket.
+            let frontier: u64 = self.pending.values().map(|b| b.len() as u64).sum();
+            self.probe
+                .on(|p| p.level_finished(cost, nodes_added, frontier));
+        }
         true
     }
 

@@ -59,6 +59,7 @@ pub use circuit::{Circuit, ParseCircuitError};
 pub use cost::{CostModel, ParseCostModelError};
 pub use engine::{CachedSynthesis, EngineError, SearchEngine, Synthesis, SynthesisStrategy};
 pub use mitm::CachedBidirectional;
+pub use mvq_obs::{Probe, ProbeHandle};
 pub use par::resolve_threads;
 pub use snapshot::{
     snapshot_backup_path, SnapshotError, SnapshotSource, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,

@@ -138,6 +138,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
                 &bucket,
                 &mut self.seen,
                 expected_new,
+                &engine.probe,
                 |_, &trace, emit| {
                     for gate_idx in 0..engine.gate_images.len() {
                         let prev =
@@ -350,6 +351,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                 }
             }
             if let Some((u, trace, count)) = self.join_at_cost(&back, c, fwd_done, back_done) {
+                self.probe.on(|p| p.bidi_split(fwd_done, back_done, c));
                 let mut gates = not_layer.clone();
                 gates.extend(self.reconstruct(&u));
                 gates.extend(back.suffix_gates(trace, self));
@@ -420,6 +422,7 @@ impl<W: SearchWidth> SearchEngine<W> {
             }
             let back_done = back.completed.map_or(0, |v| v);
             if let Some((u, trace, count)) = self.join_at_cost(&back, c, usable, back_done) {
+                self.probe.on(|p| p.bidi_split(usable, back_done, c));
                 let mut gates = not_layer.clone();
                 gates.extend(self.reconstruct(&u));
                 gates.extend(back.suffix_gates(trace, self));

@@ -37,6 +37,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use mvq_obs::ProbeHandle;
+
 use crate::width::ShardKey;
 use crate::word::FnvBuildHasher;
 
@@ -541,6 +543,7 @@ pub(crate) fn expand_bucket<K, M, G>(
     bucket: &[K],
     seen: &mut ShardedSeen<K, M>,
     expected_new: usize,
+    probe: &ProbeHandle,
     generate: G,
 ) -> BTreeMap<u32, Vec<K>>
 where
@@ -642,6 +645,23 @@ where
         }
     }
 
+    if probe.is_set() {
+        // Per-shard staged lengths expose how evenly the hash routed
+        // this bucket's accepted pushes across shards.
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut total = 0u64;
+        for stage in &staged {
+            let n = stage.len() as u64;
+            min = min.min(n);
+            max = max.max(n);
+            total += n;
+        }
+        if staged.is_empty() {
+            min = 0;
+        }
+        probe.on(|p| p.bucket_sharded(min, max, total, staged.len() as u64));
+    }
     merge_staged(staged)
 }
 
@@ -855,12 +875,14 @@ mod tests {
         for threads in [2, 4, 8] {
             let pool = WorkerPool::new(threads);
             let mut seen: ShardedSeen<u64, TestMeta> = ShardedSeen::for_threads(threads);
-            let pushes = expand_bucket(&pool, &bucket, &mut seen, 1000, |_, &word, emit| {
-                for gate in 0..6u8 {
-                    let (next, cost) = toy_successor(word, gate);
-                    emit(next, cost, gate);
-                }
-            });
+            let probe = ProbeHandle::none();
+            let pushes =
+                expand_bucket(&pool, &bucket, &mut seen, 1000, &probe, |_, &word, emit| {
+                    for gate in 0..6u8 {
+                        let (next, cost) = toy_successor(word, gate);
+                        emit(next, cost, gate);
+                    }
+                });
             assert_eq!(pushes, reference, "threads = {threads}");
             assert_eq!(seen.len(), reference_seen.len(), "threads = {threads}");
             for (key, meta) in &reference_seen {

@@ -62,6 +62,7 @@ use std::io;
 use std::path::Path;
 
 use mvq_logic::GateLibrary;
+use mvq_obs::ProbeHandle;
 
 use crate::engine::{Meta, SearchEngine};
 use crate::par::{self, ShardedSeen};
@@ -687,6 +688,7 @@ impl<W: SearchWidth> SearchEngine<W> {
 
         // Core section: levels (words, traces, path gates) with their
         // classes nested in the level that founded them.
+        self.probe.on(|p| p.snapshot_section_started("core_save"));
         let mut core = Vec::new();
         let mut class_total = 0u64;
         for k in 0..self.levels.len() {
@@ -715,8 +717,13 @@ impl<W: SearchWidth> SearchEngine<W> {
             }
         }
 
+        self.probe
+            .on(|p| p.snapshot_section_finished("core_save", core.len() as u64));
+
         // Frontier section: the pending Dijkstra buckets, in order
         // (words then gates per bucket — see `bucket_blocks`).
+        self.probe
+            .on(|p| p.snapshot_section_started("frontier_save"));
         let mut frontier = Vec::new();
         for (&cost, bucket) in &self.pending {
             put_u32(&mut frontier, cost);
@@ -728,6 +735,9 @@ impl<W: SearchWidth> SearchEngine<W> {
                 frontier.push(self.seen.get(word).expect("pending word is seen").last_gate);
             }
         }
+
+        self.probe
+            .on(|p| p.snapshot_section_finished("frontier_save", frontier.len() as u64));
 
         let completed_words: usize = self.b_counts.iter().sum();
         let weights = self.model.weights();
@@ -844,6 +854,21 @@ impl<W: SearchWidth> SearchEngine<W> {
     ///
     /// See [`Self::load_snapshot`].
     pub fn load_snapshot_from_bytes(bytes: &[u8], threads: usize) -> Result<Self, SnapshotError> {
+        Self::load_snapshot_from_bytes_with_probe(bytes, threads, ProbeHandle::none())
+    }
+
+    /// [`Self::load_snapshot_from_bytes`] with an observability probe
+    /// installed up front, so the load itself reports its section
+    /// timings (the probe stays installed on the returned engine).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_snapshot`].
+    pub fn load_snapshot_from_bytes_with_probe(
+        bytes: &[u8],
+        threads: usize,
+        probe: ProbeHandle,
+    ) -> Result<Self, SnapshotError> {
         // Framing: magic, version, header length.
         if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
             return Err(SnapshotError::NotASnapshot);
@@ -941,6 +966,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                 header.wires
             )));
         }
+        engine.probe = probe;
         let domain_len = header.domain_len as usize;
         let binary_len = header.binary_len as usize;
         let gate_count = engine.gate_images.len();
@@ -962,6 +988,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         engine.class_levels = Vec::with_capacity(header.level_count as usize);
         engine.g_counts = Vec::with_capacity(header.level_count as usize);
         engine.b_counts = Vec::with_capacity(header.level_count as usize);
+        engine.probe.on(|p| p.snapshot_section_started("core_load"));
         let mut r = Reader::new(core);
         let mut class_total = 0u64;
         let read_word = |r: &mut Reader<'_>, len: usize| -> Result<W::Word, SnapshotError> {
@@ -1050,8 +1077,14 @@ impl<W: SearchWidth> SearchEngine<W> {
             _ => return Err(corrupt("completed level disagrees with the level count")),
         }
         engine.completed = header.completed;
+        engine
+            .probe
+            .on(|p| p.snapshot_section_finished("core_load", core.len() as u64));
 
         // Frontier section: validate now, merge on first expansion.
+        engine
+            .probe
+            .on(|p| p.snapshot_section_started("frontier_load"));
         DeferredFrontier::validate(frontier, &header, gate_count)?;
         engine.deferred_frontier = (header.frontier_buckets > 0).then(|| DeferredFrontier {
             bytes: frontier.to_vec(),
@@ -1059,6 +1092,9 @@ impl<W: SearchWidth> SearchEngine<W> {
             unique: usize_of(header.frontier_unique, "frontier word").unwrap_or(0),
             domain_len,
         });
+        engine
+            .probe
+            .on(|p| p.snapshot_section_finished("frontier_load", frontier.len() as u64));
         Ok(engine)
     }
 }

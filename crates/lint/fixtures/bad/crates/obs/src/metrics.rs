@@ -1,0 +1,18 @@
+//! Seeded `obs` violations: a lock on the increment path, and
+//! registrations that break the metric naming contract.
+
+pub struct Counter {
+    value: std::sync::Mutex<u64>,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        let mut value = self.value.lock().unwrap();
+        *value += 1;
+    }
+}
+
+pub fn register(registry: &Registry) {
+    registry.counter("BadName", "not snake_case");
+    registry.histogram("latency", "no unit suffix");
+}

@@ -1,0 +1,30 @@
+//! Clean counterpart: atomic increments, contract-following metric
+//! names, and the sanctioned escape hatch for scrape-time code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+pub fn register(registry: &Registry) {
+    registry.counter("requests_total", "counted events carry `_total`");
+    registry.histogram("latency_us", "durations carry `_us`");
+    registry.gauge("frontier_words", "gauges are instantaneous readings: no suffix");
+}
+
+pub fn scrape(counter: &Counter) -> u64 {
+    // lint: allow(obs) scrape path: runs once per scrape, not per increment
+    let values = Vec::from([counter.get()]);
+    values[0]
+}

@@ -3,7 +3,7 @@
 //! Clippy's `-D warnings` gate cannot express this repo's
 //! project-specific correctness rules, and the offline container rules
 //! out syn/miri/loom, so the pass is hand-rolled: a small comment- and
-//! string-aware lexer ([`lexer`]) feeds five rule passes ([`rules`]):
+//! string-aware lexer ([`lexer`]) feeds six rule passes ([`rules`]):
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -12,6 +12,7 @@
 //! | `unsafe` | workspace-wide (tests included) | every `unsafe` carries an adjacent `// SAFETY:` comment |
 //! | `threads` | workspace-wide | `thread::spawn`/`scope` only in `par.rs` and the serve accept loop |
 //! | `persistence` | snapshot codec | file publication goes through the durable-write helper, never bare `fs::write`/`File::create` |
+//! | `obs` | `mvq_obs` increment path; registrations workspace-wide | no locks or allocations where counters bump; registered metric names are snake_case with a unit suffix (`_us`/`_bytes`/`_total`) |
 //!
 //! The binary (`cargo run -p mvq_lint --release -- --workspace`) exits
 //! non-zero on any violation and is wired into CI as a hard gate; the
@@ -153,7 +154,7 @@ mod tests {
         };
         let text = report.to_string();
         assert!(text.contains("3 file(s) scanned"), "{text}");
-        assert!(text.contains("5 rule(s)"), "{text}");
+        assert!(text.contains("6 rule(s)"), "{text}");
         for rule in ALL_RULES {
             assert!(text.contains(&format!("{}: 0", rule.name())), "{text}");
         }

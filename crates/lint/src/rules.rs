@@ -29,15 +29,21 @@ pub enum Rule {
     /// (no bare `fs::write` / `File::create`), so every published file
     /// is fsynced and keeps its `.bak` sibling.
     Persistence,
+    /// Metric increment-path code stays lock- and allocation-free
+    /// (request threads bump counters on every request), and every
+    /// counter/histogram registration names a snake_case metric with a
+    /// unit suffix.
+    Obs,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::Determinism,
     Rule::PanicFreedom,
     Rule::UnsafeAudit,
     Rule::Concurrency,
     Rule::Persistence,
+    Rule::Obs,
 ];
 
 impl Rule {
@@ -49,6 +55,7 @@ impl Rule {
             Rule::UnsafeAudit => "unsafe",
             Rule::Concurrency => "threads",
             Rule::Persistence => "persistence",
+            Rule::Obs => "obs",
         }
     }
 
@@ -61,6 +68,7 @@ impl Rule {
             Rule::PanicFreedom => Some("panic"),
             Rule::Concurrency => Some("threads"),
             Rule::Persistence => Some("persistence"),
+            Rule::Obs => Some("obs"),
             Rule::UnsafeAudit => None,
         }
     }
@@ -120,6 +128,25 @@ const THREAD_ALLOWLIST: [&str; 2] = ["crates/core/src/par.rs", "crates/serve/src
 /// no `.bak` rotation.
 const PERSISTENCE_MODULES: [&str; 1] = ["crates/core/src/snapshot.rs"];
 
+/// The `mvq_obs` modules holding the metric increment path (counter
+/// bumps, histogram records, probe callbacks). Request threads hit
+/// these on every request, so they must stay lock-free and
+/// allocation-free: atomics only.
+const OBS_INCREMENT_MODULES: [&str; 2] = ["crates/obs/src/metrics.rs", "crates/obs/src/probe.rs"];
+
+/// Registration methods whose first argument is a metric name, paired
+/// with whether the naming contract demands a unit suffix (gauges are
+/// instantaneous readings, so they carry none).
+const REGISTRATION_METHODS: [(&str, bool); 4] = [
+    ("counter", true),
+    ("counter_fn", true),
+    ("histogram", true),
+    ("gauge", false),
+];
+
+/// The unit suffixes the metric naming contract accepts.
+const UNIT_SUFFIXES: [&str; 3] = ["_us", "_bytes", "_total"];
+
 /// How far above an `unsafe` token a `// SAFETY:` comment may end and
 /// still count as adjacent (attributes and a multi-line justification
 /// fit; a stale comment three screens up does not).
@@ -135,6 +162,7 @@ struct FileClass {
     panic_free: bool,
     thread_allowed: bool,
     persistence: bool,
+    obs_increment: bool,
 }
 
 impl FileClass {
@@ -150,6 +178,7 @@ impl FileClass {
                 || THREAD_ALLOWLIST.contains(&rel)
                 || rel.starts_with("crates/bench/"),
             persistence: PERSISTENCE_MODULES.contains(&rel),
+            obs_increment: OBS_INCREMENT_MODULES.contains(&rel),
         }
     }
 }
@@ -159,6 +188,7 @@ impl FileClass {
 pub fn check_source(rel: &str, source: &str) -> Vec<Violation> {
     let class = FileClass::of(rel);
     let lexed = lex(source);
+    let allows = Allows::parse(&lexed.comments);
     let file = FileCheck {
         rel,
         class,
@@ -167,7 +197,11 @@ pub fn check_source(rel: &str, source: &str) -> Vec<Violation> {
         lexed: &lexed,
         violations: Vec::new(),
     };
-    file.run()
+    let mut violations = file.run();
+    if !class.test_class {
+        scan_metric_names(rel, source, &allows, &mut violations);
+    }
+    violations
 }
 
 /// Parsed `// lint: allow(<key>) <reason>` annotations, by line.
@@ -238,6 +272,9 @@ impl FileCheck<'_> {
             if self.class.persistence && !in_test {
                 self.persistence(i);
             }
+            if self.class.obs_increment && !in_test {
+                self.obs_increment(i);
+            }
         }
         self.violations
     }
@@ -252,27 +289,14 @@ impl FileCheck<'_> {
     /// annotation with a reason covers its line.
     fn report(&mut self, idx: usize, rule: Rule, message: String) {
         let line = self.lexed.tokens[idx].line;
-        match rule
-            .allow_key()
-            .and_then(|key| self.allows.lookup(line, key))
-        {
-            Some(true) => {}
-            Some(false) => self.violations.push(Violation {
-                file: self.rel.to_string(),
-                line,
-                rule,
-                message: format!(
-                    "`// lint: allow({})` needs a reason after the closing paren",
-                    rule.allow_key().unwrap_or_default()
-                ),
-            }),
-            None => self.violations.push(Violation {
-                file: self.rel.to_string(),
-                line,
-                rule,
-                message,
-            }),
-        }
+        report_with_allow(
+            &self.allows,
+            self.rel,
+            line,
+            rule,
+            message,
+            &mut self.violations,
+        );
     }
 
     fn tok(&self, idx: usize) -> Option<&Token> {
@@ -499,6 +523,136 @@ impl FileCheck<'_> {
             );
         }
     }
+
+    // ── Rule 6: lock/alloc-free metric increments ──────────────────
+
+    fn obs_increment(&mut self, i: usize) {
+        let tokens = &self.lexed.tokens;
+        let text = tokens[i].text.as_str();
+        let followed_by_bang = self.tok(i + 1).is_some_and(|t| t.is_punct('!'));
+        let method_call = i > 0
+            && tokens[i - 1].is_punct('.')
+            && self.tok(i + 1).is_some_and(|t| t.is_punct('('));
+        let flagged = match text {
+            "Mutex" | "RwLock" | "Condvar" | "String" | "Vec" | "Box" => true,
+            "lock" | "to_string" | "to_owned" | "to_vec" => method_call,
+            "format" | "vec" => followed_by_bang,
+            _ => false,
+        };
+        if flagged {
+            self.report(
+                i,
+                Rule::Obs,
+                format!(
+                    "`{text}` in a metric increment-path module; counter bumps and histogram \
+                     records run on every request and must stay lock- and allocation-free \
+                     (atomics only), or justify with `// lint: allow(obs) <reason>`"
+                ),
+            );
+        }
+    }
+}
+
+/// Pushes a violation of `rule` at `rel:line` unless a
+/// `// lint: allow(<key>) <reason>` annotation covers the line (shared
+/// by the token passes and the raw-source metric-name scan).
+fn report_with_allow(
+    allows: &Allows,
+    rel: &str,
+    line: u32,
+    rule: Rule,
+    message: String,
+    out: &mut Vec<Violation>,
+) {
+    match rule.allow_key().and_then(|key| allows.lookup(line, key)) {
+        Some(true) => {}
+        Some(false) => out.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule,
+            message: format!(
+                "`// lint: allow({})` needs a reason after the closing paren",
+                rule.allow_key().unwrap_or_default()
+            ),
+        }),
+        None => out.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule,
+            message,
+        }),
+    }
+}
+
+/// Raw-source scan for metric registrations: the lexer does not
+/// tokenize string-literal contents, so the token passes cannot see
+/// metric names. Applies everywhere outside test code — registrations
+/// live in obs and serve today, but a registration breaking the naming
+/// contract is wrong wherever it appears. Source after the first
+/// `#[cfg(test)]` is skipped (test modules sit at the bottom of files
+/// in this workspace).
+fn scan_metric_names(rel: &str, source: &str, allows: &Allows, out: &mut Vec<Violation>) {
+    let cut = source.find("#[cfg(test)]").unwrap_or(source.len());
+    let scanned = &source[..cut];
+    for (method, needs_suffix) in REGISTRATION_METHODS {
+        // Built at runtime so this file's own source never contains the
+        // needle (the workspace lints itself).
+        let needle = format!(".{method}(");
+        let mut from = 0;
+        while let Some(pos) = scanned[from..].find(&needle) {
+            let after = from + pos + needle.len();
+            from = after;
+            // The name may sit on the next line (rustfmt wraps long
+            // registrations), so skip whitespace before the quote.
+            let rest = &scanned[after..];
+            let trimmed = rest.trim_start();
+            let Some(name_rest) = trimmed.strip_prefix('"') else {
+                continue; // first argument is not a string literal
+            };
+            let Some(end) = name_rest.find('"') else {
+                continue;
+            };
+            let name = &name_rest[..end];
+            let offset = after + (rest.len() - trimmed.len());
+            if let Some(problem) = metric_name_problem(name, needs_suffix) {
+                report_with_allow(
+                    allows,
+                    rel,
+                    line_of(scanned, offset),
+                    Rule::Obs,
+                    problem,
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Why `name` breaks the metric naming contract, if it does.
+fn metric_name_problem(name: &str, needs_suffix: bool) -> Option<String> {
+    let snake = name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    if !snake {
+        return Some(format!(
+            "metric name `{name}` must be snake_case: lowercase letters, digits and `_`, \
+             starting with a letter"
+        ));
+    }
+    if needs_suffix && !UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+        return Some(format!(
+            "metric name `{name}` needs a unit suffix (`_us`, `_bytes` or `_total`) so the \
+             unit reads off the name"
+        ));
+    }
+    None
+}
+
+/// 1-based line number of byte `offset` in `source`.
+fn line_of(source: &str, offset: usize) -> u32 {
+    let newlines = source[..offset].bytes().filter(|&b| b == b'\n').count();
+    u32::try_from(newlines + 1).unwrap_or(u32::MAX)
 }
 
 /// Finds token-index ranges belonging to `#[cfg(test)]` / `#[test]` /
@@ -759,6 +913,82 @@ mod tests {
         assert!(check(
             SNAP,
             "#[cfg(test)]\nmod tests { fn t() { std::fs::write(p, b).unwrap(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn obs_increment_path_must_be_lock_and_alloc_free() {
+        const OBS: &str = "crates/obs/src/metrics.rs";
+        let v = check(OBS, "struct C { v: std::sync::Mutex<u64> }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Obs);
+        assert_eq!(check(OBS, "fn f(m: &M) { m.inner.lock(); }").len(), 1);
+        assert_eq!(
+            check(OBS, "fn f(x: u64) { let s = x.to_string(); }").len(),
+            1
+        );
+        // `String` return + `format!` body: two allocation sites.
+        assert_eq!(
+            check(OBS, "fn f() -> String { format!(\"{}\", 1) }").len(),
+            2
+        );
+        // The real increment path: atomics are fine.
+        assert!(check(
+            OBS,
+            "fn inc(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }"
+        )
+        .is_empty());
+        // The escape hatch (scrape-time code may allocate)…
+        assert!(check(
+            OBS,
+            "fn f() {\n    // lint: allow(obs) scrape path, not the increment path\n    let v = Vec::new();\n}"
+        )
+        .is_empty());
+        // …and modules off the increment path are out of scope.
+        assert!(check(
+            "crates/obs/src/registry.rs",
+            "fn f() { let v = Vec::new(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn metric_registration_names_are_checked() {
+        const REG: &str = "crates/serve/src/obs.rs";
+        let v = check(REG, "fn f(r: &Registry) { r.counter(\"BadName\", \"h\"); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Obs);
+        assert!(v[0].message.contains("snake_case"), "{v:?}");
+        let v = check(
+            REG,
+            "fn f(r: &Registry) { r.histogram(\"latency\", \"h\"); }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("unit suffix"), "{v:?}");
+        // A rustfmt-wrapped registration: the name sits on its own line.
+        let v = check(
+            REG,
+            "fn f(r: &Registry) {\n    r.counter_fn(\n        \"wrapped\",\n        \"h\",\n        || 1,\n    );\n}",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        // Contract-following names pass; gauges need no suffix.
+        assert!(check(
+            REG,
+            "fn f(r: &Registry) { r.counter(\"requests_total\", \"h\"); \
+             r.histogram(\"wait_us\", \"h\"); r.gauge(\"depth\", \"h\"); }"
+        )
+        .is_empty());
+        // Test code is exempt, both by path and by `#[cfg(test)]`.
+        assert!(check(
+            "tests/tests/x.rs",
+            "fn f(r: &Registry) { r.counter(\"Bad\", \"h\"); }"
+        )
+        .is_empty());
+        assert!(check(
+            REG,
+            "#[cfg(test)]\nmod tests { fn t(r: &Registry) { r.counter(\"Bad\", \"h\"); } }"
         )
         .is_empty());
     }

@@ -17,7 +17,7 @@ fn fixture_root(tree: &str) -> PathBuf {
 #[test]
 fn bad_tree_flags_every_seeded_violation() {
     let report = check_workspace(&fixture_root("bad")).unwrap();
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 7);
     let expected = [
         ("crates/core/src/engine.rs", Rule::Determinism),
         ("crates/core/src/census.rs", Rule::Determinism),
@@ -25,6 +25,7 @@ fn bad_tree_flags_every_seeded_violation() {
         ("crates/serve/src/http.rs", Rule::PanicFreedom),
         ("crates/logic/src/lib.rs", Rule::UnsafeAudit),
         ("crates/sim/src/state.rs", Rule::Concurrency),
+        ("crates/obs/src/metrics.rs", Rule::Obs),
     ];
     for (file, rule) in expected {
         assert!(
@@ -37,21 +38,24 @@ fn bad_tree_flags_every_seeded_violation() {
         );
     }
     // The exact census: 2 hashing + 1 clock, unwrap + panic!, one
-    // unsafe, one spawn, one bare write + one bare create. A change
-    // here means a rule got looser or stricter — make it deliberate.
+    // unsafe, one spawn, one bare write + one bare create, and on the
+    // obs side one lock type + one lock call + two bad metric names. A
+    // change here means a rule got looser or stricter — make it
+    // deliberate.
     let counts = report.rule_counts();
     assert_eq!(counts["determinism"], 3, "{:#?}", report.violations);
     assert_eq!(counts["panic"], 2, "{:#?}", report.violations);
     assert_eq!(counts["unsafe"], 1, "{:#?}", report.violations);
     assert_eq!(counts["threads"], 1, "{:#?}", report.violations);
     assert_eq!(counts["persistence"], 2, "{:#?}", report.violations);
+    assert_eq!(counts["obs"], 4, "{:#?}", report.violations);
     assert!(!report.clean());
 }
 
 #[test]
 fn clean_tree_passes_via_the_sanctioned_escape_hatches() {
     let report = check_workspace(&fixture_root("clean")).unwrap();
-    assert_eq!(report.files_scanned, 7);
+    assert_eq!(report.files_scanned, 8);
     assert!(
         report.clean(),
         "clean fixtures must lint clean, got: {:#?}",

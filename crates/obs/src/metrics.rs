@@ -1,0 +1,221 @@
+//! Lock-free metric primitives: the *increment path*.
+//!
+//! Everything in this module is callable from the hottest loops in the
+//! search core and the serve request path, so the rules are strict and
+//! machine-checked by `mvq_lint`'s `obs` rule: no locks, no heap
+//! allocation, no blocking — only atomics with `Relaxed` ordering.
+//! Aggregation, naming, and rendering live in [`crate::registry`], which
+//! is scrape-path code and may lock and allocate freely.
+//!
+//! The [`Histogram`] uses fixed log2 buckets: bucket 0 holds the value 0
+//! and bucket `b` (1 ≤ b < [`BUCKETS`]−1) holds values in
+//! `[2^(b-1), 2^b - 1]`; the last bucket is unbounded. For microsecond
+//! latencies the penultimate bucket tops out above 2^30 µs (≈ 18
+//! minutes), far past any request this stack serves. `count` and `sum`
+//! are exact; quantiles derived from the buckets are exact to within one
+//! power-of-two bracket, which the scrape-side derivation reports as a
+//! `(lower, upper)` bound pair.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of log2 buckets in a [`Histogram`].
+pub const BUCKETS: usize = 32;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (last-write-wins).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket log2 histogram with exact count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// The bucket index holding `value`: 0 for 0, otherwise
+    /// `floor(log2(value)) + 1` clamped to the last bucket.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        let bits = (u64::BITS - value.leading_zeros()) as usize;
+        if bits < BUCKETS {
+            bits
+        } else {
+            BUCKETS - 1
+        }
+    }
+
+    /// Inclusive lower bound of bucket `index`.
+    #[inline]
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index` (`u64::MAX` for the last).
+    #[inline]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the buckets, count, and sum. Individual
+    /// loads are `Relaxed`, so a snapshot taken concurrently with
+    /// recording may be mid-update by a few observations; once writers
+    /// quiesce it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut i = 0;
+        while i < BUCKETS {
+            buckets[i] = self.buckets[i].load(Ordering::Relaxed);
+            i += 1;
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], used on the scrape path.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (not cumulative).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean of all observations, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `(lower, upper)` bounds of the bucket containing the `q`-th
+    /// quantile observation, using the nearest-rank definition
+    /// `rank = ceil(q · count)` (clamped to `[1, count]`). The exact
+    /// sample value lies within these bounds. Returns `(0, 0)` when
+    /// empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        let mut i = 0;
+        while i < BUCKETS {
+            cumulative += self.buckets[i];
+            if cumulative >= rank {
+                return (
+                    Histogram::bucket_lower_bound(i),
+                    Histogram::bucket_upper_bound(i),
+                );
+            }
+            i += 1;
+        }
+        // Unreachable when count equals the bucket total; be defensive
+        // against a torn concurrent snapshot.
+        (0, u64::MAX)
+    }
+
+    /// Conservative (upper-bound) estimate of the `q`-th quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+}

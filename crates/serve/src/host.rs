@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::lockrank::{
@@ -35,8 +35,8 @@ use crate::lockrank::{
     FLIGHT_RANK, RECOVERY_RANK, REGISTRY_RANK,
 };
 use mvq_core::{
-    CachedBidirectional, CachedSynthesis, CostModel, EngineError, Narrow, SearchEngine,
-    SearchWidth, Synthesis, SynthesisEngine, Wide, WideSynthesisEngine,
+    CachedBidirectional, CachedSynthesis, CostModel, EngineError, Narrow, ProbeHandle,
+    SearchEngine, SearchWidth, Synthesis, SynthesisEngine, Wide, WideSynthesisEngine,
 };
 use mvq_perm::Perm;
 
@@ -75,14 +75,36 @@ impl std::str::FromStr for ServeStrategy {
     }
 }
 
-impl fmt::Display for ServeStrategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl ServeStrategy {
+    /// The canonical lowercase name (`uni` / `bidi` / `auto`).
+    pub fn as_str(self) -> &'static str {
+        match self {
             Self::Uni => "uni",
             Self::Bidi => "bidi",
             Self::Auto => "auto",
-        })
+        }
     }
+}
+
+impl fmt::Display for ServeStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-request serving facts, reported by the `*_traced` methods for
+/// the transport layer's structured trace line.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTrace {
+    /// Whether the cached levels answered without any expansion round.
+    pub cache_hit: bool,
+    /// Level expansions this request performed *itself* (waiting on
+    /// another request's in-flight expansion does not count).
+    pub expansions: u64,
+    /// The strategy the request was actually served with
+    /// ([`ServeStrategy::Auto`] resolves to `Uni` on a warm cache hit
+    /// and `Bidi` past the warm frontier).
+    pub resolved: ServeStrategy,
 }
 
 /// Tuning knobs for an [`EngineHost`] / [`HostRegistry`].
@@ -290,6 +312,9 @@ struct Recovery {
     /// self-heal and stays failed.
     last_good: Option<Vec<u8>>,
     threads: usize,
+    /// Observability probe to re-install on rebuilt engines: an engine
+    /// reloaded from snapshot bytes carries no probe of its own.
+    probe: ProbeHandle,
 }
 
 /// Clears the `expanding` flag even if the expansion panicked, so
@@ -337,6 +362,7 @@ impl<W: SearchWidth> EngineHost<W> {
         let recovery = Recovery {
             last_good: engine.snapshot_to_bytes().ok(),
             threads: engine.threads(),
+            probe: engine.probe().clone(),
         };
         let flight = Flight {
             expanding: false,
@@ -357,6 +383,26 @@ impl<W: SearchWidth> EngineHost<W> {
     /// The admission limit.
     pub fn cost_bound_limit(&self) -> u32 {
         self.limit
+    }
+
+    /// Installs `probe` on the hosted engine, and remembers it so any
+    /// engine a future [`Self::heal`] rebuilds carries it too.
+    ///
+    /// # Errors
+    ///
+    /// The usual poison-path errors when the engine cannot be locked
+    /// and cannot heal; the probe is still remembered for the rebuild.
+    pub fn set_probe(&self, probe: ProbeHandle) -> Result<(), HostError> {
+        {
+            let mut recovery = match self.recovery.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            recovery.probe = probe.clone();
+        }
+        let mut engine = self.engine_write()?;
+        engine.set_probe(probe);
+        Ok(())
     }
 
     /// Acquires the engine read lock, healing a poisoned engine first
@@ -423,6 +469,7 @@ impl<W: SearchWidth> EngineHost<W> {
             }
         };
         engine.ensure_frontier();
+        engine.set_probe(recovery.probe.clone());
         let completed = engine.completed_cost();
         {
             // Swap through the poisoned guard, then clear: readers keep
@@ -506,6 +553,23 @@ impl<W: SearchWidth> EngineHost<W> {
         strategy: ServeStrategy,
         deadline_ms: Option<u64>,
     ) -> Result<Option<Synthesis>, HostError> {
+        self.synthesize_traced(target, cb, strategy, deadline_ms)
+            .map(|(synthesis, _)| synthesis)
+    }
+
+    /// [`Self::synthesize_with_options`] that also reports per-request
+    /// serving facts ([`ServeTrace`]) for the transport's trace line.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::synthesize_with_options`].
+    pub fn synthesize_traced(
+        &self,
+        target: &Perm,
+        cb: u32,
+        strategy: ServeStrategy,
+        deadline_ms: Option<u64>,
+    ) -> Result<(Option<Synthesis>, ServeTrace), HostError> {
         self.admit(cb)?;
         mvq_fault::point!("serve.read");
         self.counters
@@ -526,7 +590,14 @@ impl<W: SearchWidth> EngineHost<W> {
                     if let CachedSynthesis::Resolved(result) = engine.synthesize_cached(target, cb)
                     {
                         self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(result);
+                        return Ok((
+                            result,
+                            ServeTrace {
+                                cache_hit: true,
+                                expansions: 0,
+                                resolved: ServeStrategy::Uni,
+                            },
+                        ));
                     }
                 }
                 self.serve_bidi(target, cb, true)
@@ -540,8 +611,9 @@ impl<W: SearchWidth> EngineHost<W> {
         cb: u32,
         deadline: Instant,
         budget_ms: u64,
-    ) -> Result<Option<Synthesis>, HostError> {
+    ) -> Result<(Option<Synthesis>, ServeTrace), HostError> {
         let mut missed = false;
+        let mut expansions = 0u64;
         loop {
             {
                 let engine = self.engine_read()?;
@@ -552,11 +624,18 @@ impl<W: SearchWidth> EngineHost<W> {
                         &self.counters.cache_hits
                     };
                     outcome.fetch_add(1, Ordering::Relaxed);
-                    return Ok(result);
+                    return Ok((
+                        result,
+                        ServeTrace {
+                            cache_hit: !missed,
+                            expansions,
+                            resolved: ServeStrategy::Uni,
+                        },
+                    ));
                 }
             }
             missed = true;
-            self.expand_shared(cb, deadline, budget_ms)?;
+            expansions += self.expand_shared(cb, deadline, budget_ms)?;
         }
     }
 
@@ -568,7 +647,8 @@ impl<W: SearchWidth> EngineHost<W> {
         target: &Perm,
         cb: u32,
         mut missed: bool,
-    ) -> Result<Option<Synthesis>, HostError> {
+    ) -> Result<(Option<Synthesis>, ServeTrace), HostError> {
+        let mut expansions = 0u64;
         loop {
             {
                 let engine = self.engine_read()?;
@@ -581,18 +661,26 @@ impl<W: SearchWidth> EngineHost<W> {
                         &self.counters.cache_hits
                     };
                     outcome.fetch_add(1, Ordering::Relaxed);
-                    return Ok(result);
+                    return Ok((
+                        result,
+                        ServeTrace {
+                            cache_hit: !missed,
+                            expansions,
+                            resolved: ServeStrategy::Bidi,
+                        },
+                    ));
                 }
             }
             missed = true;
-            self.prepare_bidi(cb)?;
+            expansions += self.prepare_bidi(cb)?;
         }
     }
 
     /// Builds the bidirectional path's shared state (idempotent, so
     /// concurrent misses just serialize on the write lock and all but
-    /// the first no-op). Counts any forward expansion it performs.
-    fn prepare_bidi(&self, cb: u32) -> Result<(), HostError> {
+    /// the first no-op). Counts and returns any forward expansion it
+    /// performs.
+    fn prepare_bidi(&self, cb: u32) -> Result<u64, HostError> {
         let (expanded, completed) = {
             let mut engine = self.engine_write()?;
             let expanded = engine.prepare_bidirectional(cb);
@@ -605,7 +693,7 @@ impl<W: SearchWidth> EngineHost<W> {
             let mut flight = self.flight_lock()?;
             flight.completed = completed;
         }
-        Ok(())
+        Ok(expanded as u64)
     }
 
     /// The census counts up to `cb`, expanding (single-flight) only if
@@ -615,6 +703,16 @@ impl<W: SearchWidth> EngineHost<W> {
     ///
     /// Same as [`Self::synthesize`].
     pub fn census(&self, cb: u32) -> Result<CensusReply, HostError> {
+        self.census_traced(cb).map(|(reply, _)| reply)
+    }
+
+    /// [`Self::census`] that also reports per-request serving facts
+    /// ([`ServeTrace`]) for the transport's trace line.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::census`].
+    pub fn census_traced(&self, cb: u32) -> Result<(CensusReply, ServeTrace), HostError> {
         self.admit(cb)?;
         self.counters
             .census_requests
@@ -622,6 +720,7 @@ impl<W: SearchWidth> EngineHost<W> {
         let budget_ms = self.max_deadline_ms;
         let deadline = Instant::now() + Duration::from_millis(budget_ms);
         let mut missed = false;
+        let mut expansions = 0u64;
         loop {
             let ready = {
                 let flight = self.flight_lock()?;
@@ -636,16 +735,23 @@ impl<W: SearchWidth> EngineHost<W> {
                     &self.counters.cache_hits
                 };
                 outcome.fetch_add(1, Ordering::Relaxed);
-                return Ok(CensusReply {
-                    cb,
-                    g_counts: engine.g_counts()[..levels].to_vec(),
-                    b_counts: engine.b_counts()[..levels].to_vec(),
-                    classes_found: engine.classes_found(),
-                    a_size: engine.a_size(),
-                });
+                return Ok((
+                    CensusReply {
+                        cb,
+                        g_counts: engine.g_counts()[..levels].to_vec(),
+                        b_counts: engine.b_counts()[..levels].to_vec(),
+                        classes_found: engine.classes_found(),
+                        a_size: engine.a_size(),
+                    },
+                    ServeTrace {
+                        cache_hit: !missed,
+                        expansions,
+                        resolved: ServeStrategy::Uni,
+                    },
+                ));
             }
             missed = true;
-            self.expand_shared(cb, deadline, budget_ms)?;
+            expansions += self.expand_shared(cb, deadline, budget_ms)?;
         }
     }
 
@@ -697,7 +803,11 @@ impl<W: SearchWidth> EngineHost<W> {
     /// a deep bound stops expanding the moment level 2 lands instead of
     /// riding the bound to level `cb`; and the write lock is released
     /// between levels, so concurrent reads interleave with a long climb.
-    fn expand_shared(&self, cb: u32, deadline: Instant, budget_ms: u64) -> Result<(), HostError> {
+    ///
+    /// Returns the number of expansions this call performed itself (1
+    /// when it won the flight, 0 when it waited or nothing was needed),
+    /// so callers can attribute work to requests in their trace lines.
+    fn expand_shared(&self, cb: u32, deadline: Instant, budget_ms: u64) -> Result<u64, HostError> {
         let shed = |host: &Self| {
             host.counters
                 .deadline_timeouts
@@ -708,7 +818,7 @@ impl<W: SearchWidth> EngineHost<W> {
         };
         let mut flight = self.flight_lock()?;
         if flight.exhausted || flight.completed.is_some_and(|c| c >= cb) {
-            return Ok(());
+            return Ok(0);
         }
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
@@ -727,7 +837,7 @@ impl<W: SearchWidth> EngineHost<W> {
             }
             // A level landed (or the expander bailed); let the caller
             // re-run its read before asking for more depth.
-            return Ok(());
+            return Ok(0);
         }
         flight.expanding = true;
         drop(flight);
@@ -745,7 +855,7 @@ impl<W: SearchWidth> EngineHost<W> {
             flight.exhausted = exhausted;
         }
         drop(reset); // clears `expanding`, wakes waiters
-        Ok(())
+        Ok(1)
     }
 }
 
@@ -769,6 +879,10 @@ impl HostTables {
 pub struct HostRegistry {
     config: HostConfig,
     hosts: RankedMutex<HostTables>,
+    /// The observability probe every hosted engine reports into, set
+    /// once by the transport layer at bind time; hosts created later
+    /// inherit it at construction.
+    probe: OnceLock<ProbeHandle>,
 }
 
 impl HostRegistry {
@@ -778,12 +892,49 @@ impl HostRegistry {
         Self {
             config,
             hosts: RankedMutex::new(REGISTRY_RANK, HostTables::default()),
+            probe: OnceLock::new(),
         }
     }
 
     /// The registry's configuration.
     pub fn config(&self) -> &HostConfig {
         &self.config
+    }
+
+    /// The probe newly created hosts should carry (none until
+    /// [`Self::set_probe`]).
+    fn probe(&self) -> ProbeHandle {
+        self.probe.get().cloned().unwrap_or_default()
+    }
+
+    /// Installs `probe` on every current host's engine and on every
+    /// host created afterwards. The first probe installed wins — one
+    /// server owns a registry's metrics — and installation on existing
+    /// hosts is best-effort: a host that cannot be locked right now
+    /// simply stays unprobed until its next heal.
+    pub fn set_probe(&self, probe: ProbeHandle) {
+        let _ = self.probe.set(probe);
+        let probe = self.probe();
+        if !probe.is_set() {
+            return;
+        }
+        let Ok(hosts) = self.hosts.lock() else {
+            return;
+        };
+        for host in hosts.narrow.values() {
+            let _ = host.set_probe(probe.clone());
+        }
+        for host in hosts.wide.values() {
+            let _ = host.set_probe(probe.clone());
+        }
+    }
+
+    /// Best-effort probe installation on a freshly created host.
+    fn probe_new_host<W: SearchWidth>(&self, host: &EngineHost<W>) {
+        let probe = self.probe();
+        if probe.is_set() {
+            let _ = host.set_probe(probe);
+        }
     }
 
     /// Installs a pre-warmed 3-wire engine (e.g. loaded from a snapshot)
@@ -811,6 +962,7 @@ impl HostRegistry {
             self.config.max_cost_bound,
             self.config.max_deadline_ms,
         ));
+        self.probe_new_host(&host);
         self.hosts.lock()?.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -838,6 +990,7 @@ impl HostRegistry {
             self.config.max_cost_bound,
             self.config.max_deadline_ms,
         ));
+        self.probe_new_host(&host);
         self.hosts.lock()?.wide.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -874,6 +1027,7 @@ impl HostRegistry {
             self.config.max_cost_bound,
             self.config.max_deadline_ms,
         ));
+        self.probe_new_host(&host);
         hosts.narrow.insert(model, Arc::clone(&host));
         Ok(host)
     }
@@ -904,6 +1058,7 @@ impl HostRegistry {
             self.config.max_cost_bound,
             self.config.max_deadline_ms,
         ));
+        self.probe_new_host(&host);
         hosts.wide.insert(model, Arc::clone(&host));
         Ok(host)
     }

@@ -203,6 +203,31 @@ pub fn write_response_with(
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
+    write_response_typed(
+        writer,
+        status,
+        "application/json",
+        body,
+        keep_alive,
+        extra_headers,
+    )
+}
+
+/// [`write_response_with`] with an explicit `Content-Type` (the
+/// `/metrics` endpoint answers in Prometheus text format, everything
+/// else is JSON), still framed into a single `write_all`.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_response_typed(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let mut extra = String::new();
     for (name, value) in extra_headers {
         extra.push_str(name);
@@ -211,7 +236,7 @@ pub fn write_response_with(
         extra.push_str("\r\n");
     }
     let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{extra}\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n{extra}\r\n{body}",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

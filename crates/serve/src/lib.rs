@@ -21,8 +21,10 @@
 //! 3. **Transport** ([`Server`]): a hand-rolled HTTP/1.1 server over
 //!    `std::net` (the environment is offline; no external deps) with a
 //!    small JSON schema — `/synthesize`, `/census`, `/healthz`,
-//!    `/stats`, `/shutdown` — sequential keep-alive, a worker pool, and
-//!    graceful shutdown.
+//!    `/stats`, `/shutdown`, plus the observability endpoints
+//!    `/metrics` (Prometheus text) and `/debug/slow` — sequential
+//!    keep-alive, a worker pool, and graceful shutdown. Each request
+//!    emits one structured trace line (see [`ServeObs`]).
 //!
 //! # Example
 //!
@@ -49,11 +51,14 @@ mod host;
 mod http;
 mod json;
 mod lockrank;
+mod obs;
 mod server;
 
 pub use host::{
     CensusReply, EngineHost, HostConfig, HostError, HostRegistry, HostStats, ServeStrategy,
+    ServeTrace,
 };
 pub use http::{read_request, write_response, Request};
 pub use json::{CensusRequest, ModelSpec, SynthesizeReply, SynthesizeRequest};
+pub use obs::ServeObs;
 pub use server::{Server, ServerHandle};

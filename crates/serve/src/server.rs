@@ -6,6 +6,8 @@
 //! /census ────── POST ─┤                  ┌─ EngineHost (unit costs)
 //! /healthz ───── GET ──┼─► HostRegistry ──┼─ EngineHost (weighted …)
 //! /stats ─────── GET ──┤                  └─ …
+//! /metrics ───── GET ──┤
+//! /debug/slow ── GET ──┤
 //! /shutdown ──── POST ─┘
 //! ```
 //!
@@ -14,19 +16,28 @@
 //! [`ServerHandle::shutdown`] or `POST /shutdown`) flips a flag and
 //! nudges the blocking accept loop awake with a loopback connection, so
 //! in-flight responses complete and the listener closes cleanly.
+//!
+//! Every request — including parse failures, panicked handlers, and
+//! connections shed at the accept loop — finishes through
+//! [`ServeObs::finish_request`], so it lands in the latency histograms
+//! and emits exactly one structured trace line. Request ids are
+//! deterministic ([`TraceId`]: worker index, connection serial, request
+//! serial), never random, so replayed loads produce identical ids.
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mvq_core::{CostModel, SearchWidth};
+use mvq_obs::TraceId;
 
 use crate::host::{EngineHost, HostError, HostRegistry, ServeStrategy};
-use crate::http::{read_request, write_response, write_response_with, Request};
+use crate::http::{read_request, write_response, write_response_typed, Request};
 use crate::json::{error_body, render, CensusRequest, SynthesizeReply, SynthesizeRequest};
+use crate::obs::{ServeObs, TraceFields};
 
 /// Per-connection read timeout: a stalled client cannot pin a worker.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
@@ -41,6 +52,9 @@ const QUEUE_DEPTH_PER_WORKER: usize = 64;
 /// 3-wire-calibrated admission limit is not a safe implicit default.
 const WIDE_DEFAULT_CB: u32 = 4;
 
+/// The `Content-Type` Prometheus scrapers expect from `/metrics`.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Recovers the guard of the worker-queue mutex. That mutex only guards
 /// `Receiver::recv` and no code path can panic while holding it, so
 /// poisoning is unreachable; centralising the recovery keeps the panic
@@ -50,6 +64,12 @@ fn lock_intact<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     lock.lock().expect("worker queue intact")
 }
 
+/// Saturating microseconds (a request cannot plausibly span `u64::MAX`
+/// µs, but the conversion from `u128` must not panic in serve code).
+fn us(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// A bound, not-yet-running service.
 #[derive(Debug)]
 pub struct Server {
@@ -57,6 +77,7 @@ pub struct Server {
     registry: Arc<HostRegistry>,
     shutdown: Arc<AtomicBool>,
     started: Instant,
+    obs: Arc<ServeObs>,
 }
 
 /// A remote control for a running [`Server`] (cloneable across
@@ -97,18 +118,32 @@ fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port)
-    /// over `registry`.
+    /// over `registry`. This also installs the server's search probe on
+    /// the registry, so engines created before *and* after the bind
+    /// report their per-level timings into the server's metrics.
     ///
     /// # Errors
     ///
     /// Any socket-level bind failure.
     pub fn bind(addr: impl ToSocketAddrs, registry: Arc<HostRegistry>) -> io::Result<Self> {
+        let obs = ServeObs::new();
+        obs.register_host_counters(&registry);
+        registry.set_probe(obs.probe());
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             registry,
             shutdown: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            obs,
         })
+    }
+
+    /// The server's observability state: the metrics registry behind
+    /// `GET /metrics`, the trace log, and the slow-request ring. Clone
+    /// the `Arc` before [`Server::run`] to read metrics or install a
+    /// trace sink from outside.
+    pub fn obs(&self) -> Arc<ServeObs> {
+        Arc::clone(&self.obs)
     }
 
     /// The bound address (useful with port 0).
@@ -142,38 +177,51 @@ impl Server {
         let workers = workers.max(1);
         let ctx = Arc::new(Ctx {
             registry: self.registry,
+            obs: self.obs,
             shutdown: Arc::clone(&self.shutdown),
             started: self.started,
             addr: self.listener.local_addr()?,
-            sheds: AtomicU64::new(0),
         });
-        let (sender, receiver) = mpsc::sync_channel::<TcpStream>(workers * QUEUE_DEPTH_PER_WORKER);
+        let (sender, receiver) = mpsc::sync_channel::<Conn>(workers * QUEUE_DEPTH_PER_WORKER);
         let receiver = Arc::new(Mutex::new(receiver));
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            // Worker ids start at 1; id 0 is the acceptor (its trace
+            // lines are the overload sheds).
+            for worker in 1..=workers {
+                let worker = u32::try_from(worker).unwrap_or(u32::MAX);
                 let receiver = Arc::clone(&receiver);
                 let ctx = Arc::clone(&ctx);
                 scope.spawn(move || loop {
-                    let Ok(stream) = lock_intact(&receiver).recv() else {
+                    let Ok(conn) = lock_intact(&receiver).recv() else {
                         return; // sender dropped: shutdown
                     };
                     // A handler that panics through the transport layer
                     // must not take the worker thread (and its queue
                     // slot) down with it; the poisoned host heals on the
                     // next request it sees.
-                    let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &ctx)));
+                    let _ =
+                        catch_unwind(AssertUnwindSafe(|| handle_connection(conn, worker, &ctx)));
                 });
             }
+            let mut next_conn = 0u64;
             for stream in self.listener.incoming() {
                 if self.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    Ok(stream) => match sender.try_send(stream) {
-                        Ok(()) => {}
-                        Err(mpsc::TrySendError::Full(stream)) => shed_overload(stream, &ctx),
-                        Err(mpsc::TrySendError::Disconnected(_)) => break,
-                    },
+                    Ok(stream) => {
+                        next_conn += 1;
+                        let conn = Conn {
+                            stream,
+                            id: next_conn,
+                            enqueued: Instant::now(),
+                        };
+                        match sender.try_send(conn) {
+                            Ok(()) => {}
+                            Err(mpsc::TrySendError::Full(conn)) => shed_overload(conn, &ctx),
+                            Err(mpsc::TrySendError::Disconnected(_)) => break,
+                        }
+                    }
                     Err(err) if err.kind() == io::ErrorKind::ConnectionAborted => {}
                     Err(_) => {}
                 }
@@ -184,78 +232,177 @@ impl Server {
     }
 }
 
+/// An accepted connection in flight to a worker, stamped for queue-wait
+/// attribution and trace-id assignment.
+struct Conn {
+    stream: TcpStream,
+    /// Connection serial from the accept loop (the `c` in `w3-c12-r1`).
+    id: u64,
+    /// When the acceptor queued it (queue wait = dequeue − enqueue).
+    enqueued: Instant,
+}
+
 struct Ctx {
     registry: Arc<HostRegistry>,
+    obs: Arc<ServeObs>,
     shutdown: Arc<AtomicBool>,
     started: Instant,
     addr: SocketAddr,
-    /// Connections shed at the accept loop because the worker queue was
-    /// full (graceful degradation under overload).
-    sheds: AtomicU64,
+}
+
+/// Per-request facts the handlers report up to the transport layer for
+/// the trace line. `None` renders as JSON `null`.
+#[derive(Default)]
+struct RequestMeta {
+    target: Option<String>,
+    wires: Option<usize>,
+    strategy: Option<&'static str>,
+    cache: Option<bool>,
+    expansions: Option<u64>,
+    engine_us: Option<u64>,
+    /// Overrides the status-derived outcome (e.g. a 503 can be a
+    /// deadline `timeout` or a panic `error`).
+    outcome: Option<&'static str>,
+}
+
+/// The outcome class a status code implies when no handler said
+/// otherwise.
+fn outcome_for(status: u16) -> &'static str {
+    match status {
+        200..=299 => "ok",
+        500 => "error",
+        503 => "shed",
+        _ => "invalid",
+    }
 }
 
 /// Sheds a connection the worker queue has no room for: an immediate
 /// best-effort 503 + `Retry-After` on the accept thread, without ever
 /// reading the request (a slow client must not stall accepts).
-fn shed_overload(stream: TcpStream, ctx: &Ctx) {
-    ctx.sheds.fetch_add(1, Ordering::Relaxed);
-    let mut stream = stream;
+fn shed_overload(conn: Conn, ctx: &Ctx) {
+    ctx.obs.sheds_total.inc();
+    let mut stream = conn.stream;
     let _ = stream.set_nodelay(true);
-    let _ = write_response_with(
+    let _ = write_response_typed(
         &mut stream,
         503,
+        "application/json",
         &error_body("server overloaded: accept queue full; retry shortly"),
         false,
         &[("Retry-After", "1")],
     );
+    let elapsed = us(conn.enqueued.elapsed());
+    ctx.obs.finish_request(&TraceFields {
+        id: TraceId {
+            worker: 0,
+            conn: conn.id,
+            req: 0,
+        },
+        method: "-",
+        path: "-",
+        status: 503,
+        outcome: "shed",
+        target: None,
+        wires: None,
+        strategy: None,
+        cache: None,
+        expansions: None,
+        queue_us: Some(elapsed),
+        engine_us: None,
+        total_us: elapsed,
+    });
 }
 
-fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
+fn handle_connection(conn: Conn, worker: u32, ctx: &Ctx) -> io::Result<()> {
+    let Conn {
+        stream,
+        id: conn_id,
+        enqueued,
+    } = conn;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     // Responses are single-write and request/response strictly alternate;
     // Nagle + delayed ACK would add ~40 ms per round-trip for nothing.
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Only the connection's first request carries the accept-queue wait;
+    // later keep-alive requests never sat in that queue.
+    let mut queue_us = Some(us(enqueued.elapsed()));
+    let mut serial = 0u64;
     loop {
+        serial += 1;
+        let id = TraceId {
+            worker,
+            conn: conn_id,
+            req: serial,
+        };
         let request = match read_request(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()), // client closed cleanly
             Err(err) if err.kind() == io::ErrorKind::InvalidData => {
-                write_response(&mut writer, 400, &error_body(&err.to_string()), false)?;
+                let result = write_response(&mut writer, 400, &error_body(&err.to_string()), false);
+                finish_unparsed(ctx, id, 400, queue_us.take());
+                result?;
                 return Ok(());
             }
             Err(err) if err.kind() == io::ErrorKind::FileTooLarge => {
-                write_response(&mut writer, 413, &error_body(&err.to_string()), false)?;
+                let result = write_response(&mut writer, 413, &error_body(&err.to_string()), false);
+                finish_unparsed(ctx, id, 413, queue_us.take());
+                result?;
                 return Ok(());
             }
             Err(err) => return Err(err),
         };
+        let started = Instant::now();
         let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+        let mut meta = RequestMeta::default();
         // Contain handler panics (e.g. an engine panicking mid-expansion)
         // to this request: the client still gets a response, the
         // connection and worker survive, and the poisoned host rebuilds
         // itself when the next request touches it.
-        let (status, body, shutdown_after) =
-            catch_unwind(AssertUnwindSafe(|| route(&request, ctx))).unwrap_or_else(|_| {
-                (
-                    503,
-                    error_body("request handler panicked; the host is rebuilding, retry shortly"),
-                    false,
-                )
-            });
+        let routed = catch_unwind(AssertUnwindSafe(|| route(&request, ctx, &mut meta)));
+        let (status, body, shutdown_after) = routed.unwrap_or_else(|_| {
+            meta.outcome = Some("error");
+            (
+                503,
+                error_body("request handler panicked; the host is rebuilding, retry shortly"),
+                false,
+            )
+        });
         let retry: &[(&str, &str)] = if status == 503 {
             &[("Retry-After", "1")]
         } else {
             &[]
         };
-        write_response_with(
+        let content_type = if status == 200 && request.path == "/metrics" {
+            PROMETHEUS_CONTENT_TYPE
+        } else {
+            "application/json"
+        };
+        let write_result = write_response_typed(
             &mut writer,
             status,
+            content_type,
             &body,
             keep_alive && !shutdown_after,
             retry,
-        )?;
+        );
+        ctx.obs.finish_request(&TraceFields {
+            id,
+            method: &request.method,
+            path: &request.path,
+            status,
+            outcome: meta.outcome.unwrap_or_else(|| outcome_for(status)),
+            target: meta.target.as_deref(),
+            wires: meta.wires,
+            strategy: meta.strategy,
+            cache: meta.cache,
+            expansions: meta.expansions,
+            queue_us: queue_us.take(),
+            engine_us: meta.engine_us,
+            total_us: us(started.elapsed()),
+        });
+        write_result?;
         if shutdown_after {
             ctx.shutdown.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(wake_addr(ctx.addr)); // wake the accept loop
@@ -267,8 +414,28 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     }
 }
 
+/// Traces a request that never parsed (bad framing / oversized body):
+/// method and path are unknown, so the line carries `-` placeholders.
+fn finish_unparsed(ctx: &Ctx, id: TraceId, status: u16, queue_us: Option<u64>) {
+    ctx.obs.finish_request(&TraceFields {
+        id,
+        method: "-",
+        path: "-",
+        status,
+        outcome: "invalid",
+        target: None,
+        wires: None,
+        strategy: None,
+        cache: None,
+        expansions: None,
+        queue_us,
+        engine_us: None,
+        total_us: 0,
+    });
+}
+
 /// Dispatches one request. Returns `(status, body, shutdown_after)`.
-fn route(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
+fn route(request: &Request, ctx: &Ctx, meta: &mut RequestMeta) -> (u16, String, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (
             200,
@@ -278,39 +445,56 @@ fn route(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
             ),
             false,
         ),
+        ("GET", "/metrics") => (200, ctx.obs.registry().render_prometheus(), false),
+        ("GET", "/debug/slow") => {
+            let lines: Vec<String> = ctx
+                .obs
+                .slow()
+                .snapshot()
+                .into_iter()
+                .map(|entry| entry.line)
+                .collect();
+            (
+                200,
+                format!(r#"{{"slowest":[{}]}}"#, lines.join(",")),
+                false,
+            )
+        }
         ("GET", "/stats") => match ctx.registry.stats() {
             Ok(all) => {
                 let hosts: Vec<String> = all.iter().map(render).collect();
                 (
                     200,
                     format!(
-                        r#"{{"uptime_ms":{},"models":{},"sheds":{},"hosts":[{}]}}"#,
+                        r#"{{"uptime_ms":{},"models":{},"sheds":{},"hosts":[{}],"metrics":{}}}"#,
                         ctx.started.elapsed().as_millis(),
                         hosts.len(),
-                        ctx.sheds.load(Ordering::Relaxed),
-                        hosts.join(",")
+                        ctx.obs.sheds_total.get(),
+                        hosts.join(","),
+                        ctx.obs.render_stats_json(),
                     ),
                     false,
                 )
             }
-            Err(err) => host_error(&err),
+            Err(err) => host_error(&err, meta),
         },
-        ("POST", "/synthesize") => synthesize(request, ctx),
-        ("POST", "/census") => census(request, ctx),
+        ("POST", "/synthesize") => synthesize(request, ctx, meta),
+        ("POST", "/census") => census(request, ctx, meta),
         ("POST", "/shutdown") => (200, r#"{"status":"shutting down"}"#.to_string(), true),
         ("GET" | "POST", _) => (404, error_body("no such endpoint"), false),
         _ => (405, error_body("method not allowed"), false),
     }
 }
 
-fn host_error(err: &HostError) -> (u16, String, bool) {
-    let status = match err {
-        HostError::CostBoundExceeded { .. } => 400,
-        HostError::TooManyModels { .. } => 429,
-        HostError::Poisoned | HostError::Engine(_) => 500,
+fn host_error(err: &HostError, meta: &mut RequestMeta) -> (u16, String, bool) {
+    let (status, outcome) = match err {
+        HostError::CostBoundExceeded { .. } => (400, "invalid"),
+        HostError::TooManyModels { .. } => (429, "invalid"),
+        HostError::Poisoned | HostError::Engine(_) => (500, "error"),
         // A deadline shed is load, not failure: 503 so clients retry.
-        HostError::DeadlineExceeded { .. } => 503,
+        HostError::DeadlineExceeded { .. } => (503, "timeout"),
     };
+    meta.outcome = Some(outcome);
     (status, error_body(&err.to_string()), false)
 }
 
@@ -346,24 +530,34 @@ fn synthesize_on<W: SearchWidth>(
     default_cb: u32,
     strategy: ServeStrategy,
     deadline_ms: Option<u64>,
+    meta: &mut RequestMeta,
 ) -> (u16, String, bool) {
     let host = match host {
         Ok(host) => host,
-        Err(err) => return host_error(&err),
+        Err(err) => return host_error(&err, meta),
     };
     let cb = cb.unwrap_or_else(|| default_cb.min(host.cost_bound_limit()));
-    match host.synthesize_with_options(target, cb, strategy, deadline_ms) {
-        Ok(synthesis) => (200, render(&SynthesizeReply { cb, synthesis }), false),
-        Err(err) => host_error(&err),
+    let engine_started = Instant::now();
+    let result = host.synthesize_traced(target, cb, strategy, deadline_ms);
+    meta.engine_us = Some(us(engine_started.elapsed()));
+    match result {
+        Ok((synthesis, trace)) => {
+            meta.strategy = Some(trace.resolved.as_str());
+            meta.cache = Some(trace.cache_hit);
+            meta.expansions = Some(trace.expansions);
+            (200, render(&SynthesizeReply { cb, synthesis }), false)
+        }
+        Err(err) => host_error(&err, meta),
     }
 }
 
-fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
+fn synthesize(request: &Request, ctx: &Ctx, meta: &mut RequestMeta) -> (u16, String, bool) {
     let body = String::from_utf8_lossy(&request.body);
     let parsed: SynthesizeRequest = match serde_json::from_str(&body) {
         Ok(parsed) => parsed,
         Err(err) => return (400, error_body(&err.to_string()), false),
     };
+    meta.target = Some(parsed.target.clone());
     let model = match resolve_model(parsed.model) {
         Ok(model) => model,
         Err(detail) => return (400, error_body(&detail), false),
@@ -372,11 +566,15 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
         Ok(wires) => wires,
         Err(reply) => return reply,
     };
+    meta.wires = Some(wires);
     let strategy = match parsed.strategy.as_deref().map(str::parse) {
         None => ServeStrategy::Auto,
         Some(Ok(strategy)) => strategy,
         Some(Err(detail)) => return (400, error_body(&detail), false),
     };
+    // The requested strategy; `synthesize_on` overwrites this with the
+    // resolved one (`auto` → `uni`/`bidi`) once the host reports it.
+    meta.strategy = Some(strategy.as_str());
     // Validate the target before resolving a host: a malformed request
     // must not cost a model-cap slot on a cold registry.
     let target = match mvq_core::known::parse_target_on(&parsed.target, 1 << wires) {
@@ -395,6 +593,7 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
             WIDE_DEFAULT_CB,
             strategy,
             parsed.deadline_ms,
+            meta,
         )
     } else {
         synthesize_on(
@@ -404,6 +603,7 @@ fn synthesize(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
             u32::MAX,
             strategy,
             parsed.deadline_ms,
+            meta,
         )
     }
 }
@@ -413,23 +613,32 @@ fn census_on<W: SearchWidth>(
     host: Result<Arc<EngineHost<W>>, HostError>,
     parsed: &CensusRequest,
     default_cb: u32,
+    meta: &mut RequestMeta,
 ) -> (u16, String, bool) {
     let host = match host {
         Ok(host) => host,
-        Err(err) => return host_error(&err),
+        Err(err) => return host_error(&err, meta),
     };
     // An explicit bound goes through admission like /synthesize (over
     // the limit → 400); only the default is capped by the limit.
     let cb = parsed
         .cb
         .unwrap_or_else(|| default_cb.min(host.cost_bound_limit()));
-    match host.census(cb) {
-        Ok(reply) => (200, render(&reply), false),
-        Err(err) => host_error(&err),
+    let engine_started = Instant::now();
+    let result = host.census_traced(cb);
+    meta.engine_us = Some(us(engine_started.elapsed()));
+    match result {
+        Ok((reply, trace)) => {
+            meta.strategy = Some(trace.resolved.as_str());
+            meta.cache = Some(trace.cache_hit);
+            meta.expansions = Some(trace.expansions);
+            (200, render(&reply), false)
+        }
+        Err(err) => host_error(&err, meta),
     }
 }
 
-fn census(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
+fn census(request: &Request, ctx: &Ctx, meta: &mut RequestMeta) -> (u16, String, bool) {
     let body = String::from_utf8_lossy(&request.body);
     let body = if body.trim().is_empty() {
         "{}".into()
@@ -445,8 +654,19 @@ fn census(request: &Request, ctx: &Ctx) -> (u16, String, bool) {
         Err(detail) => return (400, error_body(&detail), false),
     };
     match validate_wires(parsed.wires) {
-        Ok(4) => census_on(ctx.registry.wide_host_for(model), &parsed, WIDE_DEFAULT_CB),
-        Ok(_) => census_on(ctx.registry.host_for(model), &parsed, 6),
+        Ok(wires) => {
+            meta.wires = Some(wires);
+            if wires == 4 {
+                census_on(
+                    ctx.registry.wide_host_for(model),
+                    &parsed,
+                    WIDE_DEFAULT_CB,
+                    meta,
+                )
+            } else {
+                census_on(ctx.registry.host_for(model), &parsed, 6, meta)
+            }
+        }
         Err(reply) => reply,
     }
 }

@@ -423,3 +423,59 @@ fn deadline_waiters_shed_with_503_and_retry_after() {
 
     server.shutdown();
 }
+
+/// A fault-injected request is still exactly one trace line — never
+/// lost, never duplicated — and the line carries the failure outcome,
+/// so faulted traffic is attributable from the log alone.
+#[test]
+fn faulted_request_emits_exactly_one_failure_trace_line() {
+    let _serial = serial();
+    let _armed = Armed::plan("serve.write=panic@1");
+
+    #[derive(Clone, Default)]
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("sink").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let sink = SharedSink::default();
+    let server = Server::bind("127.0.0.1:0", Arc::new(HostRegistry::new(test_config())))
+        .expect("bind loopback");
+    let obs = server.obs();
+    obs.trace().set_sink(Box::new(sink.clone()));
+    obs.trace().set_level(mvq_obs::LogLevel::Info);
+    let handle = server.handle().expect("handle");
+    let runner = std::thread::spawn(move || server.run(2));
+
+    // The first expansion panics under the engine write lock.
+    let (status, response) = raw_request(
+        &handle,
+        "POST",
+        "/synthesize",
+        r#"{"target":"(7,8)","cb":5,"strategy":"uni"}"#,
+    );
+    assert_eq!(status, 503, "{response}");
+
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+
+    let raw = sink.0.lock().expect("sink").clone();
+    let lines: Vec<&str> = std::str::from_utf8(&raw)
+        .expect("trace lines are UTF-8")
+        .lines()
+        .collect();
+    assert_eq!(lines.len(), 1, "exactly one trace line: {lines:#?}");
+    let line = lines[0];
+    assert!(line.contains(r#""outcome":"error""#), "{line}");
+    assert!(line.contains(r#""status":503"#), "{line}");
+    assert!(line.contains(r#""path":"/synthesize""#), "{line}");
+    assert!(line.contains(r#""target":"(7,8)""#), "{line}");
+}
