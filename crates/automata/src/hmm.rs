@@ -50,6 +50,7 @@ impl QuantumHmm {
         // Cascade: V(S; O) — coin-flip the hidden state; then F(O; S) —
         // imprint the (new) state onto the observation wire.
         let circuit = Circuit::new(2, vec![Gate::v(0, 1), Gate::feynman(1, 0)]);
+        // lint: allow(panic) the 2-wire V/F cascade is a fixed valid split, checked by unit tests
         let automaton = QuantumAutomaton::new(circuit, 1).expect("valid split");
         Self { automaton }
     }

@@ -241,6 +241,21 @@ fn main() {
         },
     ));
 
+    // Full-workspace static analysis: the CI invariants job runs
+    // `mvq-lint --workspace` on every push, so its wall time sits on the
+    // pipeline's critical path. The untimed warm-up pays the cold parse;
+    // timed samples then exercise the content-hash cache plus the
+    // call-graph build and the four interprocedural passes, which re-run
+    // in full every time. Gated at ≤ 5 s below.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate sits two levels below the workspace root");
+    rows.push(time("lint_workspace", auto, 3, || {
+        let report = mvq_lint::check_workspace(repo_root).expect("lint walk");
+        u32::try_from(report.files_scanned).unwrap_or(u32::MAX)
+    }));
+
     let find = |n: &str| rows.iter().find(|r| r.name == n).map(|r| r.mean_ns);
     let speedup = |slow: &str, fast: &str| {
         if let (Some(s), Some(f)) = (find(slow), find(fast)) {
@@ -293,6 +308,21 @@ fn main() {
     probe_gate("census_cb5", "census_cb5_probed");
     probe_gate("toffoli_warm_unidirectional", "toffoli_warm_probed");
 
+    // Lint wall-time gate: the workspace-wide static analysis must stay
+    // cheap enough to run on every push.
+    const LINT_BUDGET_NS: u128 = 5_000_000_000;
+    let mut lint_gate_failure: Option<String> = None;
+    match rows.iter().find(|r| r.name == "lint_workspace") {
+        Some(lint) if lint.mean_ns > LINT_BUDGET_NS => {
+            lint_gate_failure = Some(format!(
+                "lint_workspace mean {} ns exceeds the {LINT_BUDGET_NS} ns budget",
+                lint.mean_ns
+            ));
+        }
+        Some(_) => {}
+        None => lint_gate_failure = Some("lint_workspace row missing".to_string()),
+    }
+
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -321,5 +351,10 @@ fn main() {
         probe_gate_failures.is_empty(),
         "probe overhead gate: {}",
         probe_gate_failures.join("; ")
+    );
+    assert!(
+        lint_gate_failure.is_none(),
+        "lint wall-time gate: {}",
+        lint_gate_failure.unwrap_or_default()
     );
 }

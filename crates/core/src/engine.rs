@@ -566,6 +566,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
+        // lint: allow(panic) first_key_value just proved the bucket key exists
         let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
         self.probe.on(|p| p.level_started(cost));
         let parallel = self.threads > 1 && raw_bucket.len() >= par::PAR_MIN_BUCKET;
@@ -578,11 +579,13 @@ impl<W: SearchWidth> SearchEngine<W> {
         let bucket: Vec<W::Word> = if parallel {
             let seen = &self.seen;
             par::par_filter(&self.pool, raw_bucket, |w| {
+                // lint: allow(panic) every pending word was inserted into seen on discovery
                 seen.get(w).expect("pending word is seen").cost == cost
             })
         } else {
             raw_bucket
                 .into_iter()
+                // lint: allow(panic) every pending word was inserted into seen on discovery
                 .filter(|w| self.seen.get(w).expect("pending word is seen").cost == cost)
                 .collect()
         };
@@ -750,6 +753,7 @@ impl<W: SearchWidth> SearchEngine<W> {
     pub(crate) fn trace_index_ref(&self, f: u32) -> &TraceIndex<W::Trace> {
         self.trace_index[f as usize]
             .as_ref()
+            // lint: allow(panic) callers run ensure_trace_index for the level first (internal contract)
             .expect("ensure_trace_index was called for this level")
     }
 
@@ -913,6 +917,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         let mut gates = Vec::new();
         let mut current = *word;
         loop {
+            // lint: allow(panic) reconstruction walks predecessor links that were stored on insert
             let meta = self.seen.get(&current).expect("witness is in A");
             if meta.last_gate == u8::MAX {
                 break;
@@ -1060,6 +1065,7 @@ pub(crate) fn trace_mask<W: SearchWidth>(trace: W::Trace, k: usize) -> W::Mask {
 /// whose bit is set in `bits` (wire A = most significant).
 pub(crate) fn not_layer_perm(bits: usize, n: usize) -> Perm {
     let images: Vec<usize> = (0..1usize << n).map(|p| (p ^ bits) + 1).collect();
+    // lint: allow(panic) xor with a mask permutes truth-table rows, always a bijection
     Perm::from_images(&images).expect("xor is a bijection")
 }
 

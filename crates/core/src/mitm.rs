@@ -111,6 +111,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
         let Some((&cost, _)) = self.pending.first_key_value() else {
             return false;
         };
+        // lint: allow(panic) first_key_value just proved the bucket key exists
         let raw_bucket = self.pending.remove(&cost).expect("bucket exists");
         let parallel = self.threads > 1 && raw_bucket.len() >= par::PAR_MIN_BUCKET;
         // Lazy decrease-key, mirroring the forward engine: drop copies
@@ -118,11 +119,13 @@ impl<W: SearchWidth> BackwardFrontier<W> {
         let bucket: Vec<W::Trace> = if parallel {
             let seen = &self.seen;
             par::par_filter(&engine.pool, raw_bucket, |t| {
+                // lint: allow(panic) every pending trace was inserted into seen on discovery
                 seen.get(t).expect("pending trace is seen").cost == cost
             })
         } else {
             raw_bucket
                 .into_iter()
+                // lint: allow(panic) every pending trace was inserted into seen on discovery
                 .filter(|t| self.seen.get(t).expect("pending trace is seen").cost == cost)
                 .collect()
         };
@@ -194,6 +197,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
         let mut indices = Vec::new();
         let mut current = start;
         loop {
+            // lint: allow(panic) backward walk follows links stored when the trace was discovered
             let meta = self.seen.get(&current).expect("trace was discovered");
             if meta.gate == u8::MAX {
                 break;
@@ -229,6 +233,7 @@ impl<W: SearchWidth> BackwardFrontier<W> {
         stack: &mut Vec<u8>,
         f: &mut impl FnMut(&[u8]),
     ) {
+        // lint: allow(panic) visit starts from a discovered trace and follows stored links
         let dist = self.seen.get(&trace).expect("trace was discovered").cost;
         if dist == 0 {
             // Only the target trace has cost 0 (gate costs are positive).

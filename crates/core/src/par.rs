@@ -210,6 +210,7 @@ impl WorkerPool {
             })
             .collect();
         {
+            // lint: allow(panic) pool mutexes cannot poison: tasks run under catch_unwind
             let mut queue = inner.shared.queue.lock().expect("pool queue intact");
             for task in erased {
                 queue.tasks.push_back((Arc::clone(&batch), task));
@@ -219,6 +220,7 @@ impl WorkerPool {
         // Help: drain queued tasks (any batch) until the queue is empty.
         loop {
             let entry = {
+                // lint: allow(panic) pool mutexes cannot poison: tasks run under catch_unwind
                 let mut queue = inner.shared.queue.lock().expect("pool queue intact");
                 queue.tasks.pop_front()
             };
@@ -228,8 +230,10 @@ impl WorkerPool {
             }
         }
         // Wait for stragglers still executing this batch's tasks.
+        // lint: allow(panic) pool mutexes cannot poison: tasks run under catch_unwind
         let mut remaining = batch.remaining.lock().expect("batch counter intact");
         while *remaining > 0 {
+            // lint: allow(panic) condvar wait only fails on poison, excluded by catch_unwind
             remaining = batch.done.wait(remaining).expect("batch counter intact");
         }
         drop(remaining);
@@ -259,6 +263,7 @@ fn execute_task(batch: &Batch, task: Task) {
     if catch_unwind(AssertUnwindSafe(task)).is_err() {
         batch.panicked.store(true, Ordering::Relaxed);
     }
+    // lint: allow(panic) pool mutexes cannot poison: tasks run under catch_unwind
     let mut remaining = batch.remaining.lock().expect("batch counter intact");
     *remaining -= 1;
     if *remaining == 0 {
@@ -270,6 +275,7 @@ fn execute_task(batch: &Batch, task: Task) {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let entry = {
+            // lint: allow(panic) pool mutexes cannot poison: tasks run under catch_unwind
             let mut queue = shared.queue.lock().expect("pool queue intact");
             loop {
                 if let Some(entry) = queue.tasks.pop_front() {
@@ -278,6 +284,7 @@ fn worker_loop(shared: &PoolShared) {
                 if queue.shutdown {
                     break None;
                 }
+                // lint: allow(panic) condvar wait only fails on poison, excluded by catch_unwind
                 queue = shared.work_ready.wait(queue).expect("pool queue intact");
             }
         };

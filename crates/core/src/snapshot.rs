@@ -312,6 +312,7 @@ fn checksum64(bytes: &[u8]) -> u64 {
     let mut state = FNV_OFFSET;
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
+        // lint: allow(panic) chunks_exact(8) yields exactly 8 bytes
         state ^= u64::from_le_bytes(chunk.try_into().unwrap());
         state = state.wrapping_mul(FNV_PRIME);
     }
@@ -373,14 +374,17 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, SnapshotError> {
+        // lint: allow(panic) take(2) returned exactly 2 bytes
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
+        // lint: allow(panic) take(4) returned exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
+        // lint: allow(panic) take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -701,6 +705,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                 trace.write_le(&mut core);
             }
             for word in words {
+                // lint: allow(panic) level words come from seen's own level lists
                 core.push(self.seen.get(word).expect("level word is seen").last_gate);
             }
             let class_keys = &self.class_levels[k];
@@ -732,6 +737,7 @@ impl<W: SearchWidth> SearchEngine<W> {
                 frontier.extend_from_slice(word.as_slice());
             }
             for word in bucket {
+                // lint: allow(panic) pending words were inserted into seen on discovery
                 frontier.push(self.seen.get(word).expect("pending word is seen").last_gate);
             }
         }
@@ -874,10 +880,12 @@ impl<W: SearchWidth> SearchEngine<W> {
             return Err(SnapshotError::NotASnapshot);
         }
         let mut r = Reader::new(&bytes[MAGIC.len()..]);
+        // lint: allow(panic) reader holds at least the 8 header-prefix bytes checked above
         let version = r.u32().expect("length checked");
         if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
+        // lint: allow(panic) reader holds at least the 8 header-prefix bytes checked above
         let header_len = r.u32().expect("length checked") as usize;
         let header_start = MAGIC.len() + 8;
         let body_start = header_start
@@ -894,6 +902,7 @@ impl<W: SearchWidth> SearchEngine<W> {
         let stored_header_checksum = u64::from_le_bytes(
             bytes[header_start + header_len..body_start]
                 .try_into()
+                // lint: allow(panic) the slice is exactly the 8 checksum bytes bounds-checked above
                 .unwrap(),
         );
         if checksum64(header_bytes) != stored_header_checksum {

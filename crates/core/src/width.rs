@@ -196,6 +196,7 @@ impl TraceRepr for u128 {
     }
 
     fn read_le(bytes: &[u8]) -> Self {
+        // lint: allow(panic) callers pass exactly 16 bytes (trace wire format)
         u128::from_le_bytes(bytes.try_into().expect("16 trace bytes"))
     }
 }

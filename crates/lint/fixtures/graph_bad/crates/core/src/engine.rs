@@ -1,0 +1,12 @@
+//! A search-state module (per-file determinism rules apply and pass);
+//! the taint it picks up comes from the helper it calls.
+
+pub struct Engine {
+    level: u32,
+}
+
+impl Engine {
+    pub fn expand(&mut self) {
+        self.level += stamp();
+    }
+}

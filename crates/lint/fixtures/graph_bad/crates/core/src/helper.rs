@@ -1,0 +1,11 @@
+//! A core helper that panics — invisible to the per-file serve rule,
+//! caught by the interprocedural panic-reachability pass.
+
+pub fn boom() -> u32 {
+    let v: Option<u32> = parse_input();
+    v.unwrap()
+}
+
+fn parse_input() -> Option<u32> {
+    Some(3)
+}

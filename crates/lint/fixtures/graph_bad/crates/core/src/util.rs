@@ -1,0 +1,8 @@
+//! Not a search-state module, so the per-file determinism rule is
+//! silent here — but `stamp` is called *from* one, which the taint pass
+//! must flag.
+
+pub fn stamp() -> u32 {
+    let t = Instant::now();
+    t.elapsed().subsec_micros()
+}

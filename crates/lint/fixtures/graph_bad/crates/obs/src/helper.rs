@@ -1,0 +1,5 @@
+//! Allocation on the increment path, one call away from the counter.
+
+pub fn describe() -> String {
+    format!("counter bumped")
+}

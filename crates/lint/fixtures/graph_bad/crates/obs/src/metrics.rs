@@ -1,0 +1,12 @@
+//! A metric increment module (per-file obs rules apply and pass); the
+//! impurity hides in the helper it calls.
+
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        describe();
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded lock-order inversion: a flight guard (rank 30) is held across
+//! a call chain that acquires the engine lock (rank 20).
+
+pub struct Host {
+    registry: RankedMutex<Tables>,
+    engine: RankedRwLock<Engine>,
+    flight: RankedMutex<Flight>,
+}
+
+impl Host {
+    pub fn new() -> Self {
+        Self {
+            registry: RankedMutex::new(REGISTRY_RANK, Tables::new()),
+            engine: RankedRwLock::new(ENGINE_RANK, Engine::new()),
+            flight: RankedMutex::new(FLIGHT_RANK, Flight::new()),
+        }
+    }
+
+    /// BAD: holds rank 30 while the callee takes rank 20.
+    pub fn flight_op(&self) {
+        let f = self.flight.lock();
+        self.touch_engine();
+        drop(f);
+    }
+
+    fn touch_engine(&self) {
+        let e = self.engine.write();
+        drop(e);
+    }
+
+    /// Serve request path: reaches a panicking core helper.
+    pub fn handle(&self) -> u32 {
+        boom()
+    }
+}

@@ -1,0 +1,13 @@
+//! Search-state module calling only deterministic helpers (one of
+//! which pins its clock read with a reason).
+
+pub struct Engine {
+    level: u32,
+}
+
+impl Engine {
+    pub fn expand(&mut self) {
+        self.level += seeded();
+        observe_latency();
+    }
+}

@@ -1,0 +1,11 @@
+//! Deterministic helper plus a pinned outbound-only timing read.
+
+pub fn seeded() -> u32 {
+    7
+}
+
+pub fn observe_latency() {
+    // lint: allow(determinism) outbound-only timing: feeds metrics, never search state
+    let t = Instant::now();
+    let _ = t;
+}

@@ -1,0 +1,10 @@
+//! A pure helper and a reasoned cold-path allocation.
+
+pub fn pure_add(n: u64) -> u64 {
+    n + 1
+}
+
+pub fn cold_describe() -> String {
+    // lint: allow(obs) cold path: runs once at startup, never per-increment
+    format!("counter registered")
+}

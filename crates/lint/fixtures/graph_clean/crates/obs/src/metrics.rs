@@ -1,0 +1,12 @@
+//! Increment path calling a pure helper and a pinned cold path.
+
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        pure_add(1);
+        cold_describe();
+    }
+}

@@ -1,0 +1,63 @@
+//! The sanctioned shapes: ascending acquisition, conditional guards
+//! that die with their body, and reasoned suppressions.
+
+pub struct Host {
+    registry: RankedMutex<Tables>,
+    engine: RankedRwLock<Engine>,
+    flight: RankedMutex<Flight>,
+}
+
+impl Host {
+    pub fn new() -> Self {
+        Self {
+            registry: RankedMutex::new(REGISTRY_RANK, Tables::new()),
+            engine: RankedRwLock::new(ENGINE_RANK, Engine::new()),
+            flight: RankedMutex::new(FLIGHT_RANK, Flight::new()),
+        }
+    }
+
+    /// Ascending ranks: 10 then 20 — fine.
+    pub fn ordered(&self) {
+        let r = self.registry.lock();
+        let e = self.engine.write();
+        drop(e);
+        drop(r);
+    }
+
+    /// The engine guard lives only inside the `if let` body, so the
+    /// registry acquisition in `heal` happens with nothing held.
+    pub fn read_or_heal(&self) {
+        if let Ok(g) = self.engine.read() {
+            let _ = g;
+            return;
+        }
+        self.heal();
+    }
+
+    fn heal(&self) {
+        let r = self.registry.lock();
+        drop(r);
+    }
+
+    /// A vetted inversion, suppressed at the acquisition site.
+    pub fn pinned(&self) {
+        let f = self.flight.lock();
+        // lint: allow(lock_order) startup-only path, runs before any other thread exists
+        let e = self.engine.write();
+        drop(e);
+        drop(f);
+    }
+
+    /// Serve request path reaching a helper whose panic is pinned at
+    /// the site.
+    pub fn handle(&self) -> u32 {
+        safe_value()
+    }
+
+    /// Serve request path whose *call edge* carries the suppression —
+    /// the helper itself has no annotation.
+    pub fn audited(&self) -> u32 {
+        // lint: allow(panic) helper is vetted: its input is a compile-time constant
+        vetted()
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture lock ranks mirroring the real serve tier's total order.
+
+pub struct Rank {
+    pub order: u32,
+    pub name: &'static str,
+}
+
+pub const REGISTRY_RANK: Rank = Rank {
+    order: 10,
+    name: "registry",
+};
+
+pub const ENGINE_RANK: Rank = Rank {
+    order: 20,
+    name: "engine",
+};
+
+pub const FLIGHT_RANK: Rank = Rank {
+    order: 30,
+    name: "flight",
+};

@@ -16,6 +16,9 @@ pub enum TokenKind {
     /// One punctuation character (`<`, `:`, `#`, …). Multi-character
     /// operators arrive as consecutive tokens.
     Punct,
+    /// A numeric literal (`10`, `0xFF`, `1_000u64`). The parser reads
+    /// rank orders out of these; the token rules treat them as opaque.
+    Number,
 }
 
 /// One lexed token.
@@ -254,12 +257,25 @@ impl Lexer {
                         self.bump();
                     }
                 } else {
-                    self.bump(); // the `'`; the ident lexes next round
+                    // A lifetime: keep the tick as a punct so type
+                    // normalization can tell `'a` from the type `a`;
+                    // the ident lexes next round.
+                    let line = self.line;
+                    self.bump();
+                    self.out.tokens.push(Token {
+                        text: "'".to_string(),
+                        line,
+                        kind: TokenKind::Punct,
+                    });
                 }
             }
             Some('\\') => {
                 self.bump(); // `'`
                 self.bump(); // `\`
+                             // The escaped char itself is consumed unconditionally so
+                             // `'\''` does not stop at the escaped quote and leave the
+                             // closing `'` to swallow code as a phantom char literal.
+                self.bump();
                 while let Some(c) = self.bump() {
                     if c == '\'' {
                         break;
@@ -280,6 +296,15 @@ impl Lexer {
     fn ident(&mut self) {
         let line = self.line;
         let mut text = String::new();
+        // Raw identifier `r#name` lexes as the single ident `name`, not
+        // the three tokens `r`, `#`, `name`.
+        if self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            self.bump();
+            self.bump();
+        }
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
                 text.push(c);
@@ -295,21 +320,29 @@ impl Lexer {
         });
     }
 
-    /// Numbers are opaque to every rule; consume digits plus any suffix
-    /// or float tail so `1e5`, `0xFF`, `1_000u64` never shed ident
-    /// fragments.
+    /// Numbers are emitted as [`TokenKind::Number`] tokens: the token
+    /// rules skip them, while the item parser reads lock-rank orders out
+    /// of them. Digits plus any suffix or float tail are one token so
+    /// `1e5`, `0xFF`, `1_000u64` never shed ident fragments — but a `.`
+    /// is only part of the number when a digit follows, so method calls
+    /// on literals (`1.to_string()`) are not swallowed.
     fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
-            if c.is_alphanumeric() || c == '_' || c == '.' {
-                // `1..n` range: stop before the second dot.
-                if c == '.' && self.peek(1) == Some('.') {
-                    break;
-                }
+            let float_dot = c == '.' && self.peek(1).is_some_and(|n| n.is_ascii_digit());
+            if c.is_alphanumeric() || c == '_' || float_dot {
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
+        self.out.tokens.push(Token {
+            text,
+            line,
+            kind: TokenKind::Number,
+        });
     }
 }
 
@@ -385,6 +418,43 @@ mod tests {
         assert_eq!(
             idents("let x = 1_000u64 + 0xFFu8 + 1e5; f()"),
             ["let", "x", "f"]
+        );
+    }
+
+    #[test]
+    fn numbers_are_tokens_with_text() {
+        let nums: Vec<String> = lex("const R: Rank = Rank { order: 10 }; let f = 2.5;")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["10", "2.5"]);
+    }
+
+    #[test]
+    fn method_call_on_number_literal_is_visible() {
+        // `1.to_string()` must lex as number `1`, `.`, ident — the old
+        // lexer swallowed the whole call inside the number, blinding the
+        // obs allocation rule.
+        assert_eq!(idents("let s = 1.to_string();"), ["let", "s", "to_string"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_swallow_code() {
+        // `'\''` once broke at the escaped quote, leaving the closing `'`
+        // to start a phantom literal that consumed real code.
+        assert_eq!(
+            idents(r"let q = '\''; let t = '\t'; after()"),
+            ["let", "q", "let", "t", "after"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        assert_eq!(
+            idents("let r#type = r#fn(); done()"),
+            ["let", "type", "fn", "done"]
         );
     }
 }

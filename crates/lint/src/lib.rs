@@ -3,7 +3,10 @@
 //! Clippy's `-D warnings` gate cannot express this repo's
 //! project-specific correctness rules, and the offline container rules
 //! out syn/miri/loom, so the pass is hand-rolled: a small comment- and
-//! string-aware lexer ([`lexer`]) feeds six rule passes ([`rules`]):
+//! string-aware lexer ([`lexer`]) feeds six per-file rule passes
+//! ([`rules`]), and an item-level parser ([`parser`]) feeds a workspace
+//! call graph ([`callgraph`]) driving four interprocedural passes
+//! ([`passes`]):
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -13,6 +16,10 @@
 //! | `threads` | workspace-wide | `thread::spawn`/`scope` only in `par.rs` and the serve accept loop |
 //! | `persistence` | snapshot codec | file publication goes through the durable-write helper, never bare `fs::write`/`File::create` |
 //! | `obs` | `mvq_obs` increment path; registrations workspace-wide | no locks or allocations where counters bump; registered metric names are snake_case with a unit suffix (`_us`/`_bytes`/`_total`) |
+//! | `lock_order` | call-graph, serve ranked locks | every static path acquires ranks strictly ascending while a guard is live |
+//! | `panic_path` | call-graph, rooted at serve | no reachable `unwrap`/`expect`/`panic!` in helper crates either |
+//! | `obs_purity` | call-graph, rooted at metric increments | nothing the increment path reaches locks, allocates, or does I/O |
+//! | `determinism_taint` | call-graph, rooted at search-state modules | no reachable ambient time/randomness/default-hashed collections |
 //!
 //! The binary (`cargo run -p mvq_lint --release -- --workspace`) exits
 //! non-zero on any violation and is wired into CI as a hard gate; the
@@ -21,16 +28,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+
+mod cache;
+mod passes;
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-pub use rules::{check_source, Rule, Violation, ALL_RULES};
+pub use rules::{check_source, Frame, Rule, Violation, ALL_RULES};
+
+use callgraph::FileView;
 
 /// Directory names never descended into: build output, the lint
 /// fixture corpus (deliberately seeded with violations), and the
@@ -63,6 +79,76 @@ impl Report {
         }
         counts
     }
+
+    /// The machine-readable report: `{files_scanned, counts, findings}`
+    /// with each finding carrying its call-chain frames. Hand-rolled
+    /// (the container has no serde); ordering matches the text output,
+    /// so the JSON is byte-stable for a given tree.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = write!(
+            s,
+            "  \"files_scanned\": {},\n  \"counts\": {{",
+            self.files_scanned
+        );
+        let counts: Vec<String> = self
+            .rule_counts()
+            .iter()
+            .map(|(rule, n)| format!("\"{rule}\": {n}"))
+            .collect();
+        let _ = write!(s, "{}}},\n  \"findings\": [", counts.join(", "));
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"frames\": [",
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule.name()),
+                json_str(&v.message)
+            );
+            for (j, fr) in v.frames.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"file\": {}, \"line\": {}, \"function\": {}}}",
+                    json_str(&fr.file),
+                    fr.line,
+                    json_str(&fr.function)
+                );
+            }
+            s.push_str("]}");
+        }
+        if self.violations.is_empty() {
+            s.push_str("]\n}\n");
+        } else {
+            s.push_str("\n  ]\n}\n");
+        }
+        s
+    }
+}
+
+/// Escapes `text` as a JSON string literal.
+fn json_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Report {
@@ -88,7 +174,10 @@ impl fmt::Display for Report {
 }
 
 /// Lints the workspace rooted at `root`: every `.rs` file under
-/// `crates/`, `tests/`, and `examples/` (skipping [`SKIP_DIRS`]).
+/// `crates/`, `tests/`, and `examples/` (skipping [`SKIP_DIRS`]) gets
+/// the per-file rules, then the interprocedural passes run over the
+/// whole-workspace call graph. Parsing is content-cached and spread
+/// over worker threads.
 ///
 /// # Errors
 ///
@@ -103,17 +192,63 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
         }
     }
     files.sort();
-    let mut violations = Vec::new();
-    for path in &files {
-        let rel = workspace_relative(root, path);
-        let source = fs::read_to_string(path)?;
-        violations.extend(check_source(&rel, &source));
-    }
-    violations.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|path| Ok((workspace_relative(root, path), fs::read_to_string(path)?)))
+        .collect::<io::Result<_>>()?;
+    let analyses = analyze_all(&sources);
+    let mut violations: Vec<Violation> = analyses
+        .iter()
+        .flat_map(|a| a.violations.iter().cloned())
+        .collect();
+    let views: Vec<FileView<'_>> = analyses
+        .iter()
+        .map(|a| FileView {
+            rel: &a.rel,
+            lexed: &a.lexed,
+            index: &a.index,
+            allows: &a.allows,
+        })
+        .collect();
+    violations.extend(passes::run(&views));
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
     Ok(Report {
         files_scanned: files.len(),
         violations,
     })
+}
+
+/// Analyzes every file, fanning out across worker threads (the cache
+/// makes re-runs near-free; the fan-out makes cold runs fast). Results
+/// come back in input order.
+fn analyze_all(sources: &[(String, String)]) -> Vec<Arc<cache::FileAnalysis>> {
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .min(8)
+        .min(sources.len().max(1));
+    if workers <= 1 {
+        return sources
+            .iter()
+            .map(|(rel, src)| cache::analyze(rel, src))
+            .collect();
+    }
+    let chunk = sources.len().div_ceil(workers);
+    let mut out: Vec<Option<Arc<cache::FileAnalysis>>> = vec![None; sources.len()];
+    // lint: allow(threads) lint's own file walker: bounded fan-out over workspace files, not expansion work
+    std::thread::scope(|scope| {
+        for (batch, slot) in sources.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for ((rel, src), s) in batch.iter().zip(slot.iter_mut()) {
+                    *s = Some(cache::analyze(rel, src));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|a| a.expect("worker filled every slot"))
+        .collect()
 }
 
 fn workspace_relative(root: &Path, path: &Path) -> String {
@@ -154,7 +289,7 @@ mod tests {
         };
         let text = report.to_string();
         assert!(text.contains("3 file(s) scanned"), "{text}");
-        assert!(text.contains("6 rule(s)"), "{text}");
+        assert!(text.contains("10 rule(s)"), "{text}");
         for rule in ALL_RULES {
             assert!(text.contains(&format!("{}: 0", rule.name())), "{text}");
         }
@@ -165,5 +300,37 @@ mod tests {
         let root = Path::new("/repo");
         let path = Path::new("/repo/crates/core/src/engine.rs");
         assert_eq!(workspace_relative(root, path), "crates/core/src/engine.rs");
+    }
+
+    #[test]
+    fn json_report_is_valid_shape_and_escapes() {
+        let report = Report {
+            files_scanned: 1,
+            violations: vec![Violation {
+                file: "crates/x/src/a.rs".to_string(),
+                line: 3,
+                rule: Rule::PanicPath,
+                message: "a \"quoted\"\nmessage".to_string(),
+                frames: vec![Frame {
+                    file: "crates/serve/src/host.rs".to_string(),
+                    line: 7,
+                    function: "handle".to_string(),
+                }],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\": 1"), "{json}");
+        assert!(json.contains("\"rule\": \"panic_path\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\"\\nmessage"), "{json}");
+        assert!(
+            json.contains(
+                "{\"file\": \"crates/serve/src/host.rs\", \"line\": 7, \"function\": \"handle\"}"
+            ),
+            "{json}"
+        );
+        // No raw newline may survive inside any string literal.
+        for line in json.lines() {
+            assert!(!line.contains("quoted\"\nmessage"), "{json}");
+        }
     }
 }

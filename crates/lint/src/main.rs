@@ -2,9 +2,14 @@
 //! violation.
 //!
 //! ```text
-//! cargo run -p mvq_lint --release -- --workspace   # lint the repo (CI gate)
-//! cargo run -p mvq_lint --release -- PATH          # lint a tree rooted at PATH
+//! cargo run -p mvq_lint --release -- --workspace                # lint the repo (CI gate)
+//! cargo run -p mvq_lint --release -- PATH                       # lint a tree rooted at PATH
+//! cargo run -p mvq_lint --release -- --workspace --format json  # machine-readable report
 //! ```
+//!
+//! With `--format json` the report goes to stdout as JSON (pipe it to
+//! an artifact) while the findings still print as clickable
+//! `file:line` text on stderr, so CI logs stay readable.
 
 #![forbid(unsafe_code)]
 
@@ -21,11 +26,24 @@ fn default_root() -> PathBuf {
 
 fn main() -> ExitCode {
     let mut root = None;
-    for arg in std::env::args().skip(1) {
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => root = Some(default_root()),
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "mvq_lint: --format takes `json` or `text`, got `{}`",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: mvq_lint [--workspace | PATH]");
+                println!("usage: mvq_lint [--workspace | PATH] [--format json|text]");
                 println!("lints the mvq workspace invariants; exits 1 on any violation");
                 return ExitCode::SUCCESS;
             }
@@ -39,7 +57,13 @@ fn main() -> ExitCode {
     let root = root.unwrap_or_else(default_root);
     match mvq_lint::check_workspace(&root) {
         Ok(report) => {
-            println!("{report}");
+            if json {
+                print!("{}", report.to_json());
+                eprint!("{report}");
+                eprintln!();
+            } else {
+                println!("{report}");
+            }
             if report.clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,111 @@
+//! The interprocedural passes over the workspace call graph.
+//!
+//! Each pass picks a root set, walks the graph ([`Graph::reach`]) and
+//! reports offending *sites* with the full call chain from a nearest
+//! root. Suppression composes with the per-file rules: an edge whose
+//! call line carries a reasoned `// lint: allow(<key>)` cuts the whole
+//! subtree, and a site whose line carries one is skipped — the same
+//! annotation silences a finding at any frame.
+
+pub mod lock_order;
+pub mod panic_path;
+pub mod purity;
+pub mod taint;
+
+use crate::callgraph::{FileView, Graph};
+use crate::lexer::Token;
+use crate::parser::{FileIndex, FnItem};
+use crate::rules::{Frame, Rule, Violation};
+
+/// Runs every interprocedural pass over the parsed workspace.
+pub fn run(views: &[FileView<'_>]) -> Vec<Violation> {
+    let graph = Graph::build(views);
+    let mut out = Vec::new();
+    lock_order::run(&graph, &mut out);
+    panic_path::run(&graph, &mut out);
+    purity::run(&graph, &mut out);
+    taint::run(&graph, &mut out);
+    out
+}
+
+/// The token-index segments belonging to `item` itself: its body minus
+/// the bodies of nested fn items (those are separate graph nodes).
+pub(crate) fn own_segments(index: &FileIndex, item: &FnItem) -> Vec<(usize, usize)> {
+    let Some((start, end)) = item.body else {
+        return Vec::new();
+    };
+    let mut segments = Vec::new();
+    let mut cursor = start + 1;
+    for &child in &item.children {
+        if let Some((c_start, c_end)) = index.fns[child].body {
+            if c_start > cursor {
+                segments.push((cursor, c_start));
+            }
+            cursor = c_end + 1;
+        }
+    }
+    if cursor < end {
+        segments.push((cursor, end));
+    }
+    segments
+}
+
+/// Calls `f` with every token index owned by `item` (body minus nested
+/// fn bodies).
+pub(crate) fn for_own_tokens(
+    tokens: &[Token],
+    index: &FileIndex,
+    item: &FnItem,
+    mut f: impl FnMut(usize, &Token),
+) {
+    for (s, e) in own_segments(index, item) {
+        for (i, tok) in tokens.iter().enumerate().take(e).skip(s) {
+            f(i, tok);
+        }
+    }
+}
+
+/// Reports a site reached through `path` unless its line carries a
+/// reasoned allow for the rule's key.
+pub(crate) fn push_reached_site(
+    g: &Graph<'_>,
+    rule: Rule,
+    message: String,
+    site_fn: usize,
+    line: u32,
+    path: &[(usize, u32)],
+    out: &mut Vec<Violation>,
+) {
+    if let Some(key) = rule.allow_key() {
+        if g.allow(site_fn, line, key) == Some(true) {
+            return;
+        }
+        // Reach-based passes cut allowed edges during the BFS; the
+        // lock-order pass builds chains from summaries, so honor an
+        // allow at any intermediate frame here too.
+        if path.iter().any(|&(f, l)| g.allow(f, l, key) == Some(true)) {
+            return;
+        }
+    }
+    let mut frames: Vec<Frame> = path.iter().map(|&(f, l)| g.frame(f, l)).collect();
+    frames.push(g.frame(site_fn, line));
+    out.push(Violation {
+        file: g.rel(site_fn).to_string(),
+        line,
+        rule,
+        message,
+        frames,
+    });
+}
+
+/// The sorted reachable set from `roots` (deterministic pass output).
+pub(crate) fn sorted_reach(
+    g: &Graph<'_>,
+    roots: &[usize],
+    allow_key: &str,
+) -> Vec<(usize, Vec<(usize, u32)>)> {
+    let mut reached: Vec<(usize, Vec<(usize, u32)>)> =
+        g.reach(roots, allow_key).into_iter().collect();
+    reached.sort_by_key(|(id, _)| *id);
+    reached
+}

@@ -1,0 +1,74 @@
+//! Transitive panic reachability from the serve request path.
+//!
+//! The per-file `panic_freedom` rule already bans `unwrap`/`expect`/
+//! `panic!` *inside* `crates/serve/src/`, but a serve handler calling a
+//! helper in `mvq_core` that panics is just as fatal to the request —
+//! and invisible to a per-file scan. This pass roots the call graph at
+//! every non-test serve fn and reports panic sites in any reachable fn
+//! outside the serve tree, with the call chain from the nearest root.
+//!
+//! Suppress with `// lint: allow(panic) <reason>` on the site or on any
+//! call edge along the chain (same key as the per-file rule, so one
+//! annotation covers both views of the same hazard).
+
+use crate::callgraph::Graph;
+use crate::lexer::TokenKind;
+use crate::rules::{Rule, Violation};
+
+use super::{for_own_tokens, push_reached_site, sorted_reach};
+
+const SERVE_PREFIX: &str = "crates/serve/src/";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(g: &Graph<'_>, out: &mut Vec<Violation>) {
+    let roots: Vec<usize> = (0..g.fns.len())
+        .filter(|&id| g.rel(id).starts_with(SERVE_PREFIX) && !g.item(id).is_test)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    for (id, path) in sorted_reach(g, &roots, "panic") {
+        let rel = g.rel(id);
+        // Serve-tree fns are the per-file rule's jurisdiction.
+        if rel.starts_with(SERVE_PREFIX) || g.item(id).is_test {
+            continue;
+        }
+        let file_i = g.fns[id].file;
+        let view = &g.views[file_i];
+        let tokens = &view.lexed.tokens;
+        let mut sites: Vec<(u32, String)> = Vec::new();
+        for_own_tokens(tokens, view.index, g.item(id), |i, tok| {
+            if tok.kind != TokenKind::Ident {
+                return;
+            }
+            let name = tok.text.as_str();
+            if matches!(name, "unwrap" | "expect")
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                sites.push((tok.line, format!(".{name}()")));
+            } else if PANIC_MACROS.contains(&name)
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                sites.push((tok.line, format!("{name}!")));
+            }
+        });
+        for (line, what) in sites {
+            push_reached_site(
+                g,
+                Rule::PanicPath,
+                format!(
+                    "`{what}` in `{}` is reachable from the serve request path; return an \
+                     error or annotate the proof it cannot fire",
+                    g.item(id).name
+                ),
+                id,
+                line,
+                &path,
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Transitive purity of the observability increment path.
+//!
+//! `Counter::inc` / `Histogram::record` sit on the search hot path; the
+//! per-file `obs` rule keeps locks, allocation and I/O out of the
+//! metric modules themselves, but a helper *called from* an increment
+//! fn can reintroduce them unseen. This pass roots at every non-test fn
+//! in the obs increment modules and flags lock/alloc/IO primitives in
+//! any fn they reach outside those modules.
+//!
+//! Suppress with `// lint: allow(obs) <reason>` (shared key with the
+//! per-file rule).
+
+use crate::callgraph::Graph;
+use crate::lexer::TokenKind;
+use crate::rules::{obs_increment_modules, Rule, Violation};
+
+use super::{for_own_tokens, push_reached_site, sorted_reach};
+
+/// Types whose mere construction implies blocking or allocation.
+const IMPURE_TYPES: [&str; 10] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "String",
+    "Vec",
+    "Box",
+    "File",
+    "OpenOptions",
+    "TcpStream",
+    "TcpListener",
+];
+
+/// Methods that allocate or block regardless of receiver.
+const IMPURE_METHODS: [&str; 4] = ["lock", "to_string", "to_owned", "to_vec"];
+
+const IMPURE_MACROS: [&str; 6] = ["format", "vec", "println", "eprintln", "print", "eprint"];
+
+fn in_increment_module(rel: &str) -> bool {
+    obs_increment_modules().iter().any(|m| rel.ends_with(m))
+}
+
+pub fn run(g: &Graph<'_>, out: &mut Vec<Violation>) {
+    let roots: Vec<usize> = (0..g.fns.len())
+        .filter(|&id| {
+            in_increment_module(g.rel(id)) && !g.item(id).is_test && g.item(id).name != "new"
+        })
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    for (id, path) in sorted_reach(g, &roots, "obs") {
+        if in_increment_module(g.rel(id)) || g.item(id).is_test {
+            continue;
+        }
+        let file_i = g.fns[id].file;
+        let view = &g.views[file_i];
+        let tokens = &view.lexed.tokens;
+        let mut sites: Vec<(u32, String)> = Vec::new();
+        for_own_tokens(tokens, view.index, g.item(id), |i, tok| {
+            if tok.kind != TokenKind::Ident {
+                return;
+            }
+            let name = tok.text.as_str();
+            if IMPURE_TYPES.contains(&name) {
+                sites.push((tok.line, format!("`{name}`")));
+            } else if IMPURE_METHODS.contains(&name)
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                sites.push((tok.line, format!("`.{name}()`")));
+            } else if IMPURE_MACROS.contains(&name)
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                sites.push((tok.line, format!("`{name}!`")));
+            } else if name == "fs" && tokens.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+                sites.push((tok.line, "`fs::`".to_string()));
+            }
+        });
+        for (line, what) in sites {
+            push_reached_site(
+                g,
+                Rule::ObsPurity,
+                format!(
+                    "{what} in `{}` is reachable from the metric increment path; hot-path \
+                     instrumentation must stay lock- and allocation-free",
+                    g.item(id).name
+                ),
+                id,
+                line,
+                &path,
+                out,
+            );
+        }
+    }
+}

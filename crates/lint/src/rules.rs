@@ -34,16 +34,35 @@ pub enum Rule {
     /// counter/histogram registration names a snake_case metric with a
     /// unit suffix.
     Obs,
+    /// Interprocedural: ranked serve locks are only ever acquired in
+    /// ascending rank order, on every static call path (the compile-time
+    /// twin of the runtime lock-rank witness).
+    LockOrder,
+    /// Interprocedural: no panic site (`unwrap`/`expect`/`panic!`/…) is
+    /// reachable from the serve request path through any call chain,
+    /// including helpers in other crates.
+    PanicPath,
+    /// Interprocedural: nothing reachable from the metric increment
+    /// path locks, allocates, or does I/O.
+    ObsPurity,
+    /// Interprocedural: no ambient time/randomness source is reachable
+    /// from the deterministic search-state modules through any call
+    /// chain.
+    DeterminismTaint,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::Determinism,
     Rule::PanicFreedom,
     Rule::UnsafeAudit,
     Rule::Concurrency,
     Rule::Persistence,
     Rule::Obs,
+    Rule::LockOrder,
+    Rule::PanicPath,
+    Rule::ObsPurity,
+    Rule::DeterminismTaint,
 ];
 
 impl Rule {
@@ -56,19 +75,28 @@ impl Rule {
             Rule::Concurrency => "threads",
             Rule::Persistence => "persistence",
             Rule::Obs => "obs",
+            Rule::LockOrder => "lock_order",
+            Rule::PanicPath => "panic_path",
+            Rule::ObsPurity => "obs_purity",
+            Rule::DeterminismTaint => "determinism_taint",
         }
     }
 
     /// The key accepted by `// lint: allow(<key>) <reason>`.
     /// [`Rule::UnsafeAudit`] has no allow-key: the escape hatch *is* the
     /// `// SAFETY:` comment the rule demands.
-    fn allow_key(self) -> Option<&'static str> {
+    ///
+    /// The interprocedural passes share their per-file counterpart's key
+    /// (`panic_path` honours `allow(panic)`, and so on): a site vetted
+    /// for direct use is vetted however it is reached.
+    pub(crate) fn allow_key(self) -> Option<&'static str> {
         match self {
-            Rule::Determinism => Some("determinism"),
-            Rule::PanicFreedom => Some("panic"),
+            Rule::Determinism | Rule::DeterminismTaint => Some("determinism"),
+            Rule::PanicFreedom | Rule::PanicPath => Some("panic"),
             Rule::Concurrency => Some("threads"),
             Rule::Persistence => Some("persistence"),
-            Rule::Obs => Some("obs"),
+            Rule::Obs | Rule::ObsPurity => Some("obs"),
+            Rule::LockOrder => Some("lock_order"),
             Rule::UnsafeAudit => None,
         }
     }
@@ -78,6 +106,19 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// One step of an interprocedural call chain, outermost first: the
+/// function the step executes in and the line of the call (or, for the
+/// last frame, the offending site itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the call / site inside `function`.
+    pub line: u32,
+    /// The enclosing function's name.
+    pub function: String,
 }
 
 /// One finding.
@@ -91,6 +132,9 @@ pub struct Violation {
     pub rule: Rule,
     /// What went wrong, with the fix spelled out.
     pub message: String,
+    /// For interprocedural findings: the call chain from the analysis
+    /// root to the site, outermost first. Empty for per-file findings.
+    pub frames: Vec<Frame>,
 }
 
 impl fmt::Display for Violation {
@@ -99,8 +143,57 @@ impl fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        for frame in &self.frames {
+            write!(
+                f,
+                "\n    via {}:{} in `{}`",
+                frame.file, frame.line, frame.function
+            )?;
+        }
+        Ok(())
     }
+}
+
+/// The interprocedural passes need the same module lists.
+pub(crate) const fn determinism_modules() -> [&'static str; 5] {
+    DETERMINISM_MODULES
+}
+
+/// See [`determinism_modules`].
+pub(crate) const fn obs_increment_modules() -> [&'static str; 2] {
+    OBS_INCREMENT_MODULES
+}
+
+/// Scans the balanced `<…>` starting at `open` (which holds `<`) and
+/// reports whether any identifier inside names an FNV hasher. Shared
+/// between the per-file determinism rule and the interprocedural taint
+/// pass.
+pub(crate) fn generic_args_name_fnv(tokens: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut saw_fnv = false;
+    // Bounded scan: a `<` that is really a comparison never closes,
+    // and we must not walk the rest of the file.
+    for j in open..tokens.len().min(open + 256) {
+        let t = &tokens[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            // `->` in fn-pointer types does not close a bracket.
+            if j > 0 && tokens[j - 1].is_punct('-') {
+                continue;
+            }
+            depth -= 1;
+            if depth == 0 {
+                return saw_fnv;
+            }
+        } else if t.kind == TokenKind::Ident && t.text.starts_with("Fnv") {
+            saw_fnv = true;
+        }
+    }
+    // Unclosed: treat as "not a generic application" (comparison
+    // expression) rather than a violation.
+    true
 }
 
 /// The `mvq_core` modules that hold reproducible search state: the
@@ -155,9 +248,9 @@ const SAFETY_WINDOW: u32 = 8;
 /// Which rules apply to a file, derived from its workspace-relative
 /// path.
 #[derive(Debug, Clone, Copy)]
-struct FileClass {
+pub(crate) struct FileClass {
     /// Whole file is test/bench code.
-    test_class: bool,
+    pub(crate) test_class: bool,
     determinism: bool,
     panic_free: bool,
     thread_allowed: bool,
@@ -166,7 +259,7 @@ struct FileClass {
 }
 
 impl FileClass {
-    fn of(rel: &str) -> Self {
+    pub(crate) fn of(rel: &str) -> Self {
         let test_class = rel
             .split('/')
             .any(|part| part == "tests" || part == "benches");
@@ -186,15 +279,21 @@ impl FileClass {
 /// Lints one source file. `rel` is the workspace-relative path with
 /// forward slashes (it selects the applicable rules).
 pub fn check_source(rel: &str, source: &str) -> Vec<Violation> {
-    let class = FileClass::of(rel);
     let lexed = lex(source);
+    check_lexed(rel, source, &lexed)
+}
+
+/// The per-file rule passes over an already-lexed file (the parse cache
+/// lexes once and shares the result with the interprocedural passes).
+pub(crate) fn check_lexed(rel: &str, source: &str, lexed: &Lexed) -> Vec<Violation> {
+    let class = FileClass::of(rel);
     let allows = Allows::parse(&lexed.comments);
     let file = FileCheck {
         rel,
         class,
         test_spans: find_test_spans(&lexed.tokens),
         allows: Allows::parse(&lexed.comments),
-        lexed: &lexed,
+        lexed,
         violations: Vec::new(),
     };
     let mut violations = file.run();
@@ -205,13 +304,13 @@ pub fn check_source(rel: &str, source: &str) -> Vec<Violation> {
 }
 
 /// Parsed `// lint: allow(<key>) <reason>` annotations, by line.
-struct Allows {
+pub(crate) struct Allows {
     /// `(line the comment ends on, key, reason_present)`.
     entries: Vec<(u32, String, bool)>,
 }
 
 impl Allows {
-    fn parse(comments: &[Comment]) -> Self {
+    pub(crate) fn parse(comments: &[Comment]) -> Self {
         let entries = comments
             .iter()
             .filter_map(|c| {
@@ -231,7 +330,7 @@ impl Allows {
     /// Whether `line` (or the line above it) carries `allow(key)`.
     /// Returns `Some(reason_present)` so the caller can reject a
     /// reason-less annotation.
-    fn lookup(&self, line: u32, key: &str) -> Option<bool> {
+    pub(crate) fn lookup(&self, line: u32, key: &str) -> Option<bool> {
         self.entries
             .iter()
             .find(|(l, k, _)| (*l == line || *l + 1 == line) && k == key)
@@ -388,31 +487,7 @@ impl FileCheck<'_> {
     /// Scans the balanced `<…>` starting at `open` (which holds `<`) and
     /// reports whether any identifier inside names an FNV hasher.
     fn generic_args_name_fnv(&self, open: usize) -> bool {
-        let tokens = &self.lexed.tokens;
-        let mut depth = 0i32;
-        let mut saw_fnv = false;
-        // Bounded scan: a `<` that is really a comparison never closes,
-        // and we must not walk the rest of the file.
-        for j in open..tokens.len().min(open + 256) {
-            let t = &tokens[j];
-            if t.is_punct('<') {
-                depth += 1;
-            } else if t.is_punct('>') {
-                // `->` in fn-pointer types does not close a bracket.
-                if j > 0 && tokens[j - 1].is_punct('-') {
-                    continue;
-                }
-                depth -= 1;
-                if depth == 0 {
-                    return saw_fnv;
-                }
-            } else if t.kind == TokenKind::Ident && t.text.starts_with("Fnv") {
-                saw_fnv = true;
-            }
-        }
-        // Unclosed: treat as "not a generic application" (comparison
-        // expression) rather than a violation.
-        true
+        generic_args_name_fnv(&self.lexed.tokens, open)
     }
 
     // ── Rule 2: panic-freedom in serve ─────────────────────────────
@@ -470,6 +545,7 @@ impl FileCheck<'_> {
                     "`unsafe` without an adjacent `// SAFETY:` comment (within {SAFETY_WINDOW} \
                      lines above) stating why the invariants hold"
                 ),
+                frames: Vec::new(),
             });
         }
     }
@@ -556,7 +632,7 @@ impl FileCheck<'_> {
 /// Pushes a violation of `rule` at `rel:line` unless a
 /// `// lint: allow(<key>) <reason>` annotation covers the line (shared
 /// by the token passes and the raw-source metric-name scan).
-fn report_with_allow(
+pub(crate) fn report_with_allow(
     allows: &Allows,
     rel: &str,
     line: u32,
@@ -574,12 +650,14 @@ fn report_with_allow(
                 "`// lint: allow({})` needs a reason after the closing paren",
                 rule.allow_key().unwrap_or_default()
             ),
+            frames: Vec::new(),
         }),
         None => out.push(Violation {
             file: rel.to_string(),
             line,
             rule,
             message,
+            frames: Vec::new(),
         }),
     }
 }
@@ -659,7 +737,7 @@ fn line_of(source: &str, offset: usize) -> u32 {
 /// `#[cfg(all(test, …))]` items: the attribute, then (skipping any
 /// further attributes) the next item through its closing brace or
 /// semicolon.
-fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {

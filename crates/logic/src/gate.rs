@@ -172,9 +172,11 @@ impl Gate {
                 let out = self.apply(domain.pattern(idx));
                 domain
                     .index(&out)
+                    // lint: allow(panic) a gate maps domain patterns to domain patterns by construction
                     .expect("gate output stays inside the domain")
             })
             .collect();
+        // lint: allow(panic) reversible gates are bijections on the pattern domain
         Perm::from_images(&images).expect("gates are bijections")
     }
 

@@ -52,6 +52,7 @@ impl Pattern {
         let values = (0..n)
             .map(|wire| {
                 let shift = 2 * (n - 1 - wire);
+                // lint: allow(panic) the 2-bit mask keeps every rank below 4
                 Value::from_rank((code >> shift) & 0b11).expect("rank < 4")
             })
             .collect();

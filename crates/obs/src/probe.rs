@@ -150,6 +150,7 @@ fn elapsed_us(start: Option<Instant>) -> u64 {
 
 impl Probe for RegistryProbe {
     fn level_started(&self, _cost: u32) {
+        // lint: allow(determinism) outbound-only timing: feeds latency metrics, never search state
         LEVEL_START.with(|c| c.set(Some(Instant::now())));
     }
 
@@ -184,6 +185,7 @@ impl Probe for RegistryProbe {
     }
 
     fn snapshot_section_started(&self, _section: &'static str) {
+        // lint: allow(determinism) outbound-only timing: feeds latency metrics, never search state
         SECTION_START.with(|c| c.set(Some(Instant::now())));
     }
 

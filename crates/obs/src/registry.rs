@@ -78,6 +78,7 @@ impl Registry {
             "metric name `{name}` violates naming rules (snake_case; counters and \
              histograms need a `_us`/`_bytes`/`_total` suffix)"
         );
+        // lint: allow(panic) registration happens at startup, before any panicking writer can exist
         let mut entries = self.entries.lock().expect("metrics registry poisoned");
         assert!(
             entries.iter().all(|e| e.name != name),
@@ -121,6 +122,7 @@ impl Registry {
     /// Current value of every counter (direct and callback-backed),
     /// in registration order.
     pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        // lint: allow(panic) entry lock holders never panic: reads and atomic loads only
         let entries = self.entries.lock().expect("metrics registry poisoned");
         entries
             .iter()
@@ -134,6 +136,7 @@ impl Registry {
 
     /// Current value of every gauge, in registration order.
     pub fn gauge_values(&self) -> Vec<(&'static str, i64)> {
+        // lint: allow(panic) entry lock holders never panic: reads and atomic loads only
         let entries = self.entries.lock().expect("metrics registry poisoned");
         entries
             .iter()
@@ -146,6 +149,7 @@ impl Registry {
 
     /// Snapshot of every histogram, in registration order.
     pub fn histogram_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        // lint: allow(panic) entry lock holders never panic: reads and atomic loads only
         let entries = self.entries.lock().expect("metrics registry poisoned");
         entries
             .iter()
@@ -203,6 +207,7 @@ impl Registry {
     /// (version 0.0.4). Histogram buckets use cumulative counts with
     /// inclusive `le` upper bounds, ending in `+Inf`.
     pub fn render_prometheus(&self) -> String {
+        // lint: allow(panic) entry lock holders never panic: reads and atomic loads only
         let entries = self.entries.lock().expect("metrics registry poisoned");
         let mut out = String::new();
         for e in entries.iter() {

@@ -129,6 +129,7 @@ impl Perm {
         self.images
             .iter()
             .position(|&img| img as usize == p - 1)
+            // lint: allow(panic) callers pass points inside the permutation's domain (checked by debug_assert above)
             .expect("point out of range")
             + 1
     }
